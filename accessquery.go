@@ -1,0 +1,215 @@
+// Package accessquery answers dynamic spatio-temporal access queries over
+// multimodal transit networks using semi-supervised regression, reproducing
+// Conlan, Cunningham & Ferhatosmanoglu, "Dynamic Spatio-temporal Access
+// Queries using Semi-Supervised Regression" (ICDE 2023).
+//
+// An access query asks, for every zone of a city, how costly it is to reach
+// a set of points of interest (schools, hospitals, ...) within a time
+// interval. Answering it exactly requires pricing millions of trips with
+// multimodal shortest-path queries; this package prices only a small
+// budgeted sample of zones and infers the rest from pre-computed
+// connectivity features (transit-hop trees), cutting processing time by up
+// to ~97% while tracking the exact measures closely.
+//
+// # Quick start
+//
+//	city, _ := accessquery.GenerateCity(accessquery.ScaledConfig(accessquery.CoventryConfig(), 0.1))
+//	engine, _ := accessquery.NewEngine(city, accessquery.EngineOptions{Interval: accessquery.WeekdayAMPeak()})
+//	res, _ := engine.Run(accessquery.Query{
+//		POIs:   accessquery.POIsOf(city, accessquery.POISchool),
+//		Cost:   accessquery.CostJourneyTime,
+//		Budget: 0.05,
+//		Model:  accessquery.ModelMLP,
+//	})
+//	fmt.Println(res.Fairness)
+//
+// The package is a facade over the implementation packages under internal/;
+// everything needed to build cities, run queries, and evaluate results is
+// re-exported here.
+package accessquery
+
+import (
+	"time"
+
+	"accessquery/internal/access"
+	"accessquery/internal/core"
+	"accessquery/internal/geo"
+	"accessquery/internal/gtfs"
+	"accessquery/internal/router"
+	"accessquery/internal/synth"
+	"accessquery/internal/todam"
+)
+
+// Point is a geographic location in degrees latitude/longitude.
+type Point = geo.Point
+
+// Interval is a time interval [start, end, weekday] in seconds since
+// midnight.
+type Interval = gtfs.Interval
+
+// Seconds is a time of day in seconds since midnight.
+type Seconds = gtfs.Seconds
+
+// City is a generated or loaded city: zones, POIs, road network, and
+// transit timetable.
+type City = synth.City
+
+// CityConfig parameterizes city generation.
+type CityConfig = synth.Config
+
+// Zone is a census tract with centroid, population, and vulnerability
+// attributes.
+type Zone = synth.Zone
+
+// POI is a point of interest.
+type POI = synth.POI
+
+// POICategory names a POI set.
+type POICategory = synth.POICategory
+
+// The POI categories evaluated in the paper.
+const (
+	POISchool    = synth.POISchool
+	POIHospital  = synth.POIHospital
+	POIVaxCenter = synth.POIVaxCenter
+	POIJobCenter = synth.POIJobCenter
+)
+
+// AllPOICategories lists the paper's POI categories in report order.
+var AllPOICategories = synth.AllCategories
+
+// Engine pre-processes a city for a time interval and answers access
+// queries.
+type Engine = core.Engine
+
+// EngineOptions configure pre-processing.
+type EngineOptions = core.EngineOptions
+
+// Query describes one dynamic access query.
+type Query = core.Query
+
+// Result holds per-zone access measures and query timings.
+type Result = core.Result
+
+// Timing decomposes a query's online cost.
+type Timing = core.Timing
+
+// ModelKind selects the semi-supervised regression model.
+type ModelKind = core.ModelKind
+
+// The models evaluated in the paper.
+const (
+	ModelOLS   = core.ModelOLS
+	ModelMLP   = core.ModelMLP
+	ModelMT    = core.ModelMT
+	ModelCOREG = core.ModelCOREG
+	ModelGNN   = core.ModelGNN
+)
+
+// Extension models beyond the paper's five.
+const (
+	ModelKRR    = core.ModelKRR
+	ModelLapRLS = core.ModelLapRLS
+)
+
+// AllModels lists the evaluated models in report order.
+var AllModels = core.AllModels
+
+// ExtensionModels lists the additional kernel-based models this
+// implementation provides.
+var ExtensionModels = core.ExtensionModels
+
+// CostKind selects the access cost definition.
+type CostKind = access.CostKind
+
+// The access costs from the paper: journey time and the DfT generalized
+// access cost.
+const (
+	CostJourneyTime = access.JourneyTime
+	CostGeneralized = access.Generalized
+)
+
+// CostParams are the generalized-cost weights (Eq. 1).
+type CostParams = router.CostParams
+
+// Journey is a priced multimodal journey.
+type Journey = router.Journey
+
+// Class is the four-way accessibility classification.
+type Class = access.Class
+
+// Accessibility classes.
+const (
+	ClassBest       = access.ClassBest
+	ClassMostlyGood = access.ClassMostlyGood
+	ClassMostlyBad  = access.ClassMostlyBad
+	ClassWorst      = access.ClassWorst
+)
+
+// Attractiveness configures the gravity model's distance-decay gate.
+type Attractiveness = todam.Attractiveness
+
+// BirminghamConfig returns the preset matching the paper's larger city
+// (3217 zones, Table I POI counts).
+func BirminghamConfig() CityConfig { return synth.Birmingham() }
+
+// CoventryConfig returns the preset matching the paper's smaller city
+// (1014 zones, Table I POI counts).
+func CoventryConfig() CityConfig { return synth.Coventry() }
+
+// ScaledConfig shrinks a city preset by factor in (0, 1], preserving its
+// shape at a fraction of the cost.
+func ScaledConfig(cfg CityConfig, factor float64) CityConfig { return synth.Scaled(cfg, factor) }
+
+// GenerateCity builds a deterministic synthetic city.
+func GenerateCity(cfg CityConfig) (*City, error) { return synth.Generate(cfg) }
+
+// NewEngine runs the offline phase (isochrones, transit-hop trees, router)
+// over a city.
+func NewEngine(city *City, opts EngineOptions) (*Engine, error) { return core.NewEngine(city, opts) }
+
+// LoadEngine restores an engine from a snapshot written by
+// Engine.SaveSnapshot, skipping the offline pre-processing.
+func LoadEngine(path string) (*Engine, error) { return core.LoadEngine(path) }
+
+// POIsOf extracts a category's POI points from a city.
+func POIsOf(city *City, cat POICategory) []Point { return core.POIsOf(city, cat) }
+
+// DefaultCostParams returns the DfT TAG M3.2-style generalized-cost
+// weights.
+func DefaultCostParams() CostParams { return router.DefaultCostParams() }
+
+// DefaultAttractiveness returns the distance-decay gate used by the
+// experiments.
+func DefaultAttractiveness() Attractiveness { return todam.DefaultAttractiveness() }
+
+// JainIndex returns Jain's fairness index over per-zone values; 1 is
+// perfectly fair.
+func JainIndex(values []float64) float64 { return access.JainIndex(values) }
+
+// Gini returns the Gini coefficient of per-zone values; 0 is perfect
+// equality.
+func Gini(values []float64) (float64, error) { return access.Gini(values) }
+
+// PalmaRatio returns the top-10%-to-bottom-40% share ratio of per-zone
+// values, the inequity measure used for transit-based job access.
+func PalmaRatio(values []float64) (float64, error) { return access.PalmaRatio(values) }
+
+// Summary condenses a Result into headline numbers.
+type Summary = core.Summary
+
+// WeightedJainIndex weights each zone's contribution, e.g. by population or
+// a vulnerable-demographic share.
+func WeightedJainIndex(values, weights []float64) (float64, error) {
+	return access.WeightedJainIndex(values, weights)
+}
+
+// WeekdayAMPeak returns the 7am-9am Tuesday interval the paper evaluates.
+func WeekdayAMPeak() Interval {
+	return Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday, Label: "weekday AM peak"}
+}
+
+// WeekdayPMPeak returns the 4pm-6pm Tuesday interval.
+func WeekdayPMPeak() Interval {
+	return Interval{Start: 16 * 3600, End: 18 * 3600, Day: time.Tuesday, Label: "weekday PM peak"}
+}

@@ -1,0 +1,159 @@
+package accessquery
+
+// Benchmarks regenerating each of the paper's tables and figures. Each
+// benchmark runs the corresponding experiment end-to-end on reduced-scale
+// cities (Table I runs at full paper scale — it needs no shortest-path
+// queries). Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// and see cmd/aqbench for the full printed reproductions.
+
+import (
+	"io"
+	"testing"
+
+	"accessquery/internal/core"
+	"accessquery/internal/experiments"
+	"accessquery/internal/gtfs"
+	"accessquery/internal/synth"
+)
+
+// benchSuite returns a suite sized for benchmarking: small cities, the two
+// most informative models, a compact budget sweep.
+func benchSuite() *experiments.Suite {
+	s := experiments.NewSuite(0.05)
+	s.Budgets = []float64{0.03, 0.10, 0.30}
+	s.Models = []core.ModelKind{core.ModelOLS, core.ModelMLP}
+	s.SamplesPerHour = 6
+	return s
+}
+
+// BenchmarkTable1MatrixComposition regenerates Table I: gravity vs full
+// TODAM sizes for both cities at full paper scale.
+func BenchmarkTable1MatrixComposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(1)
+		rows, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 8 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable2RuntimeSavings regenerates Table II: naive labeling versus
+// the SSR solution across budgets.
+func BenchmarkTable2RuntimeSavings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := s.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3JTErrors regenerates Fig. 3: journey-time MAE across POI
+// types, models, and budgets.
+func BenchmarkFig3JTErrors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := s.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4GACMetrics regenerates Fig. 4: GAC MAC/ACSD correlation,
+// classification accuracy, and fairness-index error on vaccination centers.
+func BenchmarkFig4GACMetrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := s.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5MACMaps regenerates Fig. 5: the predicted MAC choropleths.
+func BenchmarkFig5MACMaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if err := s.PrintFig5(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSPQ measures the single multimodal shortest-path query the
+// paper reports as 0.018±0.016 s, on a mid-scale city.
+func BenchmarkSPQ(b *testing.B) {
+	city, err := synth.Generate(synth.Scaled(synth.Birmingham(), 0.15))
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := core.NewEngine(city, core.EngineOptions{
+		Interval: gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: 2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := engine.Router()
+	depart := gtfs.Seconds(8 * 3600)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := city.ZoneNode[(i*31)%len(city.Zones)]
+		d := city.ZoneNode[(i*17+5)%len(city.Zones)]
+		if _, _, err := rt.Route(o, d, depart); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndQuery measures one complete SSR access query (matrix,
+// labeling, features, training, inference) at a 5% budget.
+func BenchmarkEndToEndQuery(b *testing.B) {
+	city, err := synth.Generate(synth.Scaled(synth.Coventry(), 0.1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := core.NewEngine(city, core.EngineOptions{
+		Interval: gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: 2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := core.Query{
+		POIs:           core.POIsOf(city, synth.POISchool),
+		Budget:         0.05,
+		Model:          core.ModelMLP,
+		SamplesPerHour: 10,
+		Seed:           1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOfflinePreprocess measures the offline phase: isochrones plus
+// transit-hop forest generation.
+func BenchmarkOfflinePreprocess(b *testing.B) {
+	city, err := synth.Generate(synth.Scaled(synth.Coventry(), 0.1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.EngineOptions{
+		Interval: gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: 2},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewEngine(city, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command aqquery answers one dynamic access query from the command line
+// and emits the per-zone measures as CSV plus a summary on stderr. It can
+// pre-process a city from a preset or load a saved engine snapshot
+// (see aqquery -save / -load), making the offline/online split of the
+// paper's architecture tangible:
+//
+//	aqquery -city coventry -scale 0.2 -save /tmp/cov.snap   # offline once
+//	aqquery -load /tmp/cov.snap -category school -budget 0.05 > zones.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"accessquery/internal/access"
+	"accessquery/internal/core"
+	"accessquery/internal/gtfs"
+	"accessquery/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aqquery: ")
+	var (
+		cityName = flag.String("city", "coventry", "city preset (ignored with -load)")
+		scale    = flag.Float64("scale", 0.2, "city scale factor (ignored with -load)")
+		load     = flag.String("load", "", "load a saved engine snapshot instead of generating")
+		save     = flag.String("save", "", "save the engine snapshot after pre-processing and exit")
+		category = flag.String("category", "school", "POI category: school|hospital|vax_center|job_center")
+		cost     = flag.String("cost", "JT", "access cost: JT or GAC")
+		budget   = flag.Float64("budget", 0.05, "labeling budget in (0, 1]")
+		model    = flag.String("model", "MLP", "SSR model: OLS|MLP|MT|COREG|GNN")
+		sampling = flag.String("sampling", "random", "labeled-set sampling: random|coverage|stratified")
+		workers  = flag.Int("workers", 1, "parallel labeling workers")
+		seed     = flag.Int64("seed", 1, "random seed")
+		od       = flag.Bool("od", false, "learn at OD granularity instead of origin level")
+	)
+	flag.Parse()
+	engine, err := buildEngine(*load, *cityName, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *save != "" {
+		if err := engine.SaveSnapshot(*save); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved snapshot to %s (prep took %v)\n", *save, engine.PrepDuration)
+		return
+	}
+	pois := core.POIsOf(engine.City, synth.POICategory(*category))
+	if len(pois) == 0 {
+		log.Fatalf("unknown or empty POI category %q", *category)
+	}
+	costKind := access.JourneyTime
+	if strings.EqualFold(*cost, "GAC") {
+		costKind = access.Generalized
+	}
+	q := core.Query{
+		POIs:     pois,
+		Cost:     costKind,
+		Budget:   *budget,
+		Model:    core.ModelKind(strings.ToUpper(*model)),
+		Sampling: core.SamplingStrategy(strings.ToLower(*sampling)),
+		Workers:  *workers,
+		Seed:     *seed,
+	}
+	var res *core.Result
+	if *od {
+		res, err = engine.RunOD(q)
+	} else {
+		res, err = engine.Run(q)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.WriteCSV(os.Stdout, engine); err != nil {
+		log.Fatal(err)
+	}
+	s := res.Summarize()
+	fmt.Fprintf(os.Stderr,
+		"%s %s %s budget=%.0f%%: %d/%d zones (%d labeled), mean %s %.1f min, fairness %.3f, gini %.3f, %d SPQs in %v\n",
+		engine.City.Name, *category, costKind, *budget*100,
+		s.ValidZones, s.Zones, s.LabeledZones, costKind, s.MeanMAC/60,
+		s.Fairness, s.Gini, s.SPQs, res.Timing.Total())
+}
+
+// buildEngine loads a snapshot or generates and pre-processes a city.
+func buildEngine(load, cityName string, scale float64) (*core.Engine, error) {
+	if load != "" {
+		return core.LoadEngine(load)
+	}
+	var cfg synth.Config
+	switch strings.ToLower(cityName) {
+	case "birmingham":
+		cfg = synth.Birmingham()
+	case "coventry":
+		cfg = synth.Coventry()
+	default:
+		return nil, fmt.Errorf("unknown city %q", cityName)
+	}
+	cfg = synth.Scaled(cfg, scale)
+	city, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEngine(city, core.EngineOptions{
+		Interval: gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday, Label: "weekday AM peak"},
+	})
+}

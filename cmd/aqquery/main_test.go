@@ -1,0 +1,46 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildEngineFromPreset(t *testing.T) {
+	e, err := buildEngine("", "coventry", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.City.Zones) == 0 {
+		t.Fatal("empty city")
+	}
+}
+
+func TestBuildEngineUnknownCity(t *testing.T) {
+	if _, err := buildEngine("", "narnia", 0.1); err == nil {
+		t.Error("unknown city should fail")
+	}
+}
+
+func TestBuildEngineSnapshotRoundTrip(t *testing.T) {
+	e, err := buildEngine("", "coventry", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.gob")
+	if err := e.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := buildEngine(path, "ignored", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.City.Zones) != len(e.City.Zones) {
+		t.Error("restored engine city differs")
+	}
+}
+
+func TestBuildEngineMissingSnapshot(t *testing.T) {
+	if _, err := buildEngine(filepath.Join(t.TempDir(), "none.gob"), "", 0); err == nil {
+		t.Error("missing snapshot should fail")
+	}
+}

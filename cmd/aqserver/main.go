@@ -1,0 +1,264 @@
+// Command aqserver serves dynamic access queries over HTTP against a
+// synthetic city. It builds the offline structures once at startup and then
+// answers queries in seconds, demonstrating the interactive policy-analysis
+// loop the paper motivates.
+//
+// Endpoints:
+//
+//	GET  /healthz                    liveness probe
+//	GET  /city                       city summary
+//	GET  /zones                      zone list with centroids and demographics
+//	GET  /journey?from=3&to=50&depart=08:00:00
+//	                                 one multimodal journey between zones
+//	POST /query                      JSON access query -> per-zone measures
+//
+// Example query body:
+//
+//	{"category": "school", "cost": "JT", "budget": 0.05, "model": "MLP"}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"accessquery/internal/access"
+	"accessquery/internal/core"
+	"accessquery/internal/gtfs"
+	"accessquery/internal/synth"
+)
+
+type server struct {
+	engine *core.Engine
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aqserver: ")
+	var (
+		cityName = flag.String("city", "coventry", "city preset: birmingham or coventry")
+		scale    = flag.Float64("scale", 0.25, "city scale factor")
+		addr     = flag.String("addr", "127.0.0.1:8321", "listen address")
+	)
+	flag.Parse()
+	var cfg synth.Config
+	switch strings.ToLower(*cityName) {
+	case "birmingham":
+		cfg = synth.Birmingham()
+	case "coventry":
+		cfg = synth.Coventry()
+	default:
+		log.Fatalf("unknown city %q", *cityName)
+	}
+	cfg = synth.Scaled(cfg, *scale)
+	log.Printf("generating %s...", cfg.Name)
+	city, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("pre-processing (isochrones, hop trees)...")
+	engine, err := core.NewEngine(city, core.EngineOptions{
+		Interval: gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday, Label: "weekday AM peak"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{engine: engine}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/city", s.handleCity)
+	mux.HandleFunc("/zones", s.handleZones)
+	mux.HandleFunc("/journey", s.handleJourney)
+	mux.HandleFunc("/query", s.handleQuery)
+	log.Printf("ready: %d zones, prep took %v, listening on %s",
+		len(city.Zones), engine.PrepDuration, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleCity(w http.ResponseWriter, _ *http.Request) {
+	c := s.engine.City
+	pois := map[synth.POICategory]int{}
+	for cat, list := range c.POIs {
+		pois[cat] = len(list)
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"name":       c.Name,
+		"zones":      len(c.Zones),
+		"road_nodes": c.Road.NumNodes(),
+		"stops":      len(c.Feed.Stops),
+		"routes":     len(c.Feed.Routes),
+		"trips":      len(c.Feed.Trips),
+		"pois":       pois,
+		"interval":   s.engine.Interval.Label,
+	})
+}
+
+func (s *server) handleZones(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.City.Zones)
+}
+
+func (s *server) handleJourney(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err1 := strconv.Atoi(q.Get("from"))
+	to, err2 := strconv.Atoi(q.Get("to"))
+	if err1 != nil || err2 != nil {
+		httpError(w, http.StatusBadRequest, "from and to must be zone indices")
+		return
+	}
+	c := s.engine.City
+	if from < 0 || from >= len(c.Zones) || to < 0 || to >= len(c.Zones) {
+		httpError(w, http.StatusBadRequest, "zone index out of range")
+		return
+	}
+	depart := gtfs.Seconds(8 * 3600)
+	if ds := q.Get("depart"); ds != "" {
+		var err error
+		depart, err = gtfs.ParseSeconds(ds)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad depart time, want HH:MM:SS")
+			return
+		}
+	}
+	j, legs, ok, err := s.engine.Router().RouteDetailed(c.ZoneNode[from], c.ZoneNode[to], depart)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "no journey within the search horizon")
+		return
+	}
+	type legOut struct {
+		Mode   string `json:"mode"`
+		Depart string `json:"depart"`
+		Arrive string `json:"arrive"`
+		Route  string `json:"route,omitempty"`
+		Board  string `json:"board_stop,omitempty"`
+		Alight string `json:"alight_stop,omitempty"`
+	}
+	outLegs := make([]legOut, len(legs))
+	for i, leg := range legs {
+		outLegs[i] = legOut{
+			Mode:   leg.Mode.String(),
+			Depart: leg.Depart.String(),
+			Arrive: leg.Arrive.String(),
+			Route:  string(leg.Route),
+			Board:  string(leg.BoardStop),
+			Alight: string(leg.AlightStop),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"depart":        j.Depart.String(),
+		"arrive":        j.Arrive.String(),
+		"minutes":       j.Duration() / 60,
+		"access_walk_s": j.AccessWalk,
+		"wait_s":        j.Wait,
+		"in_vehicle_s":  j.InVehicle,
+		"egress_walk_s": j.EgressWalk,
+		"boardings":     j.Boardings,
+		"fare_pence":    j.Fare,
+		"walk_only":     j.WalkOnly(),
+		"legs":          outLegs,
+	})
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Category string  `json:"category"`
+	Cost     string  `json:"cost"`
+	Budget   float64 `json:"budget"`
+	Model    string  `json:"model"`
+	Seed     int64   `json:"seed"`
+	// IncludeZones returns the per-zone measures (can be large).
+	IncludeZones bool `json:"include_zones"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	pois := core.POIsOf(s.engine.City, synth.POICategory(req.Category))
+	if len(pois) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown or empty POI category %q", req.Category))
+		return
+	}
+	cost := access.JourneyTime
+	if strings.EqualFold(req.Cost, "GAC") {
+		cost = access.Generalized
+	}
+	if req.Budget == 0 {
+		req.Budget = 0.05
+	}
+	model := core.ModelKind(strings.ToUpper(req.Model))
+	if model == "" {
+		model = core.ModelMLP
+	}
+	res, err := s.engine.Run(core.Query{
+		POIs:   pois,
+		Cost:   cost,
+		Budget: req.Budget,
+		Model:  model,
+		Seed:   req.Seed,
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := map[string]interface{}{
+		"fairness":        res.Fairness,
+		"walk_only_share": res.WalkOnlyShare,
+		"spqs":            res.Timing.SPQs,
+		"elapsed_ms":      res.Timing.Total().Milliseconds(),
+		"matrix_trips":    res.Matrix.Size(),
+		"matrix_full":     res.Matrix.FullSize(),
+		"reduction_pct":   res.Matrix.Reduction(),
+	}
+	if req.IncludeZones {
+		type zoneOut struct {
+			Zone    int     `json:"zone"`
+			MAC     float64 `json:"mac"`
+			ACSD    float64 `json:"acsd"`
+			Class   string  `json:"class"`
+			Labeled bool    `json:"labeled"`
+		}
+		var zones []zoneOut
+		for i := range res.MAC {
+			if !res.Valid[i] {
+				continue
+			}
+			zones = append(zones, zoneOut{
+				Zone: i, MAC: res.MAC[i], ACSD: res.ACSD[i],
+				Class: res.Classes[i].String(), Labeled: res.Labeled[i],
+			})
+		}
+		resp["zones"] = zones
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"accessquery/internal/core"
+	"accessquery/internal/gtfs"
+	"accessquery/internal/synth"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	city, err := synth.Generate(synth.Scaled(synth.Coventry(), 0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(city, core.EngineOptions{
+		Interval: gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{engine: engine}
+}
+
+func TestHandleHealth(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleHealth(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("body %v", body)
+	}
+}
+
+func TestHandleCity(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleCity(rec, httptest.NewRequest(http.MethodGet, "/city", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body map[string]interface{}
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["zones"].(float64) != float64(len(s.engine.City.Zones)) {
+		t.Errorf("zones = %v", body["zones"])
+	}
+	if body["stops"].(float64) <= 0 {
+		t.Error("no stops reported")
+	}
+}
+
+func TestHandleZones(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleZones(rec, httptest.NewRequest(http.MethodGet, "/zones", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var zones []synth.Zone
+	if err := json.NewDecoder(rec.Body).Decode(&zones); err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) != len(s.engine.City.Zones) {
+		t.Errorf("got %d zones", len(zones))
+	}
+}
+
+func TestHandleJourney(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleJourney(rec, httptest.NewRequest(http.MethodGet, "/journey?from=0&to=5&depart=08:00:00", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var body map[string]interface{}
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["minutes"].(float64) < 0 {
+		t.Errorf("negative journey: %v", body)
+	}
+	legs, ok := body["legs"].([]interface{})
+	if !ok {
+		t.Fatalf("legs missing: %v", body)
+	}
+	for _, l := range legs {
+		leg := l.(map[string]interface{})
+		if leg["mode"] != "walk" && leg["mode"] != "ride" {
+			t.Errorf("bad leg mode %v", leg["mode"])
+		}
+	}
+}
+
+func TestHandleJourneyErrors(t *testing.T) {
+	s := testServer(t)
+	cases := []string{
+		"/journey?from=abc&to=1",
+		"/journey?from=0&to=999999",
+		"/journey?from=0&to=1&depart=notatime",
+	}
+	for _, url := range cases {
+		rec := httptest.NewRecorder()
+		s.handleJourney(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, rec.Code)
+		}
+	}
+}
+
+func TestHandleQuery(t *testing.T) {
+	s := testServer(t)
+	body := `{"category": "school", "cost": "JT", "budget": 0.2, "model": "OLS", "include_zones": true}`
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+	s.handleQuery(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp map[string]interface{}
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["fairness"].(float64) <= 0 {
+		t.Errorf("fairness = %v", resp["fairness"])
+	}
+	if resp["spqs"].(float64) <= 0 {
+		t.Errorf("spqs = %v", resp["spqs"])
+	}
+	zones, ok := resp["zones"].([]interface{})
+	if !ok || len(zones) == 0 {
+		t.Error("include_zones did not return zones")
+	}
+}
+
+func TestHandleQueryErrors(t *testing.T) {
+	s := testServer(t)
+	// GET not allowed.
+	rec := httptest.NewRecorder()
+	s.handleQuery(rec, httptest.NewRequest(http.MethodGet, "/query", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d", rec.Code)
+	}
+	// Bad JSON.
+	rec = httptest.NewRecorder()
+	s.handleQuery(rec, httptest.NewRequest(http.MethodPost, "/query", strings.NewReader("{")))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad JSON status %d", rec.Code)
+	}
+	// Unknown category.
+	rec = httptest.NewRecorder()
+	s.handleQuery(rec, httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"category": "casinos"}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown category status %d", rec.Code)
+	}
+	// Bad budget.
+	rec = httptest.NewRecorder()
+	s.handleQuery(rec, httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"category": "school", "budget": 7}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad budget status %d", rec.Code)
+	}
+}

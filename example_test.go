@@ -1,0 +1,66 @@
+package accessquery_test
+
+import (
+	"fmt"
+
+	"accessquery"
+)
+
+// ExampleJainIndex shows the fairness index on an equal and an unequal
+// distribution.
+func ExampleJainIndex() {
+	equal := accessquery.JainIndex([]float64{10, 10, 10, 10})
+	unequal := accessquery.JainIndex([]float64{40, 0, 0, 0})
+	fmt.Printf("%.2f %.2f\n", equal, unequal)
+	// Output: 1.00 0.25
+}
+
+// ExampleWeekdayAMPeak shows the evaluated time interval.
+func ExampleWeekdayAMPeak() {
+	v := accessquery.WeekdayAMPeak()
+	fmt.Println(v.Start, v.End, v.Label)
+	// Output: 07:00:00 09:00:00 weekday AM peak
+}
+
+// ExampleGenerateCity builds a small deterministic city.
+func ExampleGenerateCity() {
+	city, err := accessquery.GenerateCity(
+		accessquery.ScaledConfig(accessquery.CoventryConfig(), 0.05))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(len(city.Zones) > 0, len(city.Feed.Trips) > 0)
+	// Output: true true
+}
+
+// Example shows the full query pipeline. Output values depend on the
+// model fit, so only the shape is asserted.
+func Example() {
+	city, err := accessquery.GenerateCity(
+		accessquery.ScaledConfig(accessquery.CoventryConfig(), 0.08))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	engine, err := accessquery.NewEngine(city, accessquery.EngineOptions{
+		Interval: accessquery.WeekdayAMPeak(),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := engine.Run(accessquery.Query{
+		POIs:   accessquery.POIsOf(city, accessquery.POIHospital),
+		Cost:   accessquery.CostJourneyTime,
+		Budget: 0.2,
+		Model:  accessquery.ModelOLS,
+		Seed:   1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Fairness > 0, res.Timing.SPQs > 0, res.Matrix.Reduction() >= 0)
+	// Output: true true true
+}

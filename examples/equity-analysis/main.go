@@ -1,0 +1,114 @@
+// Equity analysis: answer the paper's motivating question 3 — which
+// geographic areas are most at risk? Classify every zone's access to job
+// centers, find "access deserts" (worst class + high vulnerability), and
+// compare fairness across demographic weightings.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"accessquery"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	city, err := accessquery.GenerateCity(
+		accessquery.ScaledConfig(accessquery.CoventryConfig(), 0.2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := accessquery.NewEngine(city, accessquery.EngineOptions{
+		Interval: accessquery.WeekdayAMPeak(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := engine.Run(accessquery.Query{
+		POIs:   accessquery.POIsOf(city, accessquery.POIJobCenter),
+		Cost:   accessquery.CostGeneralized,
+		Budget: 0.10,
+		Model:  accessquery.ModelMLP,
+		Seed:   3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Class distribution.
+	counts := map[accessquery.Class]int{}
+	for i := range res.Classes {
+		if res.Valid[i] {
+			counts[res.Classes[i]]++
+		}
+	}
+	fmt.Printf("%s: job-center accessibility classes\n", city.Name)
+	for _, c := range []accessquery.Class{
+		accessquery.ClassBest, accessquery.ClassMostlyGood,
+		accessquery.ClassMostlyBad, accessquery.ClassWorst,
+	} {
+		fmt.Printf("  %-12s %4d zones\n", c, counts[c])
+	}
+
+	// Access deserts: worst-class zones ranked by vulnerable residents.
+	type desert struct {
+		zone       int
+		vulnerable float64
+		macMin     float64
+	}
+	var deserts []desert
+	for i := range res.Classes {
+		if res.Valid[i] && res.Classes[i] == accessquery.ClassWorst {
+			z := city.Zones[i]
+			deserts = append(deserts, desert{
+				zone:       i,
+				vulnerable: z.Vulnerability * float64(z.Population),
+				macMin:     res.MAC[i] / 60,
+			})
+		}
+	}
+	sort.Slice(deserts, func(i, j int) bool {
+		return deserts[i].vulnerable > deserts[j].vulnerable
+	})
+	fmt.Printf("\ntop access deserts (worst class, most vulnerable residents):\n")
+	for i, d := range deserts {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  zone %4d: ~%.0f vulnerable residents, GAC %.0f generalized min\n",
+			d.zone, d.vulnerable, d.macMin)
+	}
+
+	// Fairness under different weightings.
+	var vals, pop, vuln []float64
+	for i := range res.MAC {
+		if !res.Valid[i] {
+			continue
+		}
+		vals = append(vals, res.MAC[i])
+		z := city.Zones[i]
+		pop = append(pop, float64(z.Population))
+		vuln = append(vuln, z.Vulnerability*float64(z.Population))
+	}
+	unweighted := accessquery.JainIndex(vals)
+	byPop, err := accessquery.WeightedJainIndex(vals, pop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byVuln, err := accessquery.WeightedJainIndex(vals, vuln)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfairness of access (Jain's index, 1.0 = perfectly even):\n")
+	fmt.Printf("  unweighted:              %.3f\n", unweighted)
+	fmt.Printf("  population-weighted:     %.3f\n", byPop)
+	fmt.Printf("  vulnerability-weighted:  %.3f\n", byVuln)
+	if byVuln < byPop {
+		fmt.Println("  -> vulnerable residents see a less fair distribution than the population at large")
+	} else {
+		fmt.Println("  -> access is distributed at least as fairly for vulnerable residents")
+	}
+}

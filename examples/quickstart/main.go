@@ -1,0 +1,89 @@
+// Quickstart: generate a small city, run one semi-supervised access query,
+// and print the headline measures.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accessquery"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Build a city. Presets mirror the paper's Birmingham and Coventry;
+	//    scale them down for a laptop-friendly demo.
+	city, err := accessquery.GenerateCity(
+		accessquery.ScaledConfig(accessquery.CoventryConfig(), 0.15))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("city: %s with %d zones, %d bus trips\n",
+		city.Name, len(city.Zones), len(city.Feed.Trips))
+
+	// 2. Pre-process for the weekday AM peak: walking isochrones,
+	//    transit-hop trees, and the multimodal router.
+	engine, err := accessquery.NewEngine(city, accessquery.EngineOptions{
+		Interval: accessquery.WeekdayAMPeak(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline pre-processing took %v\n", engine.PrepDuration)
+
+	// 3. Ask: how accessible are schools, pricing only 5% of zones with
+	//    shortest-path queries and inferring the rest?
+	res, err := engine.Run(accessquery.Query{
+		POIs:   accessquery.POIsOf(city, accessquery.POISchool),
+		Cost:   accessquery.CostJourneyTime,
+		Budget: 0.05,
+		Model:  accessquery.ModelMLP,
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report.
+	fmt.Printf("\ngravity TODAM: %d trips (%.1f%% below the full matrix)\n",
+		res.Matrix.Size(), res.Matrix.Reduction())
+	fmt.Printf("SPQs priced: %d, end-to-end time: %v\n",
+		res.Timing.SPQs, res.Timing.Total())
+	var labeled, inferred int
+	var sum float64
+	var n int
+	for i := range res.MAC {
+		if !res.Valid[i] {
+			continue
+		}
+		if res.Labeled[i] {
+			labeled++
+		} else {
+			inferred++
+		}
+		sum += res.MAC[i]
+		n++
+	}
+	fmt.Printf("zones: %d labeled, %d inferred\n", labeled, inferred)
+	fmt.Printf("citywide mean journey time to school: %.1f minutes\n", sum/float64(n)/60)
+	fmt.Printf("fairness (Jain's index over MAC): %.3f\n", res.Fairness)
+
+	// 5. Show the best and worst zones.
+	best, worst := -1, -1
+	for i := range res.MAC {
+		if !res.Valid[i] {
+			continue
+		}
+		if best < 0 || res.MAC[i] < res.MAC[best] {
+			best = i
+		}
+		if worst < 0 || res.MAC[i] > res.MAC[worst] {
+			worst = i
+		}
+	}
+	fmt.Printf("best-served zone %d: %.1f min (%s)\n",
+		best, res.MAC[best]/60, res.Classes[best])
+	fmt.Printf("worst-served zone %d: %.1f min (%s)\n",
+		worst, res.MAC[worst]/60, res.Classes[worst])
+}

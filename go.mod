@@ -1,0 +1,3 @@
+module accessquery
+
+go 1.22

@@ -1,0 +1,314 @@
+// Package access implements the paper's accessibility measures over a
+// populated TODAM (Section III-D): the mean access cost (MAC), the access
+// cost standard deviation (ACSD), the four-class accessibility
+// classification, and the Jain fairness index — plus the labeling driver
+// that prices a zone's sampled trips with multimodal shortest-path queries.
+package access
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"accessquery/internal/graph"
+	"accessquery/internal/gtfs"
+	"accessquery/internal/router"
+	"accessquery/internal/todam"
+)
+
+// CostKind selects which access cost c(o, d, t) is measured.
+type CostKind int
+
+// The two access costs evaluated in the paper.
+const (
+	// JourneyTime is JT: arrival time minus start time, in seconds.
+	JourneyTime CostKind = iota
+	// Generalized is GAC: the DfT generalized cost of Eq. 1, in
+	// generalized seconds.
+	Generalized
+)
+
+// String implements fmt.Stringer.
+func (k CostKind) String() string {
+	if k == JourneyTime {
+		return "JT"
+	}
+	return "GAC"
+}
+
+// ZoneMeasure is the zone-level aggregate of access costs: the target the
+// SSR models learn.
+type ZoneMeasure struct {
+	Zone int
+	// MAC is the mean access cost over the zone's sampled trips.
+	MAC float64
+	// ACSD is the standard deviation of those costs.
+	ACSD float64
+	// Trips is the number of priced trips.
+	Trips int
+	// WalkOnlyShare is the fraction of trips that used no transit, the
+	// driver of the low-budget ACSD difficulty the paper discusses.
+	WalkOnlyShare float64
+}
+
+// Class is the four-way accessibility classification from the paper.
+type Class int
+
+// Classification values. Low means below average, high above average.
+const (
+	// ClassBest: low MAC, low ACSD.
+	ClassBest Class = iota
+	// ClassMostlyGood: low MAC, high ACSD.
+	ClassMostlyGood
+	// ClassMostlyBad: high MAC, high ACSD.
+	ClassMostlyBad
+	// ClassWorst: high MAC, low ACSD.
+	ClassWorst
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassBest:
+		return "best"
+	case ClassMostlyGood:
+		return "mostly good"
+	case ClassMostlyBad:
+		return "mostly bad"
+	default:
+		return "worst"
+	}
+}
+
+// Classify assigns each zone a class by comparing its MAC and ACSD to the
+// across-zone means, per the paper's rule set.
+func Classify(mac, acsd []float64) ([]Class, error) {
+	if len(mac) != len(acsd) {
+		return nil, fmt.Errorf("access: %d MAC values but %d ACSD values", len(mac), len(acsd))
+	}
+	if len(mac) == 0 {
+		return nil, nil
+	}
+	meanMAC := mean(mac)
+	meanACSD := mean(acsd)
+	out := make([]Class, len(mac))
+	for i := range mac {
+		lowMAC := mac[i] <= meanMAC
+		lowACSD := acsd[i] <= meanACSD
+		switch {
+		case lowMAC && lowACSD:
+			out[i] = ClassBest
+		case lowMAC && !lowACSD:
+			out[i] = ClassMostlyGood
+		case !lowMAC && !lowACSD:
+			out[i] = ClassMostlyBad
+		default:
+			out[i] = ClassWorst
+		}
+	}
+	return out, nil
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// JainIndex returns Jain's fairness index over the values:
+// (Σx)² / (n·Σx²). It is 1 when all values are equal and approaches 1/n
+// under maximal unfairness. Zero-length or all-zero input returns 0.
+func JainIndex(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, v := range values {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(values)) * sumSq)
+}
+
+// WeightedJainIndex weights each value's contribution (e.g. by zone
+// population or a vulnerable-group share) by repeating it with weight w_i:
+// ((Σwx)²)/(Σw · Σw x²). Weights must be non-negative and not all zero.
+func WeightedJainIndex(values, weights []float64) (float64, error) {
+	if len(values) != len(weights) {
+		return 0, fmt.Errorf("access: %d values but %d weights", len(values), len(weights))
+	}
+	var wsum, wx, wxx float64
+	for i, v := range values {
+		w := weights[i]
+		if w < 0 {
+			return 0, fmt.Errorf("access: negative weight at %d", i)
+		}
+		wsum += w
+		wx += w * v
+		wxx += w * v * v
+	}
+	if wsum == 0 || wxx == 0 {
+		return 0, fmt.Errorf("access: weights or values all zero")
+	}
+	return wx * wx / (wsum * wxx), nil
+}
+
+// Labeler prices TODAM trips using the multimodal router — the expensive
+// SPQ step that semi-supervised regression avoids for most zones.
+type Labeler struct {
+	Router *router.Router
+	Matrix *todam.Matrix
+	// ZoneNode welds zone index to road node.
+	ZoneNode []graph.NodeID
+	// POINode welds POI index (within the matrix's POI set) to road node.
+	POINode []graph.NodeID
+	// Cost selects JT or GAC.
+	Cost CostKind
+	// Params prices GAC journeys.
+	Params router.CostParams
+	// SPQs counts shortest-path-query-equivalents performed (one per priced
+	// trip), for the Table II accounting.
+	SPQs int64
+}
+
+// LabelZone prices every sampled trip of the zone and aggregates to the
+// zone level. Trips whose destination is unreachable are skipped; a zone
+// with no reachable trips reports ok=false.
+//
+// The implementation amortizes: trips sharing a start time reuse one
+// one-to-many profile, so the per-zone cost is bounded by the number of
+// distinct start times rather than the trip count. SPQs still counts every
+// priced trip, matching the paper's workload accounting.
+func (l *Labeler) LabelZone(zone int) (ZoneMeasure, bool, error) {
+	if zone < 0 || zone >= len(l.ZoneNode) {
+		return ZoneMeasure{}, false, fmt.Errorf("access: zone %d out of range", zone)
+	}
+	origin := l.ZoneNode[zone]
+	// Group trips by start time.
+	byStart := make(map[gtfs.Seconds][]todam.Trip)
+	l.Matrix.EachTrip(zone, func(tr todam.Trip) {
+		byStart[tr.Start] = append(byStart[tr.Start], tr)
+	})
+	starts := make([]gtfs.Seconds, 0, len(byStart))
+	for s := range byStart {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	var costs []float64
+	var walkOnly int
+	for _, start := range starts {
+		trips := byStart[start]
+		prof, err := l.Router.ProfileFrom(origin, start)
+		if err != nil {
+			return ZoneMeasure{}, false, fmt.Errorf("access: zone %d: %w", zone, err)
+		}
+		for _, tr := range trips {
+			l.SPQs++
+			if tr.POI < 0 || tr.POI >= len(l.POINode) {
+				continue
+			}
+			j, ok := prof.Journey(l.POINode[tr.POI])
+			if !ok {
+				continue
+			}
+			costs = append(costs, l.price(j))
+			if j.WalkOnly() {
+				walkOnly++
+			}
+		}
+	}
+	if len(costs) == 0 {
+		return ZoneMeasure{Zone: zone}, false, nil
+	}
+	m := ZoneMeasure{
+		Zone:          zone,
+		MAC:           mean(costs),
+		Trips:         len(costs),
+		WalkOnlyShare: float64(walkOnly) / float64(len(costs)),
+	}
+	var varSum float64
+	for _, c := range costs {
+		d := c - m.MAC
+		varSum += d * d
+	}
+	m.ACSD = math.Sqrt(varSum / float64(len(costs)))
+	return m, true, nil
+}
+
+// PairMeasure is the OD-level aggregate of one (zone, POI) pair's trips,
+// used by the OD-granularity learning mode the paper weighs against
+// origin-level aggregation (Section IV-C).
+type PairMeasure struct {
+	POI   int
+	Alpha float64
+	// Mean is the mean access cost over the pair's sampled trips.
+	Mean float64
+	// Trips is the number of priced trips.
+	Trips int
+}
+
+// LabelZonePairs prices a zone's trips like LabelZone but aggregates to
+// the (zone, POI) pair level instead of the zone level.
+func (l *Labeler) LabelZonePairs(zone int) ([]PairMeasure, error) {
+	if zone < 0 || zone >= len(l.ZoneNode) {
+		return nil, fmt.Errorf("access: zone %d out of range", zone)
+	}
+	origin := l.ZoneNode[zone]
+	byStart := make(map[gtfs.Seconds][]todam.Trip)
+	l.Matrix.EachTrip(zone, func(tr todam.Trip) {
+		byStart[tr.Start] = append(byStart[tr.Start], tr)
+	})
+	starts := make([]gtfs.Seconds, 0, len(byStart))
+	for s := range byStart {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	agg := make(map[int]*PairMeasure)
+	for _, start := range starts {
+		prof, err := l.Router.ProfileFrom(origin, start)
+		if err != nil {
+			return nil, fmt.Errorf("access: zone %d: %w", zone, err)
+		}
+		for _, tr := range byStart[start] {
+			l.SPQs++
+			if tr.POI < 0 || tr.POI >= len(l.POINode) {
+				continue
+			}
+			j, ok := prof.Journey(l.POINode[tr.POI])
+			if !ok {
+				continue
+			}
+			pm := agg[tr.POI]
+			if pm == nil {
+				pm = &PairMeasure{POI: tr.POI, Alpha: tr.Alpha}
+				agg[tr.POI] = pm
+			}
+			pm.Mean += l.price(j)
+			pm.Trips++
+		}
+	}
+	out := make([]PairMeasure, 0, len(agg))
+	for _, pm := range agg {
+		if pm.Trips > 0 {
+			pm.Mean /= float64(pm.Trips)
+			out = append(out, *pm)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].POI < out[j].POI })
+	return out, nil
+}
+
+func (l *Labeler) price(j router.Journey) float64 {
+	if l.Cost == JourneyTime {
+		return router.JourneyTime(j)
+	}
+	return l.Params.GeneralizedCost(j)
+}

@@ -1,0 +1,62 @@
+package access
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Gini returns the Gini coefficient of the values in [0, 1]: 0 is perfect
+// equality. Values must be non-negative; the result is 0 for fewer than two
+// values or an all-zero series.
+func Gini(values []float64) (float64, error) {
+	n := len(values)
+	if n < 2 {
+		return 0, nil
+	}
+	sorted := make([]float64, n)
+	copy(sorted, values)
+	for _, v := range sorted {
+		if v < 0 {
+			return 0, fmt.Errorf("access: Gini requires non-negative values, got %f", v)
+		}
+	}
+	sort.Float64s(sorted)
+	var cum, weighted float64
+	for i, v := range sorted {
+		cum += v
+		weighted += float64(i+1) * v
+	}
+	if cum == 0 {
+		return 0, nil
+	}
+	nf := float64(n)
+	return (2*weighted)/(nf*cum) - (nf+1)/nf, nil
+}
+
+// PalmaRatio returns the ratio of the top 10% share to the bottom 40%
+// share of the values — the inequity measure Liu et al. apply to
+// transit-based job access. Higher means the worst-off zones carry a
+// disproportionate share of the access cost. It errors on fewer than ten
+// values (the deciles would be empty) or a zero bottom share.
+func PalmaRatio(values []float64) (float64, error) {
+	n := len(values)
+	if n < 10 {
+		return 0, fmt.Errorf("access: Palma ratio needs at least 10 values, got %d", n)
+	}
+	sorted := make([]float64, n)
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	top := n / 10
+	bottom := 4 * n / 10
+	var topSum, bottomSum float64
+	for _, v := range sorted[n-top:] {
+		topSum += v
+	}
+	for _, v := range sorted[:bottom] {
+		bottomSum += v
+	}
+	if bottomSum == 0 {
+		return 0, fmt.Errorf("access: bottom-40%% share is zero")
+	}
+	return topSum / bottomSum, nil
+}

@@ -1,0 +1,178 @@
+package access
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGiniPerfectEquality(t *testing.T) {
+	g, err := Gini([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g) > 1e-12 {
+		t.Errorf("Gini of equal values = %v, want 0", g)
+	}
+}
+
+func TestGiniMaximalInequality(t *testing.T) {
+	// One holder of everything among n: Gini -> (n-1)/n.
+	vals := make([]float64, 100)
+	vals[0] = 1000
+	g, err := Gini(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-0.99) > 1e-9 {
+		t.Errorf("Gini = %v, want 0.99", g)
+	}
+}
+
+func TestGiniEdgeCases(t *testing.T) {
+	if g, err := Gini(nil); err != nil || g != 0 {
+		t.Errorf("Gini(nil) = %v, %v", g, err)
+	}
+	if g, err := Gini([]float64{7}); err != nil || g != 0 {
+		t.Errorf("Gini(one) = %v, %v", g, err)
+	}
+	if g, err := Gini([]float64{0, 0, 0}); err != nil || g != 0 {
+		t.Errorf("Gini(zeros) = %v, %v", g, err)
+	}
+	if _, err := Gini([]float64{1, -1}); err == nil {
+		t.Error("negative values should fail")
+	}
+}
+
+func TestGiniBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64() * 100
+		}
+		g, err := Gini(vals)
+		if err != nil {
+			return false
+		}
+		return g >= -1e-12 && g <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGiniScaleInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		k := rng.Float64()*10 + 0.1
+		for i := range a {
+			a[i] = rng.Float64() * 50
+			b[i] = a[i] * k
+		}
+		ga, err := Gini(a)
+		if err != nil {
+			return false
+		}
+		gb, err := Gini(b)
+		if err != nil {
+			return false
+		}
+		return math.Abs(ga-gb) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPalmaRatioEqualDistribution(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 10
+	}
+	p, err := PalmaRatio(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top 10% share / bottom 40% share = 10/40 = 0.25 for equal values.
+	if math.Abs(p-0.25) > 1e-9 {
+		t.Errorf("Palma of equal values = %v, want 0.25", p)
+	}
+}
+
+func TestPalmaRatioSkewedDistribution(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 1
+	}
+	// The top decile carries huge values.
+	for i := 90; i < 100; i++ {
+		vals[i] = 100
+	}
+	p, err := PalmaRatio(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 1 {
+		t.Errorf("skewed Palma = %v, want > 1", p)
+	}
+}
+
+func TestPalmaRatioErrors(t *testing.T) {
+	if _, err := PalmaRatio(make([]float64, 5)); err == nil {
+		t.Error("too few values should fail")
+	}
+	zeros := make([]float64, 20)
+	zeros[19] = 5
+	if _, err := PalmaRatio(zeros); err == nil {
+		t.Error("zero bottom share should fail")
+	}
+}
+
+func TestGiniAndJainAgreeOnDirectionProperty(t *testing.T) {
+	// More unequal (by a mean-preserving spread) means higher Gini and
+	// lower Jain.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = 10 + rng.Float64()*5
+		}
+		g1, err := Gini(vals)
+		if err != nil {
+			return false
+		}
+		j1 := JainIndex(vals)
+		// Spread: move mass from a low entry to a high one.
+		lo, hi := 0, 0
+		for i, v := range vals {
+			if v < vals[lo] {
+				lo = i
+			}
+			if v > vals[hi] {
+				hi = i
+			}
+		}
+		if lo == hi {
+			return true
+		}
+		d := vals[lo] / 2
+		vals[lo] -= d
+		vals[hi] += d
+		g2, err := Gini(vals)
+		if err != nil {
+			return false
+		}
+		j2 := JainIndex(vals)
+		return g2 >= g1-1e-12 && j2 <= j1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

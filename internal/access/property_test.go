@@ -1,0 +1,151 @@
+package access
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestJainIndexBoundsProperty: for positive values, Jain's index lies in
+// [1/n, 1].
+func TestJainIndexBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64()*100 + 0.001
+		}
+		j := JainIndex(vals)
+		return j >= 1/float64(n)-1e-12 && j <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJainIndexScaleInvarianceProperty: scaling all values leaves the index
+// unchanged.
+func TestJainIndexScaleInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		vals := make([]float64, n)
+		scaled := make([]float64, n)
+		k := rng.Float64()*10 + 0.1
+		for i := range vals {
+			vals[i] = rng.Float64() * 50
+			scaled[i] = vals[i] * k
+		}
+		return math.Abs(JainIndex(vals)-JainIndex(scaled)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJainEqualizingTransferProperty: moving value from a larger entry to a
+// smaller one (Pigou-Dalton transfer) never decreases fairness.
+func TestJainEqualizingTransferProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64()*100 + 1
+		}
+		before := JainIndex(vals)
+		// Pick the max and min entries and transfer part of the gap.
+		hi, lo := 0, 0
+		for i, v := range vals {
+			if v > vals[hi] {
+				hi = i
+			}
+			if v < vals[lo] {
+				lo = i
+			}
+		}
+		if hi == lo {
+			return true
+		}
+		gap := vals[hi] - vals[lo]
+		transfer := gap * rng.Float64() / 2
+		vals[hi] -= transfer
+		vals[lo] += transfer
+		after := JainIndex(vals)
+		return after >= before-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWeightedJainReducesToUnweightedProperty: unit weights give the plain
+// index.
+func TestWeightedJainReducesToUnweightedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		vals := make([]float64, n)
+		w := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64()*100 + 0.1
+			w[i] = 1
+		}
+		got, err := WeightedJainIndex(vals, w)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-JainIndex(vals)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClassifyPartitionProperty: every zone gets exactly one class, and the
+// class is consistent with the mean comparisons.
+func TestClassifyPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		mac := make([]float64, n)
+		acsd := make([]float64, n)
+		for i := range mac {
+			mac[i] = rng.Float64() * 100
+			acsd[i] = rng.Float64() * 20
+		}
+		classes, err := Classify(mac, acsd)
+		if err != nil || len(classes) != n {
+			return false
+		}
+		var meanMAC, meanACSD float64
+		for i := range mac {
+			meanMAC += mac[i]
+			meanACSD += acsd[i]
+		}
+		meanMAC /= float64(n)
+		meanACSD /= float64(n)
+		for i, c := range classes {
+			lowMAC := mac[i] <= meanMAC
+			lowACSD := acsd[i] <= meanACSD
+			want := ClassWorst
+			switch {
+			case lowMAC && lowACSD:
+				want = ClassBest
+			case lowMAC && !lowACSD:
+				want = ClassMostlyGood
+			case !lowMAC && !lowACSD:
+				want = ClassMostlyBad
+			}
+			if c != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

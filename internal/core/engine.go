@@ -1,0 +1,688 @@
+// Package core implements the paper's end-to-end solution (Fig. 1): offline
+// pre-processing (walking isochrones and transit-hop trees), dynamic
+// construction of the gravity-gated TODAM, budgeted labeling with multimodal
+// shortest-path queries, online feature generation, semi-supervised
+// regression, and inference of the zone-level access measures that answer
+// dynamic access queries.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"accessquery/internal/access"
+	"accessquery/internal/features"
+	"accessquery/internal/geo"
+	"accessquery/internal/graph"
+	"accessquery/internal/gtfs"
+	"accessquery/internal/hoptree"
+	"accessquery/internal/isochrone"
+	"accessquery/internal/mat"
+	"accessquery/internal/ml"
+	"accessquery/internal/router"
+	"accessquery/internal/spatial"
+	"accessquery/internal/synth"
+	"accessquery/internal/todam"
+)
+
+// ModelKind selects the SSR model for a query.
+type ModelKind string
+
+// The models evaluated in the paper.
+const (
+	ModelOLS   ModelKind = "OLS"
+	ModelMLP   ModelKind = "MLP"
+	ModelMT    ModelKind = "MT"
+	ModelCOREG ModelKind = "COREG"
+	ModelGNN   ModelKind = "GNN"
+)
+
+// Extension models beyond the paper's five: kernel ridge regression and
+// Laplacian-regularized least squares (classical manifold-regularization
+// SSR, the family the paper's deep-kernel baseline reference builds on).
+const (
+	ModelKRR    ModelKind = "KRR"
+	ModelLapRLS ModelKind = "LAPRLS"
+)
+
+// AllModels lists the paper's evaluated models in report order.
+var AllModels = []ModelKind{ModelOLS, ModelMT, ModelCOREG, ModelMLP, ModelGNN}
+
+// ExtensionModels lists the additional models this implementation
+// provides.
+var ExtensionModels = []ModelKind{ModelKRR, ModelLapRLS}
+
+// EngineOptions configure offline pre-processing.
+type EngineOptions struct {
+	// Interval is the time interval v the engine serves (e.g. weekday AM
+	// peak).
+	Interval gtfs.Interval
+	// TauSeconds is the acceptable walk time for isochrones; default 600.
+	TauSeconds float64
+	// Hops is the transit-hop chaining depth h; default 2.
+	Hops int
+	// RouterOptions tune the labeling SPQs.
+	RouterOptions router.Options
+}
+
+// Engine holds the pre-processed structures for one city and time interval.
+type Engine struct {
+	City     *synth.City
+	Interval gtfs.Interval
+
+	zonePts   []geo.Point
+	isos      *isochrone.Set
+	forest    *hoptree.Forest
+	extractor *features.Extractor
+	router    *router.Router
+
+	// PrepDuration records offline pre-processing time (not part of the
+	// online query cost in Table II).
+	PrepDuration time.Duration
+
+	adjCache *ml.SparseAdj
+}
+
+// NewEngine runs the offline phase over a city: welding checks, walking
+// isochrones for every zone, transit-hop forest generation, and router
+// construction.
+func NewEngine(city *synth.City, opts EngineOptions) (*Engine, error) {
+	if city == nil {
+		return nil, fmt.Errorf("core: nil city")
+	}
+	if opts.Interval.End <= opts.Interval.Start {
+		return nil, fmt.Errorf("core: empty interval")
+	}
+	tau := opts.TauSeconds
+	if tau <= 0 {
+		tau = isochrone.DefaultTauSeconds
+	}
+	hops := opts.Hops
+	if hops <= 0 {
+		hops = 2
+	}
+	start := time.Now()
+	zonePts := make([]geo.Point, len(city.Zones))
+	nodes := make([]graph.NodeID, len(city.Zones))
+	for i, z := range city.Zones {
+		zonePts[i] = z.Centroid
+		nodes[i] = city.ZoneNode[i]
+	}
+	isos, err := isochrone.ComputeSet(city.Road, zonePts, nodes, tau)
+	if err != nil {
+		return nil, fmt.Errorf("core: isochrones: %w", err)
+	}
+	builder, err := hoptree.NewBuilder(city.Feed, opts.Interval, zonePts, isos)
+	if err != nil {
+		return nil, fmt.Errorf("core: hop trees: %w", err)
+	}
+	forest, err := hoptree.BuildForest(builder)
+	if err != nil {
+		return nil, fmt.Errorf("core: hop trees: %w", err)
+	}
+	extractor, err := features.NewExtractor(forest, zonePts, isos, hops)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	ix := gtfs.NewIndex(city.Feed, opts.Interval.Day)
+	rt, err := router.New(city.Road, ix, city.StopNode, opts.RouterOptions)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Engine{
+		City:         city,
+		Interval:     opts.Interval,
+		zonePts:      zonePts,
+		isos:         isos,
+		forest:       forest,
+		extractor:    extractor,
+		router:       rt,
+		PrepDuration: time.Since(start),
+	}, nil
+}
+
+// zonePointsOf extracts zone centroids in index order.
+func zonePointsOf(city *synth.City) []geo.Point {
+	pts := make([]geo.Point, len(city.Zones))
+	for i, z := range city.Zones {
+		pts[i] = z.Centroid
+	}
+	return pts
+}
+
+// Forest exposes the transit-hop forest (for persistence and inspection).
+func (e *Engine) Forest() *hoptree.Forest { return e.forest }
+
+// Router exposes the multimodal router (for example applications that need
+// raw journeys).
+func (e *Engine) Router() *router.Router { return e.router }
+
+// Query describes one dynamic access query.
+type Query struct {
+	// POIs are the destination points. Use POIsOf to pull a category from
+	// the city.
+	POIs []geo.Point
+	// Cost is JT or GAC.
+	Cost access.CostKind
+	// CostParams price GAC journeys; zero value means defaults.
+	CostParams router.CostParams
+	// Budget is the labeling budget β in (0, 1].
+	Budget float64
+	// Model selects the SSR model.
+	Model ModelKind
+	// SamplesPerHour sets the TODAM start-time rate; default 30 (|R|=60
+	// over a 2-hour interval, as in the paper's Table I).
+	SamplesPerHour int
+	// Attractiveness configures the gravity gate; zero value means
+	// defaults.
+	Attractiveness todam.Attractiveness
+	// Sampling selects how the labeled set is drawn; default SampleRandom
+	// (the paper's method). Coverage and stratified sampling implement the
+	// active-learning direction the paper's conclusion points to.
+	Sampling SamplingStrategy
+	// Workers parallelizes labeling across goroutines; 0 or 1 labels
+	// serially. Results are identical regardless of worker count.
+	Workers int
+	// Seed drives sampling and model initialization.
+	Seed int64
+}
+
+// POIsOf extracts a category's POI points from the city.
+func POIsOf(city *synth.City, cat synth.POICategory) []geo.Point {
+	pois := city.POIs[cat]
+	out := make([]geo.Point, len(pois))
+	for i, p := range pois {
+		out[i] = p.Point
+	}
+	return out
+}
+
+func (q Query) withDefaults() Query {
+	if q.SamplesPerHour <= 0 {
+		q.SamplesPerHour = 30
+	}
+	if q.Attractiveness.DecayMeters <= 0 {
+		q.Attractiveness = todam.DefaultAttractiveness()
+	}
+	if q.CostParams == (router.CostParams{}) {
+		q.CostParams = router.DefaultCostParams()
+	}
+	if q.Model == "" {
+		q.Model = ModelMLP
+	}
+	return q
+}
+
+// Timing decomposes a query's online cost, the quantities Table II
+// compares.
+type Timing struct {
+	Matrix   time.Duration
+	Features time.Duration
+	Labeling time.Duration
+	Training time.Duration
+	// SPQs counts priced trips (shortest-path-query equivalents).
+	SPQs int64
+}
+
+// Total returns the end-to-end online time.
+func (t Timing) Total() time.Duration {
+	return t.Matrix + t.Features + t.Labeling + t.Training
+}
+
+// Result is the answer to an access query: per-zone measures, with
+// Labeled marking zones priced by SPQs (ground truth) versus inferred.
+type Result struct {
+	MAC     []float64
+	ACSD    []float64
+	Valid   []bool
+	Labeled []bool
+	// WalkOnlyShare is the labeled-trips share that used no transit.
+	WalkOnlyShare float64
+	Classes       []access.Class
+	// Fairness is Jain's index over valid zones' MAC.
+	Fairness float64
+	Timing   Timing
+	Matrix   *todam.Matrix
+}
+
+// Run answers a dynamic access query with semi-supervised regression.
+func (e *Engine) Run(q Query) (*Result, error) {
+	q = q.withDefaults()
+	if len(q.POIs) == 0 {
+		return nil, fmt.Errorf("core: query has no POIs")
+	}
+	if q.Budget <= 0 || q.Budget > 1 {
+		return nil, fmt.Errorf("core: budget %f outside (0, 1]", q.Budget)
+	}
+	nz := len(e.zonePts)
+	res := &Result{
+		MAC:     make([]float64, nz),
+		ACSD:    make([]float64, nz),
+		Valid:   make([]bool, nz),
+		Labeled: make([]bool, nz),
+	}
+
+	// 1. Gravity TODAM.
+	t0 := time.Now()
+	m, poiNodes, poiZones, err := e.buildMatrix(q)
+	if err != nil {
+		return nil, err
+	}
+	res.Matrix = m
+	res.Timing.Matrix = time.Since(t0)
+
+	// 2. Sample L by budget and strategy.
+	nl := int(float64(nz)*q.Budget + 0.5)
+	if nl < 2 {
+		nl = 2
+	}
+	if nl > nz {
+		nl = nz
+	}
+	labeledSet, err := sampleZones(q.Sampling, e.zonePts, nl, q.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Label L.
+	t0 = time.Now()
+	measures, spqs, err := e.labelZones(q, m, poiNodes, labeledSet)
+	if err != nil {
+		return nil, err
+	}
+	var xRows, yRows [][]float64
+	var walkShareSum float64
+	var labeledOK []int
+	for i, zone := range labeledSet {
+		zm := measures[i]
+		if zm == nil {
+			continue
+		}
+		res.MAC[zone] = zm.MAC
+		res.ACSD[zone] = zm.ACSD
+		res.Valid[zone] = true
+		res.Labeled[zone] = true
+		walkShareSum += zm.WalkOnlyShare
+		labeledOK = append(labeledOK, zone)
+		yRows = append(yRows, []float64{zm.MAC, zm.ACSD})
+	}
+	res.Timing.Labeling = time.Since(t0)
+	res.Timing.SPQs = spqs
+	if len(labeledOK) < 2 {
+		return nil, fmt.Errorf("core: only %d labelable zones at budget %.3f; raise the budget", len(labeledOK), q.Budget)
+	}
+	res.WalkOnlyShare = walkShareSum / float64(len(labeledOK))
+
+	// 4. Features for every zone at the origin level.
+	t0 = time.Now()
+	isLabeled := make([]bool, nz)
+	for _, z := range labeledOK {
+		isLabeled[z] = true
+	}
+	var unlabeled []int
+	var xuRows [][]float64
+	for zone := 0; zone < nz; zone++ {
+		v, err := e.extractor.OriginVector(zone, m.Row(zone), q.POIs, poiZones)
+		if err != nil {
+			return nil, err
+		}
+		if isLabeled[zone] {
+			xRows = append(xRows, v)
+		} else {
+			unlabeled = append(unlabeled, zone)
+			xuRows = append(xuRows, v)
+		}
+	}
+	res.Timing.Features = time.Since(t0)
+
+	// 5. Train and infer.
+	t0 = time.Now()
+	preds, err := e.trainPredict(q, labeledOK, unlabeled, xRows, yRows, xuRows)
+	if err != nil {
+		return nil, err
+	}
+	for r, zone := range unlabeled {
+		mac := preds.At(r, 0)
+		acsd := preds.At(r, 1)
+		if mac < 0 {
+			mac = 0
+		}
+		if acsd < 0 {
+			acsd = 0
+		}
+		res.MAC[zone] = mac
+		res.ACSD[zone] = acsd
+		res.Valid[zone] = true
+	}
+	res.Timing.Training = time.Since(t0)
+
+	e.finishMeasures(res)
+	return res, nil
+}
+
+// labelZones prices the given zones, optionally in parallel, returning one
+// measure per zone (nil where the zone had no reachable trips) and the
+// total SPQ count. Output is deterministic regardless of worker count.
+func (e *Engine) labelZones(q Query, m *todam.Matrix, poiNodes []graph.NodeID, zones []int) ([]*access.ZoneMeasure, int64, error) {
+	workers := q.Workers
+	if workers <= 1 {
+		labeler := &access.Labeler{
+			Router: e.router, Matrix: m, ZoneNode: e.City.ZoneNode,
+			POINode: poiNodes, Cost: q.Cost, Params: q.CostParams,
+		}
+		out := make([]*access.ZoneMeasure, len(zones))
+		for i, zone := range zones {
+			zm, ok, err := labeler.LabelZone(zone)
+			if err != nil {
+				return nil, 0, err
+			}
+			if ok {
+				measure := zm
+				out[i] = &measure
+			}
+		}
+		return out, labeler.SPQs, nil
+	}
+	out := make([]*access.ZoneMeasure, len(zones))
+	jobs := make(chan int)
+	errs := make(chan error, workers)
+	var spqs int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			labeler := &access.Labeler{
+				Router: e.router, Matrix: m, ZoneNode: e.City.ZoneNode,
+				POINode: poiNodes, Cost: q.Cost, Params: q.CostParams,
+			}
+			for i := range jobs {
+				zm, ok, err := labeler.LabelZone(zones[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ok {
+					measure := zm
+					out[i] = &measure
+				}
+			}
+			mu.Lock()
+			spqs += labeler.SPQs
+			mu.Unlock()
+		}()
+	}
+	for i := range zones {
+		select {
+		case err := <-errs:
+			close(jobs)
+			wg.Wait()
+			return nil, 0, err
+		case jobs <- i:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, 0, err
+	default:
+	}
+	return out, spqs, nil
+}
+
+// trainPredict standardizes, fits the selected model, and returns
+// de-standardized predictions for the unlabeled zones.
+func (e *Engine) trainPredict(q Query, labeled, unlabeled []int, xRows, yRows, xuRows [][]float64) (*mat.Dense, error) {
+	x, err := mat.FromRows(xRows)
+	if err != nil {
+		return nil, err
+	}
+	y, err := mat.FromRows(yRows)
+	if err != nil {
+		return nil, err
+	}
+	xu, err := mat.FromRows(xuRows)
+	if err != nil {
+		return nil, err
+	}
+	if xu.Rows() == 0 {
+		return mat.New(0, y.Cols()), nil
+	}
+	// Standardize features with statistics over L ∪ U: features exist for
+	// every zone, and using only the labeled subset can leave a column
+	// degenerate there (zero variance) while it varies wildly across the
+	// unlabeled zones, exploding predictions.
+	stacked, err := mat.FromRows(append(append([][]float64{}, xRows...), xuRows...))
+	if err != nil {
+		return nil, err
+	}
+	fm, fs := mat.ColumnStats(stacked)
+	xs, err := mat.Standardize(x, fm, fs)
+	if err != nil {
+		return nil, err
+	}
+	xus, err := mat.Standardize(xu, fm, fs)
+	if err != nil {
+		return nil, err
+	}
+	tm, ts := mat.ColumnStats(y)
+	ys, err := mat.Standardize(y, tm, ts)
+	if err != nil {
+		return nil, err
+	}
+	model, err := e.newModel(q, labeled, unlabeled)
+	if err != nil {
+		return nil, err
+	}
+	if err := model.Fit(xs, ys, xus); err != nil {
+		return nil, fmt.Errorf("core: fitting %s: %w", q.Model, err)
+	}
+	preds, err := model.Predict(xus)
+	if err != nil {
+		return nil, fmt.Errorf("core: predicting with %s: %w", q.Model, err)
+	}
+	// De-standardize targets.
+	out := mat.New(preds.Rows(), preds.Cols())
+	for i := 0; i < preds.Rows(); i++ {
+		for j := 0; j < preds.Cols(); j++ {
+			out.Set(i, j, preds.At(i, j)*ts[j]+tm[j])
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) newModel(q Query, labeled, unlabeled []int) (ml.Model, error) {
+	switch q.Model {
+	case ModelOLS:
+		return ml.NewOLS(), nil
+	case ModelMLP:
+		return ml.NewMLP(q.Seed), nil
+	case ModelMT:
+		return ml.NewMeanTeacher(q.Seed), nil
+	case ModelCOREG:
+		return ml.NewCOREG(q.Seed), nil
+	case ModelKRR:
+		return ml.NewKRR(), nil
+	case ModelLapRLS:
+		return ml.NewLapRLS(), nil
+	case ModelGNN:
+		adj, err := e.adjacency()
+		if err != nil {
+			return nil, err
+		}
+		g := ml.NewGNN(q.Seed)
+		g.SetGraph(adj, labeled, unlabeled)
+		return g, nil
+	default:
+		return nil, fmt.Errorf("core: unknown model %q", q.Model)
+	}
+}
+
+// adjacency lazily builds the Gaussian-thresholded zone adjacency the GNN
+// uses.
+func (e *Engine) adjacency() (*ml.SparseAdj, error) {
+	if e.adjCache != nil {
+		return e.adjCache, nil
+	}
+	adj, err := ml.NewGaussianAdjacency(e.zonePts, 1200, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	e.adjCache = adj
+	return adj, nil
+}
+
+// finishMeasures computes classes and fairness over valid zones.
+func (e *Engine) finishMeasures(res *Result) {
+	var mac, acsd []float64
+	var idx []int
+	for i, ok := range res.Valid {
+		if ok {
+			mac = append(mac, res.MAC[i])
+			acsd = append(acsd, res.ACSD[i])
+			idx = append(idx, i)
+		}
+	}
+	res.Classes = make([]access.Class, len(res.MAC))
+	classes, err := access.Classify(mac, acsd)
+	if err == nil {
+		for k, i := range idx {
+			res.Classes[i] = classes[k]
+		}
+	}
+	res.Fairness = access.JainIndex(mac)
+}
+
+// GroundTruth labels every zone — the naive full-TODAM approach — and is
+// both the Table II baseline and the evaluation reference for Figs. 3-4.
+func (e *Engine) GroundTruth(q Query) (*Result, error) {
+	q = q.withDefaults()
+	if len(q.POIs) == 0 {
+		return nil, fmt.Errorf("core: query has no POIs")
+	}
+	nz := len(e.zonePts)
+	res := &Result{
+		MAC:     make([]float64, nz),
+		ACSD:    make([]float64, nz),
+		Valid:   make([]bool, nz),
+		Labeled: make([]bool, nz),
+	}
+	t0 := time.Now()
+	m, poiNodes, _, err := e.buildMatrix(q)
+	if err != nil {
+		return nil, err
+	}
+	res.Matrix = m
+	res.Timing.Matrix = time.Since(t0)
+	t0 = time.Now()
+	all := make([]int, nz)
+	for i := range all {
+		all[i] = i
+	}
+	measures, spqs, err := e.labelZones(q, m, poiNodes, all)
+	if err != nil {
+		return nil, err
+	}
+	var walkShareSum float64
+	var okCount int
+	for zone, zm := range measures {
+		if zm == nil {
+			continue
+		}
+		res.MAC[zone] = zm.MAC
+		res.ACSD[zone] = zm.ACSD
+		res.Valid[zone] = true
+		res.Labeled[zone] = true
+		walkShareSum += zm.WalkOnlyShare
+		okCount++
+	}
+	res.Timing.Labeling = time.Since(t0)
+	res.Timing.SPQs = spqs
+	if okCount > 0 {
+		res.WalkOnlyShare = walkShareSum / float64(okCount)
+	}
+	e.finishMeasures(res)
+	return res, nil
+}
+
+// FeatureCosts measures feature-generation time at the two aggregation
+// granularities the paper weighs (Section IV-C): origin-level (one
+// α-weighted vector per zone, the production path) versus OD-level (one
+// vector per pair with positive attractiveness). It returns both durations
+// and the OD row count.
+func (e *Engine) FeatureCosts(q Query) (originLevel, odLevel time.Duration, odRows int, err error) {
+	q = q.withDefaults()
+	if len(q.POIs) == 0 {
+		return 0, 0, 0, fmt.Errorf("core: query has no POIs")
+	}
+	m, _, poiZones, err := e.buildMatrix(q)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	t0 := time.Now()
+	for zone := 0; zone < len(e.zonePts); zone++ {
+		if _, err := e.extractor.OriginVector(zone, m.Row(zone), q.POIs, poiZones); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	originLevel = time.Since(t0)
+	t0 = time.Now()
+	for zone := 0; zone < len(e.zonePts); zone++ {
+		for _, pt := range m.Row(zone) {
+			if _, err := e.extractor.PairVector(zone, q.POIs[pt.POI], poiZones[pt.POI]); err != nil {
+				return 0, 0, 0, err
+			}
+			odRows++
+		}
+	}
+	odLevel = time.Since(t0)
+	return originLevel, odLevel, odRows, nil
+}
+
+// buildMatrix constructs the gravity TODAM for a query plus the POI weld
+// and zone association arrays.
+func (e *Engine) buildMatrix(q Query) (*todam.Matrix, []graph.NodeID, []int, error) {
+	spec := todam.Spec{
+		ZonePts:        e.zonePts,
+		POIPts:         q.POIs,
+		Interval:       e.Interval,
+		SamplesPerHour: q.SamplesPerHour,
+		Attractiveness: q.Attractiveness,
+		Seed:           q.Seed,
+	}
+	m, err := todam.Build(spec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Weld POIs to road nodes and associate them with zones.
+	nodes := make([]graph.NodeID, len(q.POIs))
+	zones := make([]int, len(q.POIs))
+	items := make([]spatial.Item, len(e.zonePts))
+	for i, p := range e.zonePts {
+		items[i] = spatial.Item{ID: i, Point: p}
+	}
+	zoneTree := spatial.NewKDTree(items)
+	roadItems := make([]spatial.Item, e.City.Road.NumNodes())
+	for i := range roadItems {
+		roadItems[i] = spatial.Item{ID: i, Point: e.City.Road.Point(graph.NodeID(i))}
+	}
+	roadTree := spatial.NewKDTree(roadItems)
+	for j, p := range q.POIs {
+		if nb, ok := roadTree.Nearest(p); ok {
+			nodes[j] = graph.NodeID(nb.Item.ID)
+		} else {
+			nodes[j] = graph.InvalidNode
+		}
+		if nb, ok := zoneTree.Nearest(p); ok {
+			zones[j] = nb.Item.ID
+		}
+	}
+	return m, nodes, zones, nil
+}
+
+// Isochrones exposes the per-zone walking isochrones (for inspection and
+// diagnostics).
+func (e *Engine) Isochrones() *isochrone.Set { return e.isos }

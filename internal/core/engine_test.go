@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"accessquery/internal/access"
+	"accessquery/internal/gtfs"
+	"accessquery/internal/metrics"
+	"accessquery/internal/synth"
+)
+
+// testEngine builds one engine over a small city, shared across tests.
+var sharedEngine *Engine
+
+func engine(t testing.TB) *Engine {
+	if sharedEngine != nil {
+		return sharedEngine
+	}
+	c, err := synth.Generate(synth.Scaled(synth.Coventry(), 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(c, EngineOptions{
+		Interval: gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday, Label: "AM peak"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedEngine = e
+	return e
+}
+
+func vaxQuery(e *Engine, model ModelKind, budget float64) Query {
+	return Query{
+		POIs:           POIsOf(e.City, synth.POIVaxCenter),
+		Cost:           access.JourneyTime,
+		Budget:         budget,
+		Model:          model,
+		SamplesPerHour: 10,
+		Seed:           99,
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil, EngineOptions{}); err == nil {
+		t.Error("nil city should fail")
+	}
+	c, err := synth.Generate(synth.Scaled(synth.Coventry(), 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(c, EngineOptions{}); err == nil {
+		t.Error("empty interval should fail")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	e := engine(t)
+	if _, err := e.Run(Query{Budget: 0.1}); err == nil {
+		t.Error("no POIs should fail")
+	}
+	q := vaxQuery(e, ModelOLS, 0)
+	if _, err := e.Run(q); err == nil {
+		t.Error("zero budget should fail")
+	}
+	q.Budget = 1.5
+	if _, err := e.Run(q); err == nil {
+		t.Error("budget > 1 should fail")
+	}
+	q.Budget = 0.2
+	q.Model = "bogus"
+	if _, err := e.Run(q); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestRunProducesCompleteMeasures(t *testing.T) {
+	e := engine(t)
+	res, err := e.Run(vaxQuery(e, ModelMLP, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nz := len(e.City.Zones)
+	if len(res.MAC) != nz || len(res.ACSD) != nz || len(res.Classes) != nz {
+		t.Fatal("result arrays wrong length")
+	}
+	validCount, labeledCount := 0, 0
+	for i := 0; i < nz; i++ {
+		if res.Valid[i] {
+			validCount++
+			if res.MAC[i] < 0 || res.ACSD[i] < 0 {
+				t.Errorf("zone %d has negative measures: %f/%f", i, res.MAC[i], res.ACSD[i])
+			}
+			if math.IsNaN(res.MAC[i]) || math.IsNaN(res.ACSD[i]) {
+				t.Errorf("zone %d has NaN measures", i)
+			}
+		}
+		if res.Labeled[i] {
+			labeledCount++
+			if !res.Valid[i] {
+				t.Errorf("zone %d labeled but invalid", i)
+			}
+		}
+	}
+	if validCount < nz*3/4 {
+		t.Errorf("only %d of %d zones valid", validCount, nz)
+	}
+	wantLabeled := int(float64(nz)*0.3 + 0.5)
+	if labeledCount > wantLabeled {
+		t.Errorf("labeled %d zones, budget allows %d", labeledCount, wantLabeled)
+	}
+	if res.Fairness <= 0 || res.Fairness > 1 {
+		t.Errorf("fairness = %f", res.Fairness)
+	}
+	if res.Timing.SPQs <= 0 {
+		t.Error("no SPQs recorded")
+	}
+	if res.Timing.Total() <= 0 {
+		t.Error("no time recorded")
+	}
+	if res.WalkOnlyShare < 0 || res.WalkOnlyShare > 1 {
+		t.Errorf("walk-only share = %f", res.WalkOnlyShare)
+	}
+}
+
+func TestGroundTruthLabelsEverything(t *testing.T) {
+	e := engine(t)
+	res, err := e.GroundTruth(vaxQuery(e, ModelMLP, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Valid {
+		if v && !res.Labeled[i] {
+			t.Errorf("zone %d valid but not labeled in ground truth", i)
+		}
+	}
+	if res.Timing.SPQs != res.Matrix.Size() {
+		t.Errorf("ground truth SPQs = %d, matrix size %d", res.Timing.SPQs, res.Matrix.Size())
+	}
+}
+
+func TestSSRBeatsNaiveOnSPQCount(t *testing.T) {
+	e := engine(t)
+	q := vaxQuery(e, ModelOLS, 0.1)
+	ssr, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := e.GroundTruth(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssr.Timing.SPQs >= gt.Timing.SPQs {
+		t.Errorf("SSR used %d SPQs, naive used %d", ssr.Timing.SPQs, gt.Timing.SPQs)
+	}
+	// At beta=0.1 the SPQ reduction should be roughly 90%.
+	ratio := float64(ssr.Timing.SPQs) / float64(gt.Timing.SPQs)
+	if ratio > 0.25 {
+		t.Errorf("SPQ ratio = %f, want < 0.25 at budget 0.1", ratio)
+	}
+}
+
+func TestPredictionsCorrelateWithGroundTruth(t *testing.T) {
+	e := engine(t)
+	q := vaxQuery(e, ModelMLP, 0.3)
+	ssr, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := e.GroundTruth(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred, truth []float64
+	for i := range ssr.MAC {
+		if ssr.Valid[i] && gt.Valid[i] && !ssr.Labeled[i] {
+			pred = append(pred, ssr.MAC[i])
+			truth = append(truth, gt.MAC[i])
+		}
+	}
+	if len(pred) < 10 {
+		t.Fatalf("only %d comparable zones", len(pred))
+	}
+	r, err := metrics.Pearson(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.5 {
+		t.Errorf("MAC correlation = %f, want > 0.5 at budget 0.3", r)
+	}
+}
+
+func TestAllModelsRun(t *testing.T) {
+	e := engine(t)
+	for _, model := range append(append([]ModelKind{}, AllModels...), ExtensionModels...) {
+		res, err := e.Run(vaxQuery(e, model, 0.3))
+		if err != nil {
+			t.Errorf("%s: %v", model, err)
+			continue
+		}
+		var any bool
+		for i := range res.Valid {
+			if res.Valid[i] && !res.Labeled[i] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			t.Errorf("%s produced no inferred zones", model)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	e := engine(t)
+	q := vaxQuery(e, ModelMLP, 0.2)
+	r1, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.MAC {
+		if r1.MAC[i] != r2.MAC[i] || r1.ACSD[i] != r2.ACSD[i] {
+			t.Fatalf("zone %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestDifferentCostsGiveDifferentAnswers(t *testing.T) {
+	e := engine(t)
+	qJT := vaxQuery(e, ModelOLS, 0.5)
+	qGAC := qJT
+	qGAC.Cost = access.Generalized
+	rJT, err := e.Run(qJT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rGAC, err := e.Run(qGAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GAC weights out-of-vehicle time 2x and adds fares, so labeled zone
+	// MACs must be at least the JT MACs.
+	for i := range rJT.MAC {
+		if rJT.Labeled[i] && rGAC.Labeled[i] && rGAC.MAC[i] < rJT.MAC[i] {
+			t.Errorf("zone %d GAC MAC %f < JT MAC %f", i, rGAC.MAC[i], rJT.MAC[i])
+		}
+	}
+}
+
+func TestPOIsOf(t *testing.T) {
+	e := engine(t)
+	pts := POIsOf(e.City, synth.POISchool)
+	if len(pts) != len(e.City.POIs[synth.POISchool]) {
+		t.Errorf("POIsOf returned %d points", len(pts))
+	}
+	if len(POIsOf(e.City, "nonexistent")) != 0 {
+		t.Error("unknown category should be empty")
+	}
+}
+
+func BenchmarkRunSSR(b *testing.B) {
+	e := engine(b)
+	q := vaxQuery(e, ModelOLS, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"accessquery/internal/access"
+)
+
+// WriteCSV exports the per-zone measures as CSV with columns
+// zone, lat, lon, mac, acsd, class, labeled — the format GIS tools and
+// notebooks ingest to draw Fig. 5-style maps. Invalid zones are skipped.
+func (r *Result) WriteCSV(w io.Writer, e *Engine) error {
+	if e == nil {
+		return fmt.Errorf("core: nil engine")
+	}
+	if len(r.MAC) != len(e.zonePts) {
+		return fmt.Errorf("core: result covers %d zones, engine has %d", len(r.MAC), len(e.zonePts))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"zone", "lat", "lon", "mac_seconds", "acsd_seconds", "class", "labeled"}); err != nil {
+		return err
+	}
+	for i := range r.MAC {
+		if !r.Valid[i] {
+			continue
+		}
+		rec := []string{
+			strconv.Itoa(i),
+			strconv.FormatFloat(e.zonePts[i].Lat, 'f', 6, 64),
+			strconv.FormatFloat(e.zonePts[i].Lon, 'f', 6, 64),
+			strconv.FormatFloat(r.MAC[i], 'f', 2, 64),
+			strconv.FormatFloat(r.ACSD[i], 'f', 2, 64),
+			r.Classes[i].String(),
+			strconv.FormatBool(r.Labeled[i]),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary condenses a result into the headline numbers a policy dashboard
+// shows.
+type Summary struct {
+	Zones        int
+	ValidZones   int
+	LabeledZones int
+	// MeanMAC and MeanACSD are over valid zones, in the query's cost unit
+	// (seconds).
+	MeanMAC  float64
+	MeanACSD float64
+	// Fairness is Jain's index, Gini the Gini coefficient of MAC.
+	Fairness float64
+	Gini     float64
+	// ClassCounts indexes counts by accessibility class.
+	ClassCounts [4]int
+	SPQs        int64
+}
+
+// Summarize computes the Summary of a result.
+func (r *Result) Summarize() Summary {
+	s := Summary{Zones: len(r.MAC), Fairness: r.Fairness, SPQs: r.Timing.SPQs}
+	var macs []float64
+	for i := range r.MAC {
+		if !r.Valid[i] {
+			continue
+		}
+		s.ValidZones++
+		if r.Labeled[i] {
+			s.LabeledZones++
+		}
+		s.MeanMAC += r.MAC[i]
+		s.MeanACSD += r.ACSD[i]
+		s.ClassCounts[r.Classes[i]]++
+		macs = append(macs, r.MAC[i])
+	}
+	if s.ValidZones > 0 {
+		s.MeanMAC /= float64(s.ValidZones)
+		s.MeanACSD /= float64(s.ValidZones)
+	}
+	if g, err := giniOf(macs); err == nil {
+		s.Gini = g
+	}
+	return s
+}
+
+// giniOf delegates to the access package's Gini coefficient.
+func giniOf(values []float64) (float64, error) { return access.Gini(values) }

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	e := engine(t)
+	res, err := e.Run(vaxQuery(e, ModelOLS, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 2 {
+		t.Fatal("no data rows")
+	}
+	if got := strings.Join(records[0], ","); got != "zone,lat,lon,mac_seconds,acsd_seconds,class,labeled" {
+		t.Errorf("header = %q", got)
+	}
+	var valid int
+	for _, ok := range res.Valid {
+		if ok {
+			valid++
+		}
+	}
+	if len(records)-1 != valid {
+		t.Errorf("rows = %d, valid zones = %d", len(records)-1, valid)
+	}
+	// Every data row has 7 fields and a known class.
+	classes := map[string]bool{"best": true, "mostly good": true, "mostly bad": true, "worst": true}
+	for i, rec := range records[1:] {
+		if len(rec) != 7 {
+			t.Fatalf("row %d has %d fields", i, len(rec))
+		}
+		if !classes[rec[5]] {
+			t.Errorf("row %d class %q", i, rec[5])
+		}
+	}
+}
+
+func TestWriteCSVValidation(t *testing.T) {
+	e := engine(t)
+	res, err := e.Run(vaxQuery(e, ModelOLS, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf, nil); err == nil {
+		t.Error("nil engine should fail")
+	}
+	short := &Result{MAC: []float64{1}}
+	if err := short.WriteCSV(&buf, e); err == nil {
+		t.Error("mismatched result should fail")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	e := engine(t)
+	res, err := e.Run(vaxQuery(e, ModelMLP, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summarize()
+	if s.Zones != len(e.City.Zones) {
+		t.Errorf("zones = %d", s.Zones)
+	}
+	if s.ValidZones == 0 || s.LabeledZones == 0 {
+		t.Errorf("valid=%d labeled=%d", s.ValidZones, s.LabeledZones)
+	}
+	if s.MeanMAC <= 0 {
+		t.Errorf("mean MAC = %f", s.MeanMAC)
+	}
+	if s.Gini < 0 || s.Gini > 1 {
+		t.Errorf("gini = %f", s.Gini)
+	}
+	var classTotal int
+	for _, c := range s.ClassCounts {
+		classTotal += c
+	}
+	if classTotal != s.ValidZones {
+		t.Errorf("class counts sum to %d, valid %d", classTotal, s.ValidZones)
+	}
+	if s.SPQs != res.Timing.SPQs {
+		t.Errorf("SPQs = %d", s.SPQs)
+	}
+}

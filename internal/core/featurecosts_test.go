@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"accessquery/internal/synth"
+)
+
+func TestFeatureCosts(t *testing.T) {
+	e := engine(t)
+	q := vaxQuery(e, ModelOLS, 0.1)
+	origin, od, rows, err := e.FeatureCosts(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin <= 0 || od <= 0 {
+		t.Errorf("durations: origin=%v od=%v", origin, od)
+	}
+	if rows <= 0 {
+		t.Error("no OD rows")
+	}
+	// OD rows cannot exceed zones x POIs.
+	max := len(e.City.Zones) * len(e.City.POIs[synth.POIVaxCenter])
+	if rows > max {
+		t.Errorf("od rows %d exceeds %d", rows, max)
+	}
+}
+
+func TestFeatureCostsNoPOIs(t *testing.T) {
+	e := engine(t)
+	if _, _, _, err := e.FeatureCosts(Query{Budget: 0.1}); err == nil {
+		t.Error("no POIs should fail")
+	}
+}

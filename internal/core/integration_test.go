@@ -1,0 +1,71 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"accessquery/internal/gtfs"
+	"accessquery/internal/synth"
+)
+
+// TestEngineOverRoundTrippedGTFS drives the whole stack through the CSV
+// layer: the synthetic city's timetable is written as GTFS text files, read
+// back, substituted into the city, and the engine must produce identical
+// answers — proving the serialization preserves everything the pipeline
+// consumes.
+func TestEngineOverRoundTrippedGTFS(t *testing.T) {
+	city, err := synth.Generate(synth.Scaled(synth.Coventry(), 0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "gtfs")
+	if err := city.Feed.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	feed2, err := gtfs.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	city2, err := synth.Generate(synth.Scaled(synth.Coventry(), 0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	city2.Feed = feed2
+
+	opts := EngineOptions{Interval: gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: 2}}
+	e1, err := NewEngine(city, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEngine(city2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{
+		POIs:           POIsOf(city, synth.POISchool),
+		Budget:         0.2,
+		Model:          ModelOLS,
+		SamplesPerHour: 6,
+		Seed:           3,
+	}
+	r1, err := e1.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e2.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.MAC {
+		if r1.Valid[i] != r2.Valid[i] {
+			t.Fatalf("zone %d validity differs after GTFS round trip", i)
+		}
+		if r1.MAC[i] != r2.MAC[i] || r1.ACSD[i] != r2.ACSD[i] {
+			t.Fatalf("zone %d measures differ after GTFS round trip: %f/%f vs %f/%f",
+				i, r1.MAC[i], r1.ACSD[i], r2.MAC[i], r2.ACSD[i])
+		}
+	}
+	if r1.Fairness != r2.Fairness {
+		t.Errorf("fairness differs: %f vs %f", r1.Fairness, r2.Fairness)
+	}
+}

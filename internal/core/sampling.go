@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"accessquery/internal/geo"
+)
+
+// SamplingStrategy selects how the labeled set L is drawn from the zones.
+// The paper uses random sampling and points to active-learning strategies
+// as future work; Coverage and Stratified implement the two standard
+// geography-aware alternatives.
+type SamplingStrategy string
+
+// Available strategies.
+const (
+	// SampleRandom draws zones uniformly at random (the paper's method).
+	SampleRandom SamplingStrategy = "random"
+	// SampleCoverage greedily picks the zone farthest from all picked
+	// zones (farthest-point traversal), maximizing geographic coverage —
+	// valuable at very low budgets.
+	SampleCoverage SamplingStrategy = "coverage"
+	// SampleStratified divides the city into a grid and samples
+	// proportionally from each occupied cell.
+	SampleStratified SamplingStrategy = "stratified"
+)
+
+// sampleZones returns n distinct zone indices according to the strategy,
+// deterministic in seed. The result is sorted.
+func sampleZones(strategy SamplingStrategy, zonePts []geo.Point, n int, seed int64) ([]int, error) {
+	if n <= 0 || n > len(zonePts) {
+		return nil, fmt.Errorf("core: cannot sample %d of %d zones", n, len(zonePts))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var picked []int
+	switch strategy {
+	case "", SampleRandom:
+		picked = rng.Perm(len(zonePts))[:n]
+	case SampleCoverage:
+		picked = coverageSample(zonePts, n, rng)
+	case SampleStratified:
+		picked = stratifiedSample(zonePts, n, rng)
+	default:
+		return nil, fmt.Errorf("core: unknown sampling strategy %q", strategy)
+	}
+	sort.Ints(picked)
+	return picked, nil
+}
+
+// coverageSample is a farthest-point traversal: start from a random zone,
+// then repeatedly add the zone whose distance to the picked set is largest.
+func coverageSample(zonePts []geo.Point, n int, rng *rand.Rand) []int {
+	picked := make([]int, 0, n)
+	minDist := make([]float64, len(zonePts))
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	cur := rng.Intn(len(zonePts))
+	for len(picked) < n {
+		picked = append(picked, cur)
+		// Update distances to the picked set.
+		for i := range zonePts {
+			if d := geo.DistanceMeters(zonePts[i], zonePts[cur]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+		// Next: the farthest unpicked zone.
+		best, bestD := -1, -1.0
+		for i := range zonePts {
+			if minDist[i] > bestD && minDist[i] > 0 {
+				bestD = minDist[i]
+				best = i
+			}
+		}
+		if best < 0 {
+			// All remaining zones coincide with picked points; fill
+			// randomly.
+			for _, idx := range rng.Perm(len(zonePts)) {
+				if minDist[idx] > 0 || !contains(picked, idx) {
+					if !contains(picked, idx) {
+						picked = append(picked, idx)
+						if len(picked) == n {
+							break
+						}
+					}
+				}
+			}
+			break
+		}
+		cur = best
+	}
+	return picked[:n]
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// stratifiedSample buckets zones into a sqrt(n) x sqrt(n) grid over the
+// city's bounding box and draws from cells round-robin, so every part of
+// the city contributes.
+func stratifiedSample(zonePts []geo.Point, n int, rng *rand.Rand) []int {
+	bounds := geo.NewRect(zonePts)
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	if side < 1 {
+		side = 1
+	}
+	cells := make(map[int][]int)
+	spanLat := bounds.MaxLat - bounds.MinLat
+	spanLon := bounds.MaxLon - bounds.MinLon
+	for i, p := range zonePts {
+		var gx, gy int
+		if spanLon > 0 {
+			gx = int(float64(side-1) * (p.Lon - bounds.MinLon) / spanLon)
+		}
+		if spanLat > 0 {
+			gy = int(float64(side-1) * (p.Lat - bounds.MinLat) / spanLat)
+		}
+		key := gy*side + gx
+		cells[key] = append(cells[key], i)
+	}
+	// Shuffle within cells in sorted-key order (map iteration order must
+	// not influence rng consumption), then draw one zone per cell per pass.
+	var keys []int
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		list := cells[k]
+		rng.Shuffle(len(list), func(i, j int) { list[i], list[j] = list[j], list[i] })
+	}
+	var picked []int
+	for pass := 0; len(picked) < n; pass++ {
+		progressed := false
+		for _, k := range keys {
+			if pass < len(cells[k]) {
+				picked = append(picked, cells[k][pass])
+				progressed = true
+				if len(picked) == n {
+					break
+				}
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return picked
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"accessquery/internal/geo"
+)
+
+// gridZones returns n zone centroids on a rough grid around Birmingham.
+func gridZones(n int) []geo.Point {
+	base := geo.Point{Lat: 52.48, Lon: -1.89}
+	pts := make([]geo.Point, n)
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	for i := range pts {
+		pts[i] = geo.Offset(base, float64(i%side)*500, float64(i/side)*500)
+	}
+	return pts
+}
+
+func TestSampleZonesValidation(t *testing.T) {
+	pts := gridZones(10)
+	if _, err := sampleZones(SampleRandom, pts, 0, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := sampleZones(SampleRandom, pts, 11, 1); err == nil {
+		t.Error("n > zones should fail")
+	}
+	if _, err := sampleZones("bogus", pts, 3, 1); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestSampleZonesBasicProperties(t *testing.T) {
+	pts := gridZones(100)
+	for _, strategy := range []SamplingStrategy{SampleRandom, SampleCoverage, SampleStratified, ""} {
+		got, err := sampleZones(strategy, pts, 17, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		if len(got) != 17 {
+			t.Fatalf("%s: got %d zones, want 17", strategy, len(got))
+		}
+		seen := map[int]bool{}
+		for i, z := range got {
+			if z < 0 || z >= len(pts) {
+				t.Fatalf("%s: zone %d out of range", strategy, z)
+			}
+			if seen[z] {
+				t.Fatalf("%s: duplicate zone %d", strategy, z)
+			}
+			seen[z] = true
+			if i > 0 && got[i] < got[i-1] {
+				t.Fatalf("%s: result not sorted", strategy)
+			}
+		}
+		// Determinism.
+		again, err := sampleZones(strategy, pts, 17, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != again[i] {
+				t.Fatalf("%s: not deterministic", strategy)
+			}
+		}
+	}
+}
+
+// minPairwiseSpread returns the minimum over zones of the distance to the
+// nearest sampled zone — the coverage quality measure.
+func maxGapToSample(pts []geo.Point, sample []int) float64 {
+	worst := 0.0
+	for i := range pts {
+		best := math.Inf(1)
+		for _, s := range sample {
+			if d := geo.DistanceMeters(pts[i], pts[s]); d < best {
+				best = d
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}
+
+func TestCoverageSamplingCoversBetterThanRandom(t *testing.T) {
+	pts := gridZones(400)
+	n := 12
+	cov, err := sampleZones(SampleCoverage, pts, n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covGap := maxGapToSample(pts, cov)
+	// Average random gap over several seeds.
+	var randGap float64
+	const trials = 5
+	for seed := int64(0); seed < trials; seed++ {
+		r, err := sampleZones(SampleRandom, pts, n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		randGap += maxGapToSample(pts, r)
+	}
+	randGap /= trials
+	if covGap >= randGap {
+		t.Errorf("coverage max-gap %f should beat random %f", covGap, randGap)
+	}
+}
+
+func TestStratifiedSamplingSpreads(t *testing.T) {
+	pts := gridZones(400)
+	n := 16
+	str, err := sampleZones(SampleStratified, pts, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four quadrants of the grid should be represented.
+	bounds := geo.NewRect(pts)
+	midLat := (bounds.MinLat + bounds.MaxLat) / 2
+	midLon := (bounds.MinLon + bounds.MaxLon) / 2
+	quads := map[int]bool{}
+	for _, z := range str {
+		q := 0
+		if pts[z].Lat > midLat {
+			q += 2
+		}
+		if pts[z].Lon > midLon {
+			q++
+		}
+		quads[q] = true
+	}
+	if len(quads) < 4 {
+		t.Errorf("stratified sample covers %d quadrants, want 4", len(quads))
+	}
+}
+
+func TestSamplingStrategyInQuery(t *testing.T) {
+	e := engine(t)
+	for _, strategy := range []SamplingStrategy{SampleCoverage, SampleStratified} {
+		q := vaxQuery(e, ModelOLS, 0.15)
+		q.Sampling = strategy
+		res, err := e.Run(q)
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		var labeled int
+		for _, l := range res.Labeled {
+			if l {
+				labeled++
+			}
+		}
+		if labeled == 0 {
+			t.Errorf("%s: no zones labeled", strategy)
+		}
+	}
+}
+
+func TestParallelLabelingMatchesSerial(t *testing.T) {
+	e := engine(t)
+	q := vaxQuery(e, ModelOLS, 0.3)
+	serial, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Workers = 4
+	parallel, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Timing.SPQs != parallel.Timing.SPQs {
+		t.Errorf("SPQ counts differ: %d vs %d", serial.Timing.SPQs, parallel.Timing.SPQs)
+	}
+	for i := range serial.MAC {
+		if serial.MAC[i] != parallel.MAC[i] || serial.ACSD[i] != parallel.ACSD[i] {
+			t.Fatalf("zone %d differs between serial and parallel labeling", i)
+		}
+		if serial.Labeled[i] != parallel.Labeled[i] {
+			t.Fatalf("zone %d labeled flag differs", i)
+		}
+	}
+}
+
+func TestParallelGroundTruthMatchesSerial(t *testing.T) {
+	e := engine(t)
+	q := vaxQuery(e, ModelOLS, 1)
+	serial, err := e.GroundTruth(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Workers = 4
+	parallel, err := e.GroundTruth(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.MAC {
+		if serial.MAC[i] != parallel.MAC[i] {
+			t.Fatalf("zone %d ground truth differs under parallel labeling", i)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"time"
+
+	"accessquery/internal/features"
+	"accessquery/internal/gtfs"
+	"accessquery/internal/hoptree"
+	"accessquery/internal/isochrone"
+	"accessquery/internal/router"
+	"accessquery/internal/synth"
+)
+
+// Snapshot captures the expensive offline pre-processing of an engine —
+// the walking isochrones and the transit-hop forest — together with the
+// generating city configuration, so a server can restart without
+// recomputing them. The city itself is regenerated deterministically from
+// its config.
+type Snapshot struct {
+	CityConfig synth.Config
+	Interval   gtfs.Interval
+	Tau        float64
+	Hops       int
+	Isochrones *isochrone.Set
+	Forest     *hoptree.Forest
+}
+
+// SaveSnapshot writes the engine's pre-processed structures to path.
+func (e *Engine) SaveSnapshot(path string) error {
+	snap := Snapshot{
+		CityConfig: e.City.Config,
+		Interval:   e.Interval,
+		Tau:        e.isos.Tau,
+		Hops:       e.extractor.Hops,
+		Isochrones: e.isos,
+		Forest:     e.forest,
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	w := bufio.NewWriter(file)
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		file.Close()
+		return fmt.Errorf("core: encoding snapshot: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		file.Close()
+		return fmt.Errorf("core: %w", err)
+	}
+	return file.Close()
+}
+
+// LoadEngine restores an engine from a snapshot: the city is regenerated
+// from its recorded configuration (deterministic in the seed) and the
+// pre-computed structures are installed without recomputation.
+func LoadEngine(path string) (*Engine, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer file.Close()
+	var snap Snapshot
+	if err := gob.NewDecoder(bufio.NewReader(file)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	start := time.Now()
+	city, err := synth.Generate(snap.CityConfig)
+	if err != nil {
+		return nil, fmt.Errorf("core: regenerating city: %w", err)
+	}
+	if snap.Forest == nil || snap.Isochrones == nil {
+		return nil, fmt.Errorf("core: snapshot missing forest or isochrones")
+	}
+	if snap.Forest.Zones() != len(city.Zones) || len(snap.Isochrones.Isochrones) != len(city.Zones) {
+		return nil, fmt.Errorf("core: snapshot does not match regenerated city (%d zones)", len(city.Zones))
+	}
+	pts := zonePointsOf(city)
+	extractor, err := features.NewExtractor(snap.Forest, pts, snap.Isochrones, snap.Hops)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	ix := gtfs.NewIndex(city.Feed, snap.Interval.Day)
+	rt, err := router.New(city.Road, ix, city.StopNode, router.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Engine{
+		City:         city,
+		Interval:     snap.Interval,
+		zonePts:      pts,
+		isos:         snap.Isochrones,
+		forest:       snap.Forest,
+		extractor:    extractor,
+		router:       rt,
+		PrepDuration: time.Since(start),
+	}, nil
+}

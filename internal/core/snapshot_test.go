@@ -1,0 +1,61 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	e := engine(t)
+	path := filepath.Join(t.TempDir(), "engine.gob")
+	if err := e.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadEngine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.City.Zones) != len(e.City.Zones) {
+		t.Fatalf("restored city has %d zones, want %d",
+			len(restored.City.Zones), len(e.City.Zones))
+	}
+	if restored.Forest().Zones() != e.Forest().Zones() {
+		t.Fatal("forest zone counts differ")
+	}
+	// A query on the restored engine gives byte-identical results.
+	q := vaxQuery(e, ModelOLS, 0.2)
+	want, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.MAC {
+		if want.MAC[i] != got.MAC[i] || want.ACSD[i] != got.ACSD[i] {
+			t.Fatalf("zone %d differs after snapshot restore", i)
+		}
+	}
+}
+
+func TestLoadEngineMissingFile(t *testing.T) {
+	if _, err := LoadEngine(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Error("missing snapshot should fail")
+	}
+}
+
+func TestLoadEngineCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.gob")
+	if err := writeFile(path, []byte("not a gob stream")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEngine(path); err == nil {
+		t.Error("corrupt snapshot should fail")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

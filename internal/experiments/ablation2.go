@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"accessquery/internal/access"
+	"accessquery/internal/core"
+	"accessquery/internal/synth"
+)
+
+// SamplingRow compares labeled-set sampling strategies at one budget: the
+// active-learning direction the paper's conclusion points to.
+type SamplingRow struct {
+	Strategy core.SamplingStrategy
+	// MAEMinutes is the JT error against ground truth at the ablation
+	// budget.
+	MAEMinutes float64
+	// MACCorr is the MAC correlation.
+	MACCorr float64
+}
+
+// AblationSampling compares random, coverage, and stratified sampling at a
+// low budget on the smaller city (where the paper observes low budgets are
+// hardest).
+func (s *Suite) AblationSampling(budget float64) ([]SamplingRow, error) {
+	if budget <= 0 {
+		budget = 0.05
+	}
+	engine, err := s.Engine(s.CityConfigs()[1])
+	if err != nil {
+		return nil, err
+	}
+	base := core.Query{
+		POIs:           poisOf(engine.City, synth.POIVaxCenter),
+		Cost:           access.JourneyTime,
+		Model:          core.ModelMLP,
+		Budget:         budget,
+		SamplesPerHour: s.SamplesPerHour,
+		Seed:           s.Seed,
+	}
+	gt, err := engine.GroundTruth(base)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SamplingRow
+	for _, strategy := range []core.SamplingStrategy{
+		core.SampleRandom, core.SampleCoverage, core.SampleStratified,
+	} {
+		q := base
+		q.Sampling = strategy
+		res, err := engine.Run(q)
+		if err != nil {
+			return nil, err
+		}
+		mae, corr, _, err := compare(res, gt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SamplingRow{
+			Strategy:   strategy,
+			MAEMinutes: mae / 60,
+			MACCorr:    corr,
+		})
+	}
+	return rows, nil
+}
+
+// AggregationRow compares origin-level aggregation (the paper's choice,
+// Section IV-C) against OD-level learning: feature-generation cost, full
+// query runtime, and MAC accuracy.
+type AggregationRow struct {
+	// Feature-generation cost at each granularity.
+	OriginFeatures time.Duration
+	ODFeatures     time.Duration
+	// ODRows counts the OD-level feature vectors the origin-level
+	// aggregation collapses.
+	ODRows int
+	// End-to-end runtimes and MAC errors of the two query modes.
+	OriginTotal   time.Duration
+	ODTotal       time.Duration
+	OriginMAEMins float64
+	ODMAEMins     float64
+}
+
+// AblationAggregation compares the two learning granularities the paper
+// weighs: one aggregated vector per origin versus one vector per (zone,
+// POI) pair.
+func (s *Suite) AblationAggregation() (*AggregationRow, error) {
+	engine, err := s.Engine(s.CityConfigs()[1])
+	if err != nil {
+		return nil, err
+	}
+	q := core.Query{
+		POIs:           poisOf(engine.City, synth.POIVaxCenter),
+		Cost:           access.JourneyTime,
+		Model:          core.ModelOLS,
+		Budget:         0.10,
+		SamplesPerHour: s.SamplesPerHour,
+		Seed:           s.Seed,
+	}
+	origin, od, rows, err := engine.FeatureCosts(q)
+	if err != nil {
+		return nil, err
+	}
+	out := &AggregationRow{OriginFeatures: origin, ODFeatures: od, ODRows: rows}
+	gt, err := engine.GroundTruth(q)
+	if err != nil {
+		return nil, err
+	}
+	zoneRes, err := engine.Run(q)
+	if err != nil {
+		return nil, err
+	}
+	mae, _, _, err := compare(zoneRes, gt)
+	if err != nil {
+		return nil, err
+	}
+	out.OriginTotal = zoneRes.Timing.Total()
+	out.OriginMAEMins = mae / 60
+	odRes, err := engine.RunOD(q)
+	if err != nil {
+		return nil, err
+	}
+	mae, _, _, err = compare(odRes, gt)
+	if err != nil {
+		return nil, err
+	}
+	out.ODTotal = odRes.Timing.Total()
+	out.ODMAEMins = mae / 60
+	return out, nil
+}
+
+// PrintAblations2 renders the sampling and aggregation ablations.
+func (s *Suite) PrintAblations2(w io.Writer) error {
+	header(w, "Ablations: sampling strategy and aggregation level")
+	rows, err := s.AblationSampling(0.05)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "labeled-set sampling at a 5%% budget (MLP, JT, vax centers):\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-11s MAE %.2f min, MAC corr %.3f\n", r.Strategy, r.MAEMinutes, r.MACCorr)
+	}
+	agg, err := s.AblationAggregation()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "learning granularity (vax centers, OLS @ 10%%):\n")
+	fmt.Fprintf(w, "  origin-level (paper's choice): features %v, query %v, MAC MAE %.2f min\n",
+		agg.OriginFeatures, agg.OriginTotal, agg.OriginMAEMins)
+	fmt.Fprintf(w, "  OD-level (%d pair vectors):    features %v, query %v, MAC MAE %.2f min\n",
+		agg.ODRows, agg.ODFeatures, agg.ODTotal, agg.ODMAEMins)
+	return nil
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"accessquery/internal/access"
+	"accessquery/internal/core"
+	"accessquery/internal/metrics"
+	"accessquery/internal/synth"
+)
+
+// WriteFig3CSV emits the Fig. 3 sweep as CSV rows
+// (city, category, model, budget, mae_minutes) for downstream plotting.
+func (s *Suite) WriteFig3CSV(w io.Writer) error {
+	cells, err := s.Fig3()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "city,category,model,budget,mae_minutes")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%s,%s,%s,%.2f,%.3f\n", c.City, c.Category, c.Model, c.Budget, c.MAEMinutes)
+	}
+	return nil
+}
+
+// WriteFig4CSV emits the Fig. 4 sweep as CSV rows
+// (city, model, budget, mac_corr, acsd_corr, accuracy, fie).
+func (s *Suite) WriteFig4CSV(w io.Writer) error {
+	cells, err := s.Fig4()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "city,model,budget,mac_corr,acsd_corr,accuracy,fie")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%s,%s,%.2f,%.4f,%.4f,%.4f,%.4f\n",
+			c.City, c.Model, c.Budget, c.MACCorr, c.ACSDCorr, c.Accuracy, c.FIE)
+	}
+	return nil
+}
+
+// ExtensionRow compares one model's JT error and MAC correlation at a
+// fixed budget, used to situate the beyond-paper kernel models against the
+// paper's five.
+type ExtensionRow struct {
+	Model      core.ModelKind
+	MAEMinutes float64
+	MACCorr    float64
+}
+
+// ExtensionComparison evaluates the paper's models plus the kernel
+// extensions on the smaller city's schools at the given budget.
+func (s *Suite) ExtensionComparison(budget float64) ([]ExtensionRow, error) {
+	if budget <= 0 {
+		budget = 0.10
+	}
+	engine, err := s.Engine(s.CityConfigs()[1])
+	if err != nil {
+		return nil, err
+	}
+	base := core.Query{
+		POIs:           poisOf(engine.City, synth.POISchool),
+		Cost:           access.JourneyTime,
+		Budget:         budget,
+		SamplesPerHour: s.SamplesPerHour,
+		Seed:           s.Seed,
+	}
+	gt, err := engine.GroundTruth(base)
+	if err != nil {
+		return nil, err
+	}
+	models := append(append([]core.ModelKind{}, s.Models...), core.ExtensionModels...)
+	var rows []ExtensionRow
+	for _, model := range models {
+		q := base
+		q.Model = model
+		res, err := engine.Run(q)
+		if err != nil {
+			return nil, err
+		}
+		var pred, truth []float64
+		for i := range res.MAC {
+			if res.Valid[i] && gt.Valid[i] && !res.Labeled[i] {
+				pred = append(pred, res.MAC[i])
+				truth = append(truth, gt.MAC[i])
+			}
+		}
+		mae, err := metrics.MAE(pred, truth)
+		if err != nil {
+			return nil, err
+		}
+		corr, err := metrics.Pearson(pred, truth)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ExtensionRow{Model: model, MAEMinutes: mae / 60, MACCorr: corr})
+	}
+	return rows, nil
+}
+
+// PrintExtensionComparison renders the extension-model comparison.
+func (s *Suite) PrintExtensionComparison(w io.Writer) error {
+	rows, err := s.ExtensionComparison(0.10)
+	if err != nil {
+		return err
+	}
+	header(w, "Extension models vs the paper's five (smaller city, schools, JT @ 10%)")
+	fmt.Fprintf(w, "%-8s %10s %10s\n", "model", "MAE min", "MAC corr")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %10.2f %10.3f\n", r.Model, r.MAEMinutes, r.MACCorr)
+	}
+	return nil
+}

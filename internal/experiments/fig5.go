@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"accessquery/internal/access"
+	"accessquery/internal/core"
+	"accessquery/internal/geo"
+	"accessquery/internal/synth"
+)
+
+// Fig5Map is a rendered choropleth of predicted GAC MAC for vaccination
+// centers, the Fig. 5 reproduction.
+type Fig5Map struct {
+	City   string
+	Budget float64
+	// Grid holds mean MAC per cell in generalized minutes; NaN marks empty
+	// cells.
+	Grid [][]float64
+}
+
+// Fig5 predicts MAC per zone with the paper's chosen budgets (larger city
+// 3%, smaller city 10%) and rasterizes the result onto a coarse grid.
+func (s *Suite) Fig5(gridSize int) ([]Fig5Map, error) {
+	if gridSize <= 0 {
+		gridSize = 28
+	}
+	budgets := []float64{0.03, 0.10}
+	var maps []Fig5Map
+	for ci, cfg := range s.CityConfigs() {
+		engine, err := s.Engine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		q := core.Query{
+			POIs:           poisOf(engine.City, synth.POIVaxCenter),
+			Cost:           access.Generalized,
+			Model:          core.ModelMLP,
+			Budget:         budgets[ci%2],
+			SamplesPerHour: s.SamplesPerHour,
+			Seed:           s.Seed,
+		}
+		res, err := engine.Run(q)
+		if err != nil {
+			return nil, err
+		}
+		maps = append(maps, Fig5Map{
+			City:   shortName(cfg),
+			Budget: q.Budget,
+			Grid:   rasterize(engine.City, res, gridSize),
+		})
+	}
+	return maps, nil
+}
+
+// rasterize buckets zones into a gridSize x gridSize raster and averages
+// MAC (in minutes) per cell.
+func rasterize(city *synth.City, res *core.Result, gridSize int) [][]float64 {
+	pts := make([]geo.Point, 0, len(city.Zones))
+	for _, z := range city.Zones {
+		pts = append(pts, z.Centroid)
+	}
+	bounds := geo.NewRect(pts)
+	sum := make([][]float64, gridSize)
+	cnt := make([][]int, gridSize)
+	for i := range sum {
+		sum[i] = make([]float64, gridSize)
+		cnt[i] = make([]int, gridSize)
+	}
+	spanLat := bounds.MaxLat - bounds.MinLat
+	spanLon := bounds.MaxLon - bounds.MinLon
+	if spanLat == 0 || spanLon == 0 {
+		return sum
+	}
+	for i, z := range city.Zones {
+		if !res.Valid[i] {
+			continue
+		}
+		gy := int(float64(gridSize-1) * (z.Centroid.Lat - bounds.MinLat) / spanLat)
+		gx := int(float64(gridSize-1) * (z.Centroid.Lon - bounds.MinLon) / spanLon)
+		sum[gy][gx] += res.MAC[i] / 60
+		cnt[gy][gx]++
+	}
+	for y := 0; y < gridSize; y++ {
+		for x := 0; x < gridSize; x++ {
+			if cnt[y][x] == 0 {
+				sum[y][x] = math.NaN()
+			} else {
+				sum[y][x] /= float64(cnt[y][x])
+			}
+		}
+	}
+	return sum
+}
+
+// PrintFig5 renders ASCII choropleths: darker shades are worse (higher)
+// mean access cost, mirroring the paper's maps.
+func (s *Suite) PrintFig5(w io.Writer) error {
+	maps, err := s.Fig5(0)
+	if err != nil {
+		return err
+	}
+	header(w, "Fig. 5: predicted GAC MAC maps for vaccination centers")
+	shades := []rune(" .:-=+*#%@")
+	for _, m := range maps {
+		// Percentile scaling for contrast.
+		var vals []float64
+		for _, row := range m.Grid {
+			for _, v := range row {
+				if !math.IsNaN(v) {
+					vals = append(vals, v)
+				}
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		sort.Float64s(vals)
+		lo := vals[len(vals)/20]
+		hi := vals[len(vals)*19/20]
+		if hi <= lo {
+			hi = lo + 1
+		}
+		fmt.Fprintf(w, "%s (beta=%.0f%%)  [%.0f .. %.0f generalized minutes]\n",
+			m.City, m.Budget*100, lo, hi)
+		for y := len(m.Grid) - 1; y >= 0; y-- {
+			for _, v := range m.Grid[y] {
+				if math.IsNaN(v) {
+					fmt.Fprint(w, " ")
+					continue
+				}
+				f := (v - lo) / (hi - lo)
+				if f < 0 {
+					f = 0
+				}
+				if f > 0.999 {
+					f = 0.999
+				}
+				fmt.Fprint(w, string(shades[int(f*float64(len(shades)))]))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteFig5CSV emits the raster as CSV rows (city, budget, y, x,
+// mac_minutes) for downstream plotting.
+func (s *Suite) WriteFig5CSV(w io.Writer) error {
+	maps, err := s.Fig5(0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "city,budget,y,x,mac_minutes")
+	for _, m := range maps {
+		for y, row := range m.Grid {
+			for x, v := range row {
+				if math.IsNaN(v) {
+					continue
+				}
+				fmt.Fprintf(w, "%s,%.2f,%d,%d,%.2f\n", m.City, m.Budget, y, x, v)
+			}
+		}
+	}
+	return nil
+}

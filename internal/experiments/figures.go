@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"accessquery/internal/access"
+	"accessquery/internal/core"
+	"accessquery/internal/metrics"
+	"accessquery/internal/synth"
+)
+
+// Fig3Cell is one point of Fig. 3: the journey-time MAE for a (city, POI
+// category, model, budget) combination, in minutes.
+type Fig3Cell struct {
+	City     string
+	Category synth.POICategory
+	Model    core.ModelKind
+	Budget   float64
+	// MAEMinutes is the mean absolute error of predicted zone MAC against
+	// ground truth, over inferred (not labeled) zones.
+	MAEMinutes float64
+}
+
+// Fig3 reproduces the journey-time error sweep of Fig. 3.
+func (s *Suite) Fig3() ([]Fig3Cell, error) {
+	var cells []Fig3Cell
+	for _, cfg := range s.CityConfigs() {
+		engine, err := s.Engine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, cat := range synth.AllCategories {
+			pois := poisOf(engine.City, cat)
+			if len(pois) == 0 {
+				continue
+			}
+			base := core.Query{
+				POIs:           pois,
+				Cost:           access.JourneyTime,
+				SamplesPerHour: s.SamplesPerHour,
+				Seed:           s.Seed,
+			}
+			gt, err := engine.GroundTruth(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, model := range s.Models {
+				for _, beta := range s.Budgets {
+					q := base
+					q.Model = model
+					q.Budget = beta
+					res, err := engine.Run(q)
+					if err != nil {
+						return nil, err
+					}
+					mae, _, _, err := compare(res, gt)
+					if err != nil {
+						return nil, err
+					}
+					cells = append(cells, Fig3Cell{
+						City:       shortName(cfg),
+						Category:   cat,
+						Model:      model,
+						Budget:     beta,
+						MAEMinutes: mae / 60,
+					})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// compare returns (MAC MAE, MAC corr, ACSD corr) over zones inferred by the
+// SSR run and valid in the ground truth.
+func compare(res, gt *core.Result) (mae, macCorr, acsdCorr float64, err error) {
+	var pm, tm, pa, ta []float64
+	for i := range res.MAC {
+		if res.Valid[i] && gt.Valid[i] && !res.Labeled[i] {
+			pm = append(pm, res.MAC[i])
+			tm = append(tm, gt.MAC[i])
+			pa = append(pa, res.ACSD[i])
+			ta = append(ta, gt.ACSD[i])
+		}
+	}
+	if len(pm) == 0 {
+		return 0, 0, 0, fmt.Errorf("experiments: no comparable zones")
+	}
+	if mae, err = metrics.MAE(pm, tm); err != nil {
+		return 0, 0, 0, err
+	}
+	if macCorr, err = metrics.Pearson(pm, tm); err != nil {
+		return 0, 0, 0, err
+	}
+	if acsdCorr, err = metrics.Pearson(pa, ta); err != nil {
+		return 0, 0, 0, err
+	}
+	return mae, macCorr, acsdCorr, nil
+}
+
+// PrintFig3 renders the Fig. 3 reproduction as one table per city/POI set.
+func (s *Suite) PrintFig3(w io.Writer) error {
+	cells, err := s.Fig3()
+	if err != nil {
+		return err
+	}
+	header(w, fmt.Sprintf("Fig. 3: JT mean absolute error in minutes (cities at scale %.2f)", s.Scale))
+	type key struct {
+		city string
+		cat  synth.POICategory
+	}
+	groups := map[key][]Fig3Cell{}
+	var order []key
+	for _, c := range cells {
+		k := key{c.City, c.Category}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+	for _, k := range order {
+		fmt.Fprintf(w, "%s / %s\n", k.city, k.cat)
+		fmt.Fprintf(w, "  %-7s", "model")
+		for _, b := range s.Budgets {
+			fmt.Fprintf(w, " %6.0f%%", b*100)
+		}
+		fmt.Fprintln(w)
+		for _, model := range s.Models {
+			fmt.Fprintf(w, "  %-7s", model)
+			for _, b := range s.Budgets {
+				for _, c := range groups[k] {
+					if c.Model == model && c.Budget == b {
+						fmt.Fprintf(w, " %7.2f", c.MAEMinutes)
+					}
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// Fig4Cell is one point of Fig. 4: GAC quality metrics for vaccination
+// centers for a (city, model, budget) combination.
+type Fig4Cell struct {
+	City    string
+	Model   core.ModelKind
+	Budget  float64
+	MACCorr float64
+	// ACSDCorr is the temporally driven standard-deviation correlation,
+	// the hardest series in the paper.
+	ACSDCorr float64
+	// Accuracy is the four-class accessibility-classification accuracy.
+	Accuracy float64
+	// FIE is the fairness-index error.
+	FIE float64
+	// WalkOnlyShare is the city's observed walk-only trip share (the
+	// mechanism the paper credits for the ACSD difficulty).
+	WalkOnlyShare float64
+}
+
+// Fig4 reproduces the GAC metric sweep of Fig. 4 on vaccination centers.
+func (s *Suite) Fig4() ([]Fig4Cell, error) {
+	var cells []Fig4Cell
+	for _, cfg := range s.CityConfigs() {
+		engine, err := s.Engine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pois := poisOf(engine.City, synth.POIVaxCenter)
+		base := core.Query{
+			POIs:           pois,
+			Cost:           access.Generalized,
+			SamplesPerHour: s.SamplesPerHour,
+			Seed:           s.Seed,
+		}
+		gt, err := engine.GroundTruth(base)
+		if err != nil {
+			return nil, err
+		}
+		gtClasses := gt.Classes
+		for _, model := range s.Models {
+			for _, beta := range s.Budgets {
+				q := base
+				q.Model = model
+				q.Budget = beta
+				res, err := engine.Run(q)
+				if err != nil {
+					return nil, err
+				}
+				_, macCorr, acsdCorr, err := compare(res, gt)
+				if err != nil {
+					return nil, err
+				}
+				var predC, truthC []int
+				for i := range res.Classes {
+					if res.Valid[i] && gt.Valid[i] {
+						predC = append(predC, int(res.Classes[i]))
+						truthC = append(truthC, int(gtClasses[i]))
+					}
+				}
+				acc, err := metrics.Accuracy(predC, truthC)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, Fig4Cell{
+					City:          shortName(cfg),
+					Model:         model,
+					Budget:        beta,
+					MACCorr:       macCorr,
+					ACSDCorr:      acsdCorr,
+					Accuracy:      acc,
+					FIE:           metrics.FairnessIndexError(res.Fairness, gt.Fairness),
+					WalkOnlyShare: gt.WalkOnlyShare,
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// PrintFig4 renders the Fig. 4 reproduction.
+func (s *Suite) PrintFig4(w io.Writer) error {
+	cells, err := s.Fig4()
+	if err != nil {
+		return err
+	}
+	header(w, fmt.Sprintf("Fig. 4: GAC metrics on vaccination centers (cities at scale %.2f)", s.Scale))
+	metricsOf := []struct {
+		name string
+		get  func(Fig4Cell) float64
+	}{
+		{"MAC corr", func(c Fig4Cell) float64 { return c.MACCorr }},
+		{"ACSD corr", func(c Fig4Cell) float64 { return c.ACSDCorr }},
+		{"AC accuracy", func(c Fig4Cell) float64 { return c.Accuracy }},
+		{"FIE", func(c Fig4Cell) float64 { return c.FIE }},
+	}
+	cities := map[string]bool{}
+	var cityOrder []string
+	for _, c := range cells {
+		if !cities[c.City] {
+			cities[c.City] = true
+			cityOrder = append(cityOrder, c.City)
+		}
+	}
+	for _, city := range cityOrder {
+		var walkShare float64
+		for _, c := range cells {
+			if c.City == city {
+				walkShare = c.WalkOnlyShare
+				break
+			}
+		}
+		fmt.Fprintf(w, "%s (walk-only trip share %.1f%%)\n", city, walkShare*100)
+		for _, mdef := range metricsOf {
+			fmt.Fprintf(w, "  %-11s\n", mdef.name)
+			for _, model := range s.Models {
+				fmt.Fprintf(w, "    %-7s", model)
+				for _, b := range s.Budgets {
+					for _, c := range cells {
+						if c.City == city && c.Model == model && c.Budget == b {
+							fmt.Fprintf(w, " %7.3f", mdef.get(c))
+						}
+					}
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// Package experiments regenerates every table and figure from the paper's
+// evaluation section on synthetic cities: Table I (matrix composition),
+// Table II (runtime savings), Fig. 3 (journey-time errors), Fig. 4 (GAC
+// metrics for vaccination centers), and Fig. 5 (MAC maps), plus the
+// ablations called out in DESIGN.md. It is shared by cmd/aqbench and the
+// repository's top-level benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"accessquery/internal/core"
+	"accessquery/internal/geo"
+	"accessquery/internal/gtfs"
+	"accessquery/internal/synth"
+)
+
+// Suite caches generated cities and engines across experiments.
+type Suite struct {
+	// Scale shrinks the measured cities; Table I always runs at full paper
+	// scale (it requires no shortest-path queries).
+	Scale float64
+	// SamplesPerHour sets the TODAM start-time rate for measured
+	// experiments (Table I uses the paper's 30/h for |R| = 60).
+	SamplesPerHour int
+	// Budgets are the labeling budgets swept, as fractions.
+	Budgets []float64
+	// Models are the SSR models compared.
+	Models []core.ModelKind
+	// Seed drives all sampling.
+	Seed int64
+
+	cities  map[string]*synth.City
+	engines map[string]*core.Engine
+}
+
+// NewSuite returns a suite at the given city scale with the paper's sweep
+// parameters.
+func NewSuite(scale float64) *Suite {
+	return &Suite{
+		Scale:          scale,
+		SamplesPerHour: 10,
+		Budgets:        []float64{0.03, 0.05, 0.07, 0.10, 0.20, 0.30},
+		Models:         core.AllModels,
+		Seed:           20230401,
+		cities:         make(map[string]*synth.City),
+		engines:        make(map[string]*core.Engine),
+	}
+}
+
+// Interval returns the evaluated time interval (weekday AM peak).
+func (s *Suite) Interval() gtfs.Interval {
+	return gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: 2, Label: "weekday AM peak"}
+}
+
+// CityConfigs returns the two evaluated cities at suite scale.
+func (s *Suite) CityConfigs() []synth.Config {
+	return []synth.Config{
+		synth.Scaled(synth.Birmingham(), s.Scale),
+		synth.Scaled(synth.Coventry(), s.Scale),
+	}
+}
+
+// City generates (or returns the cached) city for a config.
+func (s *Suite) City(cfg synth.Config) (*synth.City, error) {
+	if c, ok := s.cities[cfg.Name]; ok {
+		return c, nil
+	}
+	c, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating %s: %w", cfg.Name, err)
+	}
+	s.cities[cfg.Name] = c
+	return c, nil
+}
+
+// Engine builds (or returns the cached) engine for a config.
+func (s *Suite) Engine(cfg synth.Config) (*core.Engine, error) {
+	if e, ok := s.engines[cfg.Name]; ok {
+		return e, nil
+	}
+	c, err := s.City(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e, err := core.NewEngine(c, core.EngineOptions{Interval: s.Interval()})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: engine for %s: %w", cfg.Name, err)
+	}
+	s.engines[cfg.Name] = e
+	return e, nil
+}
+
+// poisOf returns a category's points for a city.
+func poisOf(c *synth.City, cat synth.POICategory) []geo.Point {
+	return core.POIsOf(c, cat)
+}
+
+// shortName maps a preset name like "Birmingham-x0.15" to its base name.
+func shortName(cfg synth.Config) string {
+	for i := 0; i < len(cfg.Name); i++ {
+		if cfg.Name[i] == '-' {
+			return cfg.Name[:i]
+		}
+	}
+	return cfg.Name
+}
+
+// header prints a section banner.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n\n", title)
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"accessquery/internal/geo"
+	"accessquery/internal/synth"
+	"accessquery/internal/todam"
+)
+
+// Table1Row is one line of Table I: matrix sizes for a (city, POI
+// category) pair.
+type Table1Row struct {
+	City      string
+	Category  synth.POICategory
+	POIs      int
+	Full      int64
+	Gravity   int64
+	Reduction float64
+	// MeanAssociated is the mean number of POIs a zone associates with
+	// (the paper quotes 18.3 vs 6.3 for vaccination centers).
+	MeanAssociated float64
+}
+
+// Table1 reproduces Table I at full paper scale: the size of the full
+// TODAM versus the gravity-constructed TODAM for both cities and all four
+// POI categories. No shortest-path queries are needed, so the full 3217-
+// and 1014-zone cities are used regardless of suite scale.
+func (s *Suite) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, cfg := range []synth.Config{synth.Birmingham(), synth.Coventry()} {
+		city, err := s.City(cfg)
+		if err != nil {
+			return nil, err
+		}
+		zonePts := make([]geo.Point, len(city.Zones))
+		for i, z := range city.Zones {
+			zonePts[i] = z.Centroid
+		}
+		for _, cat := range synth.AllCategories {
+			poiPts := poisOf(city, cat)
+			m, err := todam.Build(todam.Spec{
+				ZonePts:        zonePts,
+				POIPts:         poiPts,
+				Interval:       s.Interval(),
+				SamplesPerHour: 30, // |R| = 60 over the 2h window, as in the paper
+				Attractiveness: todam.DefaultAttractiveness(),
+				Seed:           s.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table1Row{
+				City:           cfg.Name,
+				Category:       cat,
+				POIs:           len(poiPts),
+				Full:           m.FullSize(),
+				Gravity:        m.Size(),
+				Reduction:      m.Reduction(),
+				MeanAssociated: m.MeanAssociatedPOIs(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders the Table I reproduction.
+func (s *Suite) PrintTable1(w io.Writer) error {
+	rows, err := s.Table1()
+	if err != nil {
+		return err
+	}
+	header(w, "Table I: TODAM size, full vs gravity-constructed")
+	fmt.Fprintf(w, "%-12s %-11s %6s %14s %14s %8s %10s\n",
+		"City", "POI", "|P|", "Full", "Gravity", "%Red.", "AssocPOIs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-11s %6d %14d %14d %8.1f %10.1f\n",
+			r.City, r.Category, r.POIs, r.Full, r.Gravity, r.Reduction, r.MeanAssociated)
+	}
+	return nil
+}

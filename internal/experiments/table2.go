@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"accessquery/internal/access"
+	"accessquery/internal/core"
+	"accessquery/internal/synth"
+)
+
+// Table2Row is one line of Table II: naive labeling cost versus the SSR
+// solution's end-to-end cost per budget for one (city, POI category).
+type Table2Row struct {
+	City      string
+	Category  synth.POICategory
+	LabelCost time.Duration
+	// Solution maps budget -> end-to-end SSR cost (matrix + features +
+	// labeling + training).
+	Solution map[float64]time.Duration
+	// Saving maps budget -> percentage saving against LabelCost.
+	Saving map[float64]float64
+	// NaiveSPQs and SolutionSPQs record the shortest-path workload, the
+	// scale-free quantity behind the timing.
+	NaiveSPQs    int64
+	SolutionSPQs map[float64]int64
+}
+
+// Table2 reproduces Table II on the suite-scaled cities: the wall-clock
+// cost of labeling the entire gravity TODAM versus running the SSR solution
+// at each budget. The measured machine and city scale differ from the
+// paper's, but the savings percentages are driven by the labeled fraction
+// and therefore transfer.
+func (s *Suite) Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, cfg := range s.CityConfigs() {
+		engine, err := s.Engine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, cat := range synth.AllCategories {
+			pois := poisOf(engine.City, cat)
+			if len(pois) == 0 {
+				continue
+			}
+			q := core.Query{
+				POIs:           pois,
+				Cost:           access.Generalized,
+				Model:          core.ModelMLP,
+				SamplesPerHour: s.SamplesPerHour,
+				Seed:           s.Seed,
+			}
+			gt, err := engine.GroundTruth(q)
+			if err != nil {
+				return nil, err
+			}
+			row := Table2Row{
+				City:         shortName(cfg),
+				Category:     cat,
+				LabelCost:    gt.Timing.Labeling + gt.Timing.Matrix,
+				NaiveSPQs:    gt.Timing.SPQs,
+				Solution:     make(map[float64]time.Duration),
+				Saving:       make(map[float64]float64),
+				SolutionSPQs: make(map[float64]int64),
+			}
+			for _, beta := range s.Budgets {
+				q.Budget = beta
+				res, err := engine.Run(q)
+				if err != nil {
+					return nil, err
+				}
+				total := res.Timing.Total()
+				row.Solution[beta] = total
+				row.SolutionSPQs[beta] = res.Timing.SPQs
+				if row.LabelCost > 0 {
+					row.Saving[beta] = 100 * (1 - float64(total)/float64(row.LabelCost))
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// PrintTable2 renders the Table II reproduction.
+func (s *Suite) PrintTable2(w io.Writer) error {
+	rows, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	header(w, fmt.Sprintf("Table II: naive vs SSR runtime (cities at scale %.2f)", s.Scale))
+	fmt.Fprintf(w, "%-10s %-11s %10s |", "City", "POI", "LabelCost")
+	for _, b := range s.Budgets {
+		fmt.Fprintf(w, " %6.0f%%", b*100)
+	}
+	fmt.Fprintf(w, " | saving%%:")
+	for _, b := range s.Budgets {
+		fmt.Fprintf(w, " %5.0f%%", b*100)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-11s %10s |", r.City, r.Category, round(r.LabelCost))
+		for _, b := range s.Budgets {
+			fmt.Fprintf(w, " %7s", round(r.Solution[b]))
+		}
+		fmt.Fprintf(w, " |         ")
+		for _, b := range s.Budgets {
+			fmt.Fprintf(w, " %5.1f", r.Saving[b])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "\nSPQ workload (scale-free): naive vs SSR per budget\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-11s naive=%-9d |", r.City, r.Category, r.NaiveSPQs)
+		for _, b := range s.Budgets {
+			fmt.Fprintf(w, " %8d", r.SolutionSPQs[b])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func round(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	}
+}

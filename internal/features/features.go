@@ -1,0 +1,324 @@
+// Package features implements the paper's online feature computation
+// (Section IV-B). For an origin-destination pair it retrieves the origin's
+// outbound transit-hop tree and the destination's inbound tree, identifies
+// interchanges (a 1-NN search from each outbound leaf onto the inbound
+// leaves followed by a walking-isochrone intersection test), and emits a
+// fixed-width vector describing the pair's potential connectivity. OD
+// vectors are aggregated to the origin level with the attractiveness
+// weights α, mirroring the gravity-based access measures.
+package features
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"accessquery/internal/geo"
+	"accessquery/internal/hoptree"
+	"accessquery/internal/isochrone"
+	"accessquery/internal/spatial"
+	"accessquery/internal/todam"
+)
+
+// Dim is the width of the pair feature vector.
+const Dim = 19
+
+// Names lists the feature columns in vector order.
+func Names() []string {
+	return []string{
+		"od_distance_m",
+		"reachable_within_h",
+		"hops_to_dest",
+		"ob_size",
+		"ib_size",
+		"ob_best_leaf_dist_m",
+		"ob_best_leaf_avg_journey_s",
+		"ob_best_leaf_routes",
+		"ob_best_leaf_visits",
+		"ib_best_leaf_dist_m",
+		"ib_best_leaf_avg_journey_s",
+		"ib_best_leaf_routes",
+		"ib_best_leaf_visits",
+		"interchange_count",
+		"interchange_best_dist_m",
+		"hifreq_min_dist_to_dest_m",
+		"reach_fraction_h",
+		"walkable_direct",
+		"walk_margin",
+	}
+}
+
+// Extractor computes pair and origin-level feature vectors from the
+// pre-computed structures.
+type Extractor struct {
+	forest *hoptree.Forest
+	zones  []geo.Point
+	isos   *isochrone.Set
+	// Hops is the chaining depth h; the paper uses 1 or 2.
+	Hops int
+
+	// ibTrees caches a KD-tree over the inbound leaves per destination zone.
+	ibTrees map[int]*spatial.KDTree
+	// reachFrac caches the h-hop reachable fraction per origin.
+	reachFrac map[int]float64
+	// hopsTo caches per-origin hop counts.
+	hopsTo map[int]map[int]int
+}
+
+// NewExtractor builds an extractor. zones are zone centroids indexed like
+// the forest; isos are the walking isochrones for interchange testing.
+func NewExtractor(forest *hoptree.Forest, zones []geo.Point, isos *isochrone.Set, hops int) (*Extractor, error) {
+	if forest == nil || isos == nil {
+		return nil, fmt.Errorf("features: nil forest or isochrones")
+	}
+	if forest.Zones() != len(zones) {
+		return nil, fmt.Errorf("features: forest covers %d zones, got %d centroids", forest.Zones(), len(zones))
+	}
+	if len(isos.Isochrones) != len(zones) {
+		return nil, fmt.Errorf("features: %d isochrones for %d zones", len(isos.Isochrones), len(zones))
+	}
+	if hops <= 0 {
+		hops = 2
+	}
+	return &Extractor{
+		forest:    forest,
+		zones:     zones,
+		isos:      isos,
+		Hops:      hops,
+		ibTrees:   make(map[int]*spatial.KDTree),
+		reachFrac: make(map[int]float64),
+		hopsTo:    make(map[int]map[int]int),
+	}, nil
+}
+
+// walkRadiusMeters is the direct-walk feasibility radius used by the
+// walkable_direct feature: the crow-flight distance coverable in tau
+// seconds.
+func (e *Extractor) walkRadiusMeters() float64 {
+	return e.isos.Tau / (3.6 / 4.5)
+}
+
+// PairVector computes the feature vector for (origin zone, destination
+// point). destZone is the zone the destination POI is associated with.
+func (e *Extractor) PairVector(origin int, dest geo.Point, destZone int) ([]float64, error) {
+	if origin < 0 || origin >= len(e.zones) {
+		return nil, fmt.Errorf("features: origin %d out of range", origin)
+	}
+	if destZone < 0 || destZone >= len(e.zones) {
+		return nil, fmt.Errorf("features: destination zone %d out of range", destZone)
+	}
+	v := make([]float64, Dim)
+	op := e.zones[origin]
+	odDist := geo.DistanceMeters(op, dest)
+	v[0] = odDist
+
+	hopsTo := e.hopsFor(origin)
+	if h, ok := hopsTo[destZone]; ok {
+		v[1] = 1
+		v[2] = float64(h)
+	} else {
+		v[2] = float64(e.Hops + 1) // sentinel: beyond h hops
+	}
+
+	ob := e.forest.Outbound(origin)
+	ib := e.forest.Inbound(destZone)
+	v[3] = float64(ob.Size())
+	v[4] = float64(ib.Size())
+
+	// Closest outbound leaf to the destination.
+	if leaf, dist := e.closestLeaf(ob, dest); leaf != nil {
+		v[5] = dist
+		v[6] = leaf.AvgJourney()
+		v[7] = float64(leaf.RouteCount())
+		v[8] = float64(leaf.Visits)
+	} else {
+		v[5] = odDist // nothing closer than staying put
+	}
+	// Closest inbound leaf to the origin.
+	if leaf, dist := e.closestLeaf(ib, op); leaf != nil {
+		v[9] = dist
+		v[10] = leaf.AvgJourney()
+		v[11] = float64(leaf.RouteCount())
+		v[12] = float64(leaf.Visits)
+	} else {
+		v[9] = odDist
+	}
+
+	// Interchanges.
+	inter := e.interchanges(ob, destZone)
+	v[13] = float64(len(inter))
+	best := math.Inf(1)
+	for _, zi := range inter {
+		if d := geo.DistanceMeters(e.zones[zi], dest); d < best {
+			best = d
+		}
+	}
+	if math.IsInf(best, 1) {
+		best = odDist
+	}
+	v[14] = best
+
+	// High-frequency-route feature: among the top outbound leaves by
+	// visits, how close can we get to the destination?
+	v[15] = e.hiFreqApproach(ob, dest, odDist)
+	v[16] = e.reachFraction(origin)
+	if odDist <= e.walkRadiusMeters() {
+		v[17] = 1
+	}
+	// walk_margin addresses the walk-only-trip difficulty the paper's
+	// conclusion flags: how deep inside (positive) or far outside
+	// (negative) the walking radius the destination sits, in units of the
+	// radius. Walk-only pairs have zero cost variance (ACSD 0), and this
+	// continuous signal lets the models separate them from marginal ones.
+	v[18] = (e.walkRadiusMeters() - odDist) / e.walkRadiusMeters()
+	return v, nil
+}
+
+func (e *Extractor) hopsFor(origin int) map[int]int {
+	if m, ok := e.hopsTo[origin]; ok {
+		return m
+	}
+	m := e.forest.ReachableWithin(origin, e.Hops)
+	e.hopsTo[origin] = m
+	return m
+}
+
+func (e *Extractor) reachFraction(origin int) float64 {
+	if f, ok := e.reachFrac[origin]; ok {
+		return f
+	}
+	f := float64(len(e.hopsFor(origin))) / float64(len(e.zones))
+	e.reachFrac[origin] = f
+	return f
+}
+
+// closestLeaf returns the leaf geographically nearest to p and its
+// distance, or nil for an empty tree.
+func (e *Extractor) closestLeaf(t *hoptree.Tree, p geo.Point) (*hoptree.Leaf, float64) {
+	var best *hoptree.Leaf
+	bestD := math.Inf(1)
+	for zone, leaf := range t.Leaves {
+		if d := geo.DistanceMeters(e.zones[zone], p); d < bestD {
+			bestD = d
+			best = leaf
+		}
+	}
+	if best == nil {
+		return nil, 0
+	}
+	return best, bestD
+}
+
+// interchanges identifies the outbound leaves that connect to the inbound
+// tree of destZone: for each outbound leaf, the nearest inbound leaf is
+// found with a 1-NN query and the pair is tested for walking-isochrone
+// overlap (Section IV-B1).
+func (e *Extractor) interchanges(ob *hoptree.Tree, destZone int) []int {
+	ibTree := e.ibTreeFor(destZone)
+	if ibTree == nil || ibTree.Len() == 0 {
+		return nil
+	}
+	var out []int
+	for zone := range ob.Leaves {
+		nb, ok := ibTree.Nearest(e.zones[zone])
+		if !ok {
+			continue
+		}
+		isoA := e.isos.For(zone)
+		isoB := e.isos.For(nb.Item.ID)
+		if isoA == nil || isoB == nil {
+			continue
+		}
+		if zone == nb.Item.ID || isoA.Intersects(isoB) {
+			out = append(out, zone)
+		}
+	}
+	return out
+}
+
+func (e *Extractor) ibTreeFor(destZone int) *spatial.KDTree {
+	if t, ok := e.ibTrees[destZone]; ok {
+		return t
+	}
+	ib := e.forest.Inbound(destZone)
+	items := make([]spatial.Item, 0, ib.Size())
+	for zone := range ib.Leaves {
+		items = append(items, spatial.Item{ID: zone, Point: e.zones[zone]})
+	}
+	t := spatial.NewKDTree(items)
+	e.ibTrees[destZone] = t
+	return t
+}
+
+// hiFreqApproach returns the minimum distance to dest over the top-k
+// outbound leaves ranked by visit frequency, falling back to the direct
+// distance when the tree is empty.
+func (e *Extractor) hiFreqApproach(ob *hoptree.Tree, dest geo.Point, fallback float64) float64 {
+	const topK = 5
+	// Select top-K by visits with a small selection pass.
+	type lv struct {
+		zone   int
+		visits int
+	}
+	var top []lv
+	for zone, leaf := range ob.Leaves {
+		top = append(top, lv{zone: zone, visits: leaf.Visits})
+	}
+	if len(top) == 0 {
+		return fallback
+	}
+	// Sort by visits descending with zone id as a deterministic tie-break
+	// (map iteration order must not leak into features).
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].visits != top[j].visits {
+			return top[i].visits > top[j].visits
+		}
+		return top[i].zone < top[j].zone
+	})
+	k := topK
+	if k > len(top) {
+		k = len(top)
+	}
+	best := math.Inf(1)
+	for _, t := range top[:k] {
+		if d := geo.DistanceMeters(e.zones[t.zone], dest); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// OriginVector aggregates a zone's OD pair vectors to the origin level with
+// an α-weighted mean, the same weighting the gravity access measures use.
+// poiZone maps POI index to its associated zone; poiPts are POI locations.
+func (e *Extractor) OriginVector(origin int, row []todam.PairTrips, poiPts []geo.Point, poiZone []int) ([]float64, error) {
+	agg := make([]float64, Dim)
+	var wsum float64
+	for _, pt := range row {
+		if pt.POI < 0 || pt.POI >= len(poiPts) || pt.POI >= len(poiZone) {
+			return nil, fmt.Errorf("features: POI %d out of range", pt.POI)
+		}
+		v, err := e.PairVector(origin, poiPts[pt.POI], poiZone[pt.POI])
+		if err != nil {
+			return nil, err
+		}
+		w := pt.Alpha
+		wsum += w
+		for j := range agg {
+			agg[j] += w * v[j]
+		}
+	}
+	if wsum == 0 {
+		// Zone with no associated POIs: describe it by its own connectivity
+		// so the model still has signal.
+		v, err := e.PairVector(origin, e.zones[origin], origin)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	for j := range agg {
+		agg[j] /= wsum
+	}
+	return agg, nil
+}

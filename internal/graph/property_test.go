@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"accessquery/internal/geo"
+)
+
+// randomConnectedGraph builds a connected random graph: a spanning chain
+// plus extra random edges.
+func randomConnectedGraph(rng *rand.Rand, n int) (*Graph, []NodeID) {
+	g := New(n)
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = g.AddNode(geo.Offset(origin, rng.Float64()*5000, rng.Float64()*5000))
+	}
+	for i := 0; i+1 < n; i++ {
+		_ = g.AddEdge(ids[i], ids[i+1], 1+rng.Float64()*100)
+	}
+	for i := 0; i < n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			_ = g.AddEdge(ids[u], ids[v], 1+rng.Float64()*100)
+		}
+	}
+	return g, ids
+}
+
+// TestShortestPathTriangleInequalityProperty: d(a,c) <= d(a,b) + d(b,c)
+// for random graphs and vertex triples.
+func TestShortestPathTriangleInequalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		g, ids := randomConnectedGraph(rng, n)
+		a, b, c := ids[rng.Intn(n)], ids[rng.Intn(n)], ids[rng.Intn(n)]
+		dab, _, err := g.ShortestPath(a, b)
+		if err != nil {
+			return false
+		}
+		dbc, _, err := g.ShortestPath(b, c)
+		if err != nil {
+			return false
+		}
+		dac, _, err := g.ShortestPath(a, c)
+		if err != nil {
+			return false
+		}
+		return dac <= dab+dbc+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShortestPathSymmetryProperty: undirected graphs give d(a,b) = d(b,a).
+func TestShortestPathSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		g, ids := randomConnectedGraph(rng, n)
+		a, b := ids[rng.Intn(n)], ids[rng.Intn(n)]
+		dab, _, err := g.ShortestPath(a, b)
+		if err != nil {
+			return false
+		}
+		dba, _, err := g.ShortestPath(b, a)
+		if err != nil {
+			return false
+		}
+		return math.Abs(dab-dba) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPathCostMatchesEdgeSumProperty: the reported distance equals the sum
+// of the returned path's edge weights.
+func TestPathCostMatchesEdgeSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		g, ids := randomConnectedGraph(rng, n)
+		a, b := ids[rng.Intn(n)], ids[rng.Intn(n)]
+		d, path, err := g.ShortestPath(a, b)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for i := 0; i+1 < len(path); i++ {
+			// Find the cheapest edge between consecutive path nodes.
+			best := math.Inf(1)
+			g.Neighbors(path[i], func(to NodeID, s float64) {
+				if to == path[i+1] && s < best {
+					best = s
+				}
+			})
+			if math.IsInf(best, 1) {
+				return false // path uses a non-existent edge
+			}
+			sum += best
+		}
+		return math.Abs(sum-d) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExploreSubsetOfAllDistancesProperty: bounded exploration agrees with
+// the unbounded distances wherever it reaches.
+func TestExploreSubsetOfAllDistancesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		g, ids := randomConnectedGraph(rng, n)
+		src := ids[rng.Intn(n)]
+		bound := rng.Float64() * 200
+		explored, err := g.Explore(src, bound)
+		if err != nil {
+			return false
+		}
+		full, err := g.AllDistances(src)
+		if err != nil {
+			return false
+		}
+		for node, d := range explored {
+			if d > bound+1e-9 {
+				return false
+			}
+			if math.Abs(full[node]-d) > 1e-9 {
+				return false
+			}
+		}
+		// Conversely every node within the bound must be explored.
+		for i, d := range full {
+			if d <= bound {
+				if _, ok := explored[NodeID(i)]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package gtfs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSecondsMinutes(t *testing.T) {
+	if m := Seconds(90).Minutes(); m != 1.5 {
+		t.Errorf("Minutes = %v", m)
+	}
+}
+
+// writeFixture writes a complete valid GTFS dir, then lets the test corrupt
+// one file.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	f := testFeed(t)
+	dir := t.TempDir()
+	if err := f.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func overwrite(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadDirBadStopCoordinates(t *testing.T) {
+	dir := writeFixture(t)
+	overwrite(t, dir, FileStops, "stop_id,stop_name,stop_lat,stop_lon\nX,Bad,notanumber,0\n")
+	if _, err := ReadDir(dir); err == nil || !strings.Contains(err.Error(), "lat") {
+		t.Errorf("err = %v, want bad-lat error", err)
+	}
+	overwrite(t, dir, FileStops, "stop_id,stop_name,stop_lat,stop_lon\nX,Bad,1.0,east\n")
+	if _, err := ReadDir(dir); err == nil || !strings.Contains(err.Error(), "lon") {
+		t.Errorf("err = %v, want bad-lon error", err)
+	}
+}
+
+func TestReadDirMissingColumn(t *testing.T) {
+	dir := writeFixture(t)
+	overwrite(t, dir, FileStops, "stop_name,stop_lat,stop_lon\nBad,1.0,1.0\n")
+	if _, err := ReadDir(dir); err == nil || !strings.Contains(err.Error(), "stop_id") {
+		t.Errorf("err = %v, want missing-column error", err)
+	}
+}
+
+func TestReadDirBadCalendar(t *testing.T) {
+	dir := writeFixture(t)
+	overwrite(t, dir, FileCalendar, "service_id,sunday,monday\nWK,1,1\n")
+	if _, err := ReadDir(dir); err == nil {
+		t.Error("truncated calendar should fail")
+	}
+}
+
+func TestReadDirBadStopTimes(t *testing.T) {
+	dir := writeFixture(t)
+	cases := []struct {
+		name string
+		rows string
+	}{
+		{"bad arrival", "trip_id,arrival_time,departure_time,stop_id,stop_sequence\nT1_a,junk,08:00:00,A,1\n"},
+		{"bad departure", "trip_id,arrival_time,departure_time,stop_id,stop_sequence\nT1_a,08:00:00,junk,A,1\n"},
+		{"bad sequence", "trip_id,arrival_time,departure_time,stop_id,stop_sequence\nT1_a,08:00:00,08:00:00,A,first\n"},
+	}
+	for _, c := range cases {
+		overwrite(t, dir, FileStopTimes, c.rows)
+		if _, err := ReadDir(dir); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestReadDirDuplicateTrip(t *testing.T) {
+	dir := writeFixture(t)
+	overwrite(t, dir, FileTrips,
+		"route_id,service_id,trip_id,trip_headsign\nR1,WK,DUP,x\nR1,WK,DUP,x\n")
+	if _, err := ReadDir(dir); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("err = %v, want duplicate-trip error", err)
+	}
+}
+
+func TestReadDirUnsortedStopTimesAreSorted(t *testing.T) {
+	// Stop times may arrive out of sequence order in real feeds; the
+	// reader must sort by stop_sequence before validation.
+	dir := writeFixture(t)
+	overwrite(t, dir, FileTrips, "route_id,service_id,trip_id,trip_headsign\nR1,WK,T,x\n")
+	overwrite(t, dir, FileStopTimes,
+		"trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"+
+			"T,08:10:00,08:10:00,C,3\n"+
+			"T,08:00:00,08:00:00,A,1\n"+
+			"T,08:05:00,08:05:30,B,2\n")
+	f, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trip *Trip
+	for i := range f.Trips {
+		if f.Trips[i].ID == "T" {
+			trip = &f.Trips[i]
+		}
+	}
+	if trip == nil {
+		t.Fatal("trip missing")
+	}
+	if trip.StopTimes[0].StopID != "A" || trip.StopTimes[2].StopID != "C" {
+		t.Errorf("stop times not sorted: %+v", trip.StopTimes)
+	}
+}
+
+func TestWriteDirCreatesDirectory(t *testing.T) {
+	f := testFeed(t)
+	dir := filepath.Join(t.TempDir(), "nested", "gtfs")
+	if err := f.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, FileStops)); err != nil {
+		t.Error("stops.txt missing")
+	}
+}

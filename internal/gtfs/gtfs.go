@@ -1,0 +1,405 @@
+// Package gtfs models the transit timetable data F from the paper's
+// preliminaries using the General Transit Feed Specification vocabulary:
+// stops, routes, trips, stop times, and service calendars. It provides CSV
+// encoding/decoding compatible with the GTFS text format and a schedule
+// index for efficient "departures from stop S in window W" queries, the
+// primitive behind both transit-hop tree generation and the multimodal
+// router.
+package gtfs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"accessquery/internal/geo"
+)
+
+// Seconds is a time of day in seconds since midnight of the service day.
+// GTFS allows values beyond 24h for trips that run past midnight.
+type Seconds int32
+
+// ParseSeconds parses a GTFS "HH:MM:SS" time. Hours may exceed 23.
+func ParseSeconds(s string) (Seconds, error) {
+	var h, m, sec int
+	if _, err := fmt.Sscanf(s, "%d:%d:%d", &h, &m, &sec); err != nil {
+		return 0, fmt.Errorf("gtfs: bad time %q: %v", s, err)
+	}
+	if h < 0 || m < 0 || m > 59 || sec < 0 || sec > 59 {
+		return 0, fmt.Errorf("gtfs: bad time %q", s)
+	}
+	return Seconds(h*3600 + m*60 + sec), nil
+}
+
+// String formats the time as "HH:MM:SS".
+func (s Seconds) String() string {
+	return fmt.Sprintf("%02d:%02d:%02d", s/3600, (s/60)%60, s%60)
+}
+
+// Minutes returns the value in fractional minutes.
+func (s Seconds) Minutes() float64 { return float64(s) / 60 }
+
+// StopID identifies a transit stop.
+type StopID string
+
+// RouteID identifies a transit route (e.g. a bus line).
+type RouteID string
+
+// TripID identifies one scheduled run of a route.
+type TripID string
+
+// ServiceID identifies a service calendar entry.
+type ServiceID string
+
+// Stop is a boarding location.
+type Stop struct {
+	ID    StopID
+	Name  string
+	Point geo.Point
+}
+
+// RouteType enumerates GTFS route types; only the ones the synthetic cities
+// use are named.
+type RouteType int
+
+// Route types per the GTFS reference.
+const (
+	RouteTram  RouteType = 0
+	RouteMetro RouteType = 1
+	RouteRail  RouteType = 2
+	RouteBus   RouteType = 3
+)
+
+// Route is a transit line.
+type Route struct {
+	ID        RouteID
+	ShortName string
+	LongName  string
+	Type      RouteType
+	// FareFlat is the flat fare in pence charged for boarding the route.
+	// (GTFS models fares in separate files; a flat per-boarding fare is all
+	// the generalized-cost model needs.)
+	FareFlat float64
+}
+
+// StopTime is one scheduled stop visit within a trip.
+type StopTime struct {
+	StopID    StopID
+	Arrival   Seconds
+	Departure Seconds
+	Seq       int
+}
+
+// Trip is one scheduled run of a route with its ordered stop times.
+type Trip struct {
+	ID        TripID
+	RouteID   RouteID
+	ServiceID ServiceID
+	Headsign  string
+	StopTimes []StopTime
+}
+
+// Service is a calendar entry marking which weekdays the service runs.
+type Service struct {
+	ID       ServiceID
+	Weekdays [7]bool // indexed by time.Weekday (Sunday = 0)
+}
+
+// RunsOn reports whether the service operates on the given weekday.
+func (s Service) RunsOn(d time.Weekday) bool { return s.Weekdays[d] }
+
+// Interval is the time interval v = [t_s, t_e, t_d] from the paper: a start
+// and end time of day on a given weekday.
+type Interval struct {
+	Start Seconds
+	End   Seconds
+	Day   time.Weekday
+	Label string // e.g. "weekday AM peak"
+}
+
+// Contains reports whether t falls within the interval (inclusive start,
+// exclusive end).
+func (v Interval) Contains(t Seconds) bool { return t >= v.Start && t < v.End }
+
+// Duration returns the interval length in seconds.
+func (v Interval) Duration() Seconds { return v.End - v.Start }
+
+// Feed is an in-memory GTFS feed.
+type Feed struct {
+	Stops    []Stop
+	Routes   []Route
+	Trips    []Trip
+	Services []Service
+	// Frequencies holds headway-based service declarations
+	// (frequencies.txt); see AddFrequency.
+	Frequencies []Frequency
+
+	stopByID    map[StopID]int
+	routeByID   map[RouteID]int
+	serviceByID map[ServiceID]int
+}
+
+// NewFeed returns an empty feed.
+func NewFeed() *Feed {
+	return &Feed{
+		stopByID:    make(map[StopID]int),
+		routeByID:   make(map[RouteID]int),
+		serviceByID: make(map[ServiceID]int),
+	}
+}
+
+// AddStop appends a stop. Duplicate IDs are rejected.
+func (f *Feed) AddStop(s Stop) error {
+	if _, dup := f.stopByID[s.ID]; dup {
+		return fmt.Errorf("gtfs: duplicate stop %q", s.ID)
+	}
+	f.stopByID[s.ID] = len(f.Stops)
+	f.Stops = append(f.Stops, s)
+	return nil
+}
+
+// AddRoute appends a route. Duplicate IDs are rejected.
+func (f *Feed) AddRoute(r Route) error {
+	if _, dup := f.routeByID[r.ID]; dup {
+		return fmt.Errorf("gtfs: duplicate route %q", r.ID)
+	}
+	f.routeByID[r.ID] = len(f.Routes)
+	f.Routes = append(f.Routes, r)
+	return nil
+}
+
+// AddService appends a service calendar entry. Duplicate IDs are rejected.
+func (f *Feed) AddService(s Service) error {
+	if _, dup := f.serviceByID[s.ID]; dup {
+		return fmt.Errorf("gtfs: duplicate service %q", s.ID)
+	}
+	f.serviceByID[s.ID] = len(f.Services)
+	f.Services = append(f.Services, s)
+	return nil
+}
+
+// AddTrip appends a trip after validating its references and stop-time
+// ordering.
+func (f *Feed) AddTrip(t Trip) error {
+	if _, ok := f.routeByID[t.RouteID]; !ok {
+		return fmt.Errorf("gtfs: trip %q references unknown route %q", t.ID, t.RouteID)
+	}
+	if _, ok := f.serviceByID[t.ServiceID]; !ok {
+		return fmt.Errorf("gtfs: trip %q references unknown service %q", t.ID, t.ServiceID)
+	}
+	if len(t.StopTimes) < 2 {
+		return fmt.Errorf("gtfs: trip %q has %d stop times, need >= 2", t.ID, len(t.StopTimes))
+	}
+	for i, st := range t.StopTimes {
+		if _, ok := f.stopByID[st.StopID]; !ok {
+			return fmt.Errorf("gtfs: trip %q stop time %d references unknown stop %q", t.ID, i, st.StopID)
+		}
+		if st.Departure < st.Arrival {
+			return fmt.Errorf("gtfs: trip %q stop %d departs before arriving", t.ID, i)
+		}
+		if i > 0 {
+			prev := t.StopTimes[i-1]
+			if st.Arrival < prev.Departure {
+				return fmt.Errorf("gtfs: trip %q stop %d arrives before previous departure", t.ID, i)
+			}
+			if st.Seq <= prev.Seq {
+				return fmt.Errorf("gtfs: trip %q stop sequence not increasing at %d", t.ID, i)
+			}
+		}
+	}
+	f.Trips = append(f.Trips, t)
+	return nil
+}
+
+// Stop returns the stop with the given ID.
+func (f *Feed) Stop(id StopID) (Stop, bool) {
+	i, ok := f.stopByID[id]
+	if !ok {
+		return Stop{}, false
+	}
+	return f.Stops[i], true
+}
+
+// Route returns the route with the given ID.
+func (f *Feed) Route(id RouteID) (Route, bool) {
+	i, ok := f.routeByID[id]
+	if !ok {
+		return Route{}, false
+	}
+	return f.Routes[i], true
+}
+
+// Service returns the service with the given ID.
+func (f *Feed) Service(id ServiceID) (Service, bool) {
+	i, ok := f.serviceByID[id]
+	if !ok {
+		return Service{}, false
+	}
+	return f.Services[i], true
+}
+
+// Validate checks referential integrity of the whole feed. Feeds built via
+// the Add methods are valid by construction; Validate exists for feeds
+// decoded from external CSV.
+func (f *Feed) Validate() error {
+	if len(f.stopByID) != len(f.Stops) {
+		return fmt.Errorf("gtfs: stop index out of sync")
+	}
+	for _, t := range f.Trips {
+		if _, ok := f.routeByID[t.RouteID]; !ok {
+			return fmt.Errorf("gtfs: trip %q references unknown route %q", t.ID, t.RouteID)
+		}
+		if _, ok := f.serviceByID[t.ServiceID]; !ok {
+			return fmt.Errorf("gtfs: trip %q references unknown service %q", t.ID, t.ServiceID)
+		}
+		for _, st := range t.StopTimes {
+			if _, ok := f.stopByID[st.StopID]; !ok {
+				return fmt.Errorf("gtfs: trip %q references unknown stop %q", t.ID, st.StopID)
+			}
+		}
+	}
+	return nil
+}
+
+// Departure is one upcoming departure from a stop.
+type Departure struct {
+	TripID    TripID
+	RouteID   RouteID
+	Departure Seconds
+	// StopIndex is the position of the stop within the trip's stop list.
+	StopIndex int
+}
+
+// ServiceTrips returns the trips operating on the given weekday, with
+// frequency-based templates replaced by their materialized runs. The
+// returned slice is freshly allocated and safe to retain.
+func (f *Feed) ServiceTrips(day time.Weekday) []Trip {
+	runs := func(t *Trip) bool {
+		svc, ok := f.Service(t.ServiceID)
+		return ok && svc.RunsOn(day)
+	}
+	var out []Trip
+	for i := range f.Trips {
+		t := &f.Trips[i]
+		if !runs(t) || f.hasFrequency(t.ID) {
+			continue
+		}
+		out = append(out, *t)
+	}
+	for _, t := range f.expandFrequencies() {
+		if runs(&t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Index is a read-only schedule index over a feed, answering departure
+// queries in O(log n + k). Build one with NewIndex after the feed is fully
+// populated. Frequency-based trips are materialized into concrete runs.
+type Index struct {
+	feed *Feed
+	// trips are the day's operating trips (frequency runs materialized).
+	trips []Trip
+	// deps[stop] is sorted by departure time.
+	deps map[StopID][]indexedDep
+	// tripIdx maps trip ID to its position in trips.
+	tripIdx map[TripID]int
+}
+
+type indexedDep struct {
+	dep  Seconds
+	trip int // index into Index.trips
+	seq  int // index into trip.StopTimes
+}
+
+// NewIndex builds a schedule index restricted to services running on the
+// given weekday.
+func NewIndex(f *Feed, day time.Weekday) *Index {
+	trips := f.ServiceTrips(day)
+	ix := &Index{
+		feed:    f,
+		trips:   trips,
+		deps:    make(map[StopID][]indexedDep),
+		tripIdx: make(map[TripID]int, len(trips)),
+	}
+	for ti := range trips {
+		t := &trips[ti]
+		ix.tripIdx[t.ID] = ti
+		for si, st := range t.StopTimes {
+			if si == len(t.StopTimes)-1 {
+				continue // final stop: nothing departs
+			}
+			ix.deps[st.StopID] = append(ix.deps[st.StopID], indexedDep{
+				dep: st.Departure, trip: ti, seq: si,
+			})
+		}
+	}
+	for stop := range ix.deps {
+		d := ix.deps[stop]
+		sort.Slice(d, func(i, j int) bool { return d[i].dep < d[j].dep })
+	}
+	return ix
+}
+
+// DeparturesBetween returns all departures from stop within [from, to),
+// ordered by departure time.
+func (ix *Index) DeparturesBetween(stop StopID, from, to Seconds) []Departure {
+	d := ix.deps[stop]
+	lo := sort.Search(len(d), func(i int) bool { return d[i].dep >= from })
+	var out []Departure
+	for i := lo; i < len(d) && d[i].dep < to; i++ {
+		t := &ix.trips[d[i].trip]
+		out = append(out, Departure{
+			TripID:    t.ID,
+			RouteID:   t.RouteID,
+			Departure: d[i].dep,
+			StopIndex: d[i].seq,
+		})
+	}
+	return out
+}
+
+// NextDepartures returns up to limit departures from stop at or after t,
+// ordered by departure time.
+func (ix *Index) NextDepartures(stop StopID, t Seconds, limit int) []Departure {
+	d := ix.deps[stop]
+	lo := sort.Search(len(d), func(i int) bool { return d[i].dep >= t })
+	var out []Departure
+	for i := lo; i < len(d) && len(out) < limit; i++ {
+		tr := &ix.trips[d[i].trip]
+		out = append(out, Departure{
+			TripID:    tr.ID,
+			RouteID:   tr.RouteID,
+			Departure: d[i].dep,
+			StopIndex: d[i].seq,
+		})
+	}
+	return out
+}
+
+// Trip returns the operating trip with the given ID (materialized run IDs
+// for frequency-based service).
+func (ix *Index) Trip(id TripID) (*Trip, bool) {
+	i, ok := ix.tripIdx[id]
+	if !ok {
+		return nil, false
+	}
+	return &ix.trips[i], true
+}
+
+// Trips returns the day's operating trips. The slice must not be modified.
+func (ix *Index) Trips() []Trip { return ix.trips }
+
+// Feed returns the underlying feed.
+func (ix *Index) Feed() *Feed { return ix.feed }
+
+// StopsWithDepartures returns the IDs of all stops that have at least one
+// departure in the index, in unspecified order.
+func (ix *Index) StopsWithDepartures() []StopID {
+	out := make([]StopID, 0, len(ix.deps))
+	for s := range ix.deps {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,369 @@
+package gtfs
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"accessquery/internal/geo"
+)
+
+func TestParseSeconds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Seconds
+		ok   bool
+	}{
+		{"00:00:00", 0, true},
+		{"08:30:15", 8*3600 + 30*60 + 15, true},
+		{"25:10:00", 25*3600 + 10*60, true}, // past-midnight trips are legal
+		{"7:05:09", 7*3600 + 5*60 + 9, true},
+		{"garbage", 0, false},
+		{"08:61:00", 0, false},
+		{"08:00:75", 0, false},
+		{"-1:00:00", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSeconds(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseSeconds(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseSeconds(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	for _, s := range []Seconds{0, 1, 59, 3600, 86399, 90000} {
+		got, err := ParseSeconds(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %d -> %q -> %d (err %v)", s, s.String(), got, err)
+		}
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	v := Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday}
+	if !v.Contains(8 * 3600) {
+		t.Error("8am should be in the AM peak")
+	}
+	if !v.Contains(7 * 3600) {
+		t.Error("start is inclusive")
+	}
+	if v.Contains(9 * 3600) {
+		t.Error("end is exclusive")
+	}
+	if v.Duration() != 2*3600 {
+		t.Errorf("duration = %d", v.Duration())
+	}
+}
+
+// testFeed builds a small two-route feed:
+//
+//	route R1 (weekdays): A -> B -> C, trips every 20 min from 07:00
+//	route R2 (daily):    C -> A, one trip at 08:00
+func testFeed(t *testing.T) *Feed {
+	t.Helper()
+	f := NewFeed()
+	base := geo.Point{Lat: 52.48, Lon: -1.89}
+	stops := []Stop{
+		{ID: "A", Name: "Alpha", Point: base},
+		{ID: "B", Name: "Beta", Point: geo.Offset(base, 1000, 0)},
+		{ID: "C", Name: "Gamma", Point: geo.Offset(base, 2000, 0)},
+	}
+	for _, s := range stops {
+		if err := f.AddStop(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.AddRoute(Route{ID: "R1", ShortName: "1", Type: RouteBus, FareFlat: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddRoute(Route{ID: "R2", ShortName: "2", Type: RouteBus, FareFlat: 200}); err != nil {
+		t.Fatal(err)
+	}
+	weekdays := Service{ID: "WK"}
+	for d := time.Monday; d <= time.Friday; d++ {
+		weekdays.Weekdays[d] = true
+	}
+	daily := Service{ID: "DAY"}
+	for d := 0; d < 7; d++ {
+		daily.Weekdays[d] = true
+	}
+	if err := f.AddService(weekdays); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddService(daily); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		dep := Seconds(7*3600 + i*1200)
+		trip := Trip{
+			ID: TripID("T1_" + string(rune('a'+i))), RouteID: "R1", ServiceID: "WK",
+			StopTimes: []StopTime{
+				{StopID: "A", Arrival: dep, Departure: dep, Seq: 1},
+				{StopID: "B", Arrival: dep + 300, Departure: dep + 330, Seq: 2},
+				{StopID: "C", Arrival: dep + 600, Departure: dep + 600, Seq: 3},
+			},
+		}
+		if err := f.AddTrip(trip); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back := Trip{
+		ID: "T2_a", RouteID: "R2", ServiceID: "DAY",
+		StopTimes: []StopTime{
+			{StopID: "C", Arrival: 8 * 3600, Departure: 8 * 3600, Seq: 1},
+			{StopID: "A", Arrival: 8*3600 + 700, Departure: 8*3600 + 700, Seq: 2},
+		},
+	}
+	if err := f.AddTrip(back); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFeedLookups(t *testing.T) {
+	f := testFeed(t)
+	if s, ok := f.Stop("B"); !ok || s.Name != "Beta" {
+		t.Errorf("Stop(B) = %+v, %v", s, ok)
+	}
+	if _, ok := f.Stop("Z"); ok {
+		t.Error("Stop(Z) should not exist")
+	}
+	if r, ok := f.Route("R1"); !ok || r.FareFlat != 200 {
+		t.Errorf("Route(R1) = %+v, %v", r, ok)
+	}
+	if svc, ok := f.Service("WK"); !ok || svc.RunsOn(time.Saturday) {
+		t.Errorf("Service(WK) = %+v, %v", svc, ok)
+	}
+}
+
+func TestFeedDuplicateRejection(t *testing.T) {
+	f := testFeed(t)
+	if err := f.AddStop(Stop{ID: "A"}); err == nil {
+		t.Error("duplicate stop should fail")
+	}
+	if err := f.AddRoute(Route{ID: "R1"}); err == nil {
+		t.Error("duplicate route should fail")
+	}
+	if err := f.AddService(Service{ID: "WK"}); err == nil {
+		t.Error("duplicate service should fail")
+	}
+}
+
+func TestAddTripValidation(t *testing.T) {
+	f := testFeed(t)
+	mk := func(mutate func(*Trip)) Trip {
+		tr := Trip{
+			ID: "X", RouteID: "R1", ServiceID: "WK",
+			StopTimes: []StopTime{
+				{StopID: "A", Arrival: 100, Departure: 100, Seq: 1},
+				{StopID: "B", Arrival: 200, Departure: 200, Seq: 2},
+			},
+		}
+		mutate(&tr)
+		return tr
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Trip)
+	}{
+		{"unknown route", func(tr *Trip) { tr.RouteID = "nope" }},
+		{"unknown service", func(tr *Trip) { tr.ServiceID = "nope" }},
+		{"unknown stop", func(tr *Trip) { tr.StopTimes[0].StopID = "nope" }},
+		{"single stop", func(tr *Trip) { tr.StopTimes = tr.StopTimes[:1] }},
+		{"departs before arrival", func(tr *Trip) { tr.StopTimes[0].Departure = 50 }},
+		{"time travel", func(tr *Trip) { tr.StopTimes[1].Arrival = 50 }},
+		{"non-increasing seq", func(tr *Trip) { tr.StopTimes[1].Seq = 1 }},
+	}
+	for _, c := range cases {
+		if err := f.AddTrip(mk(c.mutate)); err == nil {
+			t.Errorf("%s: AddTrip should fail", c.name)
+		}
+	}
+	if err := f.AddTrip(mk(func(*Trip) {})); err != nil {
+		t.Errorf("valid trip rejected: %v", err)
+	}
+}
+
+func TestIndexDepartures(t *testing.T) {
+	f := testFeed(t)
+	ix := NewIndex(f, time.Tuesday)
+	// From stop A between 07:00 and 08:00: R1 trips at 07:00, 07:20, 07:40.
+	deps := ix.DeparturesBetween("A", 7*3600, 8*3600)
+	if len(deps) != 3 {
+		t.Fatalf("got %d departures, want 3: %+v", len(deps), deps)
+	}
+	for i := 1; i < len(deps); i++ {
+		if deps[i].Departure < deps[i-1].Departure {
+			t.Error("departures not ordered")
+		}
+	}
+	if deps[0].RouteID != "R1" || deps[0].Departure != 7*3600 {
+		t.Errorf("first departure = %+v", deps[0])
+	}
+}
+
+func TestIndexWeekdayFilter(t *testing.T) {
+	f := testFeed(t)
+	sunday := NewIndex(f, time.Sunday)
+	// R1 does not run on Sunday; only R2 from C.
+	if deps := sunday.DeparturesBetween("A", 0, 24*3600); len(deps) != 0 {
+		t.Errorf("Sunday departures from A = %+v, want none", deps)
+	}
+	if deps := sunday.DeparturesBetween("C", 0, 24*3600); len(deps) != 1 {
+		t.Errorf("Sunday departures from C = %+v, want 1", deps)
+	}
+}
+
+func TestIndexTerminalStopHasNoDepartures(t *testing.T) {
+	f := testFeed(t)
+	ix := NewIndex(f, time.Tuesday)
+	for _, d := range ix.DeparturesBetween("C", 0, 24*3600) {
+		if d.RouteID == "R1" {
+			t.Errorf("terminal stop C should have no R1 departures, got %+v", d)
+		}
+	}
+}
+
+func TestNextDepartures(t *testing.T) {
+	f := testFeed(t)
+	ix := NewIndex(f, time.Tuesday)
+	deps := ix.NextDepartures("A", 7*3600+60, 2)
+	if len(deps) != 2 {
+		t.Fatalf("got %d, want 2", len(deps))
+	}
+	if deps[0].Departure != 7*3600+1200 {
+		t.Errorf("first = %v, want 07:20", deps[0].Departure)
+	}
+	if deps := ix.NextDepartures("A", 23*3600, 5); len(deps) != 0 {
+		t.Errorf("late-night departures = %+v", deps)
+	}
+	if deps := ix.NextDepartures("unknown", 0, 5); len(deps) != 0 {
+		t.Errorf("unknown stop departures = %+v", deps)
+	}
+}
+
+func TestIndexTripLookup(t *testing.T) {
+	f := testFeed(t)
+	ix := NewIndex(f, time.Tuesday)
+	tr, ok := ix.Trip("T2_a")
+	if !ok || tr.RouteID != "R2" {
+		t.Errorf("Trip = %+v, %v", tr, ok)
+	}
+	if _, ok := ix.Trip("missing"); ok {
+		t.Error("missing trip found")
+	}
+}
+
+func TestStopsWithDepartures(t *testing.T) {
+	f := testFeed(t)
+	ix := NewIndex(f, time.Tuesday)
+	stops := ix.StopsWithDepartures()
+	want := map[StopID]bool{"A": true, "B": true, "C": true}
+	if len(stops) != len(want) {
+		t.Fatalf("stops = %v", stops)
+	}
+	for _, s := range stops {
+		if !want[s] {
+			t.Errorf("unexpected stop %q", s)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	f := testFeed(t)
+	dir := t.TempDir()
+	if err := f.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Stops) != len(f.Stops) || len(got.Routes) != len(f.Routes) ||
+		len(got.Trips) != len(f.Trips) || len(got.Services) != len(f.Services) {
+		t.Fatalf("size mismatch after round trip: %d/%d stops, %d/%d routes, %d/%d trips, %d/%d services",
+			len(got.Stops), len(f.Stops), len(got.Routes), len(f.Routes),
+			len(got.Trips), len(f.Trips), len(got.Services), len(f.Services))
+	}
+	// Spot-check one trip fully.
+	var orig, read *Trip
+	for i := range f.Trips {
+		if f.Trips[i].ID == "T1_a" {
+			orig = &f.Trips[i]
+		}
+	}
+	for i := range got.Trips {
+		if got.Trips[i].ID == "T1_a" {
+			read = &got.Trips[i]
+		}
+	}
+	if orig == nil || read == nil {
+		t.Fatal("trip T1_a missing after round trip")
+	}
+	if len(read.StopTimes) != len(orig.StopTimes) {
+		t.Fatalf("stop times %d vs %d", len(read.StopTimes), len(orig.StopTimes))
+	}
+	for i := range orig.StopTimes {
+		if orig.StopTimes[i] != read.StopTimes[i] {
+			t.Errorf("stop time %d: %+v vs %+v", i, orig.StopTimes[i], read.StopTimes[i])
+		}
+	}
+	// Stop coordinates survive with 6-decimal precision.
+	a1, _ := f.Stop("A")
+	a2, _ := got.Stop("A")
+	if geo.DistanceMeters(a1.Point, a2.Point) > 1 {
+		t.Errorf("stop A moved %f m in round trip", geo.DistanceMeters(a1.Point, a2.Point))
+	}
+	// Service calendars survive.
+	wk, _ := got.Service("WK")
+	if wk.RunsOn(time.Sunday) || !wk.RunsOn(time.Wednesday) {
+		t.Errorf("service WK weekdays corrupted: %+v", wk.Weekdays)
+	}
+	// Fares survive.
+	r1, _ := got.Route("R1")
+	if r1.FareFlat != 200 {
+		t.Errorf("fare = %v", r1.FareFlat)
+	}
+}
+
+func TestReadDirMissingFile(t *testing.T) {
+	if _, err := ReadDir(t.TempDir()); err == nil {
+		t.Error("reading empty dir should fail")
+	}
+}
+
+func TestReadDirRejectsBadData(t *testing.T) {
+	f := testFeed(t)
+	dir := t.TempDir()
+	if err := f.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt stop_times: unknown trip reference.
+	path := dir + "/" + FileStopTimes
+	if err := appendLine(path, "ghost,08:00:00,08:00:00,A,1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDir(dir); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("err = %v, want unknown-trip error", err)
+	}
+}
+
+func appendLine(path, line string) error {
+	fh, err := osOpenAppend(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	_, err = fh.WriteString(line + "\n")
+	return err
+}
+
+func osOpenAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+}

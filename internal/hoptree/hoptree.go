@@ -1,0 +1,392 @@
+// Package hoptree implements the paper's transit-hop trees (Section IV-A),
+// the pre-computed structures that make online feature generation cheap.
+//
+// A transit hop is a short foot journey plus a single transit ride. The
+// outbound tree OB_z for zone z (within a time interval v) has z at its root
+// and one leaf per zone reachable after one outbound hop; the inbound tree
+// IB_z mirrors it for journeys terminating at z. Each leaf carries
+// connectivity data: how many vehicle visits connect the pair during v, how
+// many distinct routes, the observed in-hop journey times, and the shortest
+// access walk. Retrieving OB_origin and IB_destination instantly exposes the
+// potential connectivity between two zones without any shortest-path query.
+package hoptree
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"accessquery/internal/geo"
+	"accessquery/internal/gtfs"
+	"accessquery/internal/isochrone"
+	"accessquery/internal/spatial"
+)
+
+// Direction distinguishes outbound from inbound trees.
+type Direction int
+
+// Tree directions.
+const (
+	Outbound Direction = iota
+	Inbound
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == Outbound {
+		return "outbound"
+	}
+	return "inbound"
+}
+
+// Leaf is one reachable zone with its connectivity data.
+type Leaf struct {
+	// Zone is the reachable zone's index.
+	Zone int
+	// Visits counts vehicle visits connecting the root to this zone during
+	// the interval (the leaf counter from the paper).
+	Visits int
+	// Routes is the set of distinct route IDs serving the connection.
+	Routes map[gtfs.RouteID]struct{}
+	// JourneySeconds are the observed hop journey times (walk + in-vehicle).
+	JourneySeconds []float64
+	// BestWalk is the cheapest access (outbound) or egress (inbound) walk in
+	// seconds.
+	BestWalk float64
+}
+
+// AvgJourney returns the mean observed hop journey time in seconds, or 0
+// when no journeys were recorded.
+func (l *Leaf) AvgJourney() float64 {
+	if len(l.JourneySeconds) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range l.JourneySeconds {
+		sum += s
+	}
+	return sum / float64(len(l.JourneySeconds))
+}
+
+// RouteCount returns the number of distinct routes serving the connection.
+func (l *Leaf) RouteCount() int { return len(l.Routes) }
+
+// Tree is a transit-hop tree: a root zone and its one-hop-reachable leaves.
+type Tree struct {
+	Zone      int
+	Direction Direction
+	Interval  gtfs.Interval
+	// Leaves maps reachable zone index to its connectivity data. The root
+	// zone itself never appears as a leaf.
+	Leaves map[int]*Leaf
+}
+
+// Leaf returns the leaf for a zone, or nil when the zone is not reachable in
+// one hop.
+func (t *Tree) Leaf(zone int) *Leaf { return t.Leaves[zone] }
+
+// Size returns the number of leaves.
+func (t *Tree) Size() int { return len(t.Leaves) }
+
+// ZoneIDs returns the sorted leaf zone indices.
+func (t *Tree) ZoneIDs() []int {
+	out := make([]int, 0, len(t.Leaves))
+	for z := range t.Leaves {
+		out = append(out, z)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// visit is one vehicle call at a stop.
+type visit struct {
+	trip      int // index into feed.Trips
+	stopIndex int
+	arrival   gtfs.Seconds
+	departure gtfs.Seconds
+}
+
+// Builder pre-computes the shared lookup structures once and then emits
+// trees per zone.
+type Builder struct {
+	feed     *gtfs.Feed
+	interval gtfs.Interval
+	isos     *isochrone.Set
+	zonePts  []geo.Point
+	stopZone map[gtfs.StopID]int
+	stopTree *spatial.KDTree
+	stopIdx  map[gtfs.StopID]int
+	visits   map[gtfs.StopID][]visit
+	// dayTrips are the interval weekday's operating trips (frequency runs
+	// materialized); visit.trip indexes into it.
+	dayTrips  []gtfs.Trip
+	walkLimit float64
+}
+
+// NewBuilder prepares a builder for the given city layers.
+//
+//   - feed: the timetable
+//   - day-filtered visits are derived from the interval's weekday
+//   - zonePts: zone centroids, indexed by zone
+//   - isos: per-zone walking isochrones (same indexing)
+func NewBuilder(feed *gtfs.Feed, interval gtfs.Interval, zonePts []geo.Point, isos *isochrone.Set) (*Builder, error) {
+	if feed == nil || isos == nil {
+		return nil, fmt.Errorf("hoptree: nil feed or isochrone set")
+	}
+	if len(zonePts) != len(isos.Isochrones) {
+		return nil, fmt.Errorf("hoptree: %d zones but %d isochrones", len(zonePts), len(isos.Isochrones))
+	}
+	b := &Builder{
+		feed:      feed,
+		interval:  interval,
+		isos:      isos,
+		zonePts:   zonePts,
+		stopZone:  make(map[gtfs.StopID]int, len(feed.Stops)),
+		stopIdx:   make(map[gtfs.StopID]int, len(feed.Stops)),
+		visits:    make(map[gtfs.StopID][]visit),
+		walkLimit: isos.Tau,
+	}
+	// Assign each stop to its nearest zone.
+	items := make([]spatial.Item, len(zonePts))
+	for i, p := range zonePts {
+		items[i] = spatial.Item{ID: i, Point: p}
+	}
+	zoneTree := spatial.NewKDTree(items)
+	stopItems := make([]spatial.Item, len(feed.Stops))
+	for i, s := range feed.Stops {
+		b.stopIdx[s.ID] = i
+		stopItems[i] = spatial.Item{ID: i, Point: s.Point}
+		if nb, ok := zoneTree.Nearest(s.Point); ok {
+			b.stopZone[s.ID] = nb.Item.ID
+		} else {
+			b.stopZone[s.ID] = -1
+		}
+	}
+	b.stopTree = spatial.NewKDTree(stopItems)
+	// Index vehicle visits per stop for the interval's weekday.
+	b.indexVisits(interval.Day)
+	return b, nil
+}
+
+func (b *Builder) indexVisits(day time.Weekday) {
+	b.dayTrips = b.feed.ServiceTrips(day)
+	for ti := range b.dayTrips {
+		t := &b.dayTrips[ti]
+		for si, st := range t.StopTimes {
+			b.visits[st.StopID] = append(b.visits[st.StopID], visit{
+				trip: ti, stopIndex: si, arrival: st.Arrival, departure: st.Departure,
+			})
+		}
+	}
+	for sid := range b.visits {
+		v := b.visits[sid]
+		sort.Slice(v, func(i, j int) bool { return v[i].departure < v[j].departure })
+	}
+}
+
+// walkableStops returns the stops inside zone's walkshed with their walking
+// times, using crow-flight distance within the isochrone hull as the walking
+// estimate (the hull is the W_i shapefile from the paper; F_stops ∩ W_i).
+func (b *Builder) walkableStops(zone int) []stopWalk {
+	iso := b.isos.For(zone)
+	if iso == nil {
+		return nil
+	}
+	// Candidate stops: within the crow-flight walking radius, then filtered
+	// by hull membership.
+	radius := iso.Tau / walkSecondsPerMeter
+	var out []stopWalk
+	for _, nb := range b.stopTree.WithinRadius(iso.Origin, radius) {
+		stop := b.feed.Stops[nb.Item.ID]
+		if !iso.Contains(stop.Point) {
+			continue
+		}
+		walk := nb.Meters * walkSecondsPerMeter * detourFactor
+		if walk > b.walkLimit*detourFactor {
+			continue
+		}
+		out = append(out, stopWalk{stop: stop.ID, walkSeconds: walk})
+	}
+	return out
+}
+
+type stopWalk struct {
+	stop        gtfs.StopID
+	walkSeconds float64
+}
+
+// Walking constants mirroring the synthetic city's street network: 4.5 km/h
+// with a 20% street detour factor.
+const (
+	walkSecondsPerMeter = 3.6 / 4.5
+	detourFactor        = 1.2
+)
+
+// Outbound builds OB_zone for the builder's interval: every zone reachable
+// with a walk to a stop plus a single ride departing within the interval.
+func (b *Builder) Outbound(zone int) (*Tree, error) {
+	return b.build(zone, Outbound)
+}
+
+// Inbound builds IB_zone: every zone from which zone can be reached with a
+// single ride arriving within the interval plus a walk.
+func (b *Builder) Inbound(zone int) (*Tree, error) {
+	return b.build(zone, Inbound)
+}
+
+func (b *Builder) build(zone int, dir Direction) (*Tree, error) {
+	if zone < 0 || zone >= len(b.zonePts) {
+		return nil, fmt.Errorf("hoptree: zone %d out of range", zone)
+	}
+	t := &Tree{
+		Zone:      zone,
+		Direction: dir,
+		Interval:  b.interval,
+		Leaves:    make(map[int]*Leaf),
+	}
+	for _, sw := range b.walkableStops(zone) {
+		visits := b.visits[sw.stop]
+		if dir == Outbound {
+			b.rideForward(t, sw, visits)
+		} else {
+			b.rideBackward(t, sw, visits)
+		}
+	}
+	return t, nil
+}
+
+// rideForward boards every departure from the boarding stop inside the
+// interval and records each downstream stop's zone as a leaf.
+func (b *Builder) rideForward(t *Tree, sw stopWalk, visits []visit) {
+	v := b.interval
+	lo := sort.Search(len(visits), func(i int) bool { return visits[i].departure >= v.Start })
+	for i := lo; i < len(visits) && visits[i].departure < v.End; i++ {
+		vis := visits[i]
+		trip := &b.dayTrips[vis.trip]
+		for si := vis.stopIndex + 1; si < len(trip.StopTimes); si++ {
+			st := trip.StopTimes[si]
+			journey := sw.walkSeconds + float64(st.Arrival-vis.departure)
+			b.record(t, b.stopZone[st.StopID], trip.RouteID, journey, sw.walkSeconds)
+		}
+	}
+}
+
+// rideBackward considers every arrival at the egress stop inside the
+// interval and records each upstream stop's zone as a leaf.
+func (b *Builder) rideBackward(t *Tree, sw stopWalk, visits []visit) {
+	v := b.interval
+	for _, vis := range visits {
+		if vis.arrival < v.Start || vis.arrival >= v.End {
+			continue
+		}
+		trip := &b.dayTrips[vis.trip]
+		for si := 0; si < vis.stopIndex; si++ {
+			st := trip.StopTimes[si]
+			journey := float64(vis.arrival-st.Departure) + sw.walkSeconds
+			b.record(t, b.stopZone[st.StopID], trip.RouteID, journey, sw.walkSeconds)
+		}
+	}
+}
+
+func (b *Builder) record(t *Tree, zone int, route gtfs.RouteID, journeySeconds, walkSeconds float64) {
+	if zone < 0 || zone == t.Zone {
+		return
+	}
+	leaf := t.Leaves[zone]
+	if leaf == nil {
+		leaf = &Leaf{
+			Zone:     zone,
+			Routes:   make(map[gtfs.RouteID]struct{}),
+			BestWalk: walkSeconds,
+		}
+		t.Leaves[zone] = leaf
+	}
+	leaf.Visits++
+	leaf.Routes[route] = struct{}{}
+	leaf.JourneySeconds = append(leaf.JourneySeconds, journeySeconds)
+	if walkSeconds < leaf.BestWalk {
+		leaf.BestWalk = walkSeconds
+	}
+}
+
+// Forest holds the trees for every zone in both directions — the
+// pre-computed structure the online phase retrieves from.
+type Forest struct {
+	Interval gtfs.Interval
+	Out      []*Tree
+	In       []*Tree
+}
+
+// BuildForest generates outbound and inbound trees for every zone.
+func BuildForest(b *Builder) (*Forest, error) {
+	n := len(b.zonePts)
+	f := &Forest{
+		Interval: b.interval,
+		Out:      make([]*Tree, n),
+		In:       make([]*Tree, n),
+	}
+	for z := 0; z < n; z++ {
+		out, err := b.Outbound(z)
+		if err != nil {
+			return nil, err
+		}
+		in, err := b.Inbound(z)
+		if err != nil {
+			return nil, err
+		}
+		f.Out[z] = out
+		f.In[z] = in
+	}
+	return f, nil
+}
+
+// Outbound returns OB_zone, or nil when zone is out of range.
+func (f *Forest) Outbound(zone int) *Tree {
+	if zone < 0 || zone >= len(f.Out) {
+		return nil
+	}
+	return f.Out[zone]
+}
+
+// Inbound returns IB_zone, or nil when zone is out of range.
+func (f *Forest) Inbound(zone int) *Tree {
+	if zone < 0 || zone >= len(f.In) {
+		return nil
+	}
+	return f.In[zone]
+}
+
+// Zones returns the number of zones covered.
+func (f *Forest) Zones() int { return len(f.Out) }
+
+// ReachableWithin chains outbound trees to report every zone reachable from
+// start in at most h hops, mapped to the minimum hop count. Chaining trees
+// is how the paper extends one-hop information to h hops. start itself is
+// included with hop count 0.
+func (f *Forest) ReachableWithin(start, h int) map[int]int {
+	if start < 0 || start >= len(f.Out) {
+		return nil
+	}
+	hops := map[int]int{start: 0}
+	frontier := []int{start}
+	for step := 1; step <= h; step++ {
+		var next []int
+		for _, z := range frontier {
+			t := f.Out[z]
+			if t == nil {
+				continue
+			}
+			for leaf := range t.Leaves {
+				if _, seen := hops[leaf]; !seen {
+					hops[leaf] = step
+					next = append(next, leaf)
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return hops
+}

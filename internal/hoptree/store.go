@@ -1,0 +1,42 @@
+package hoptree
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// Save persists the forest to path with gob encoding, fulfilling the
+// paper's requirement that trees are "saved such that they can be retrieved
+// efficiently" between offline pre-processing and online querying.
+func (f *Forest) Save(path string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("hoptree: %w", err)
+	}
+	w := bufio.NewWriter(file)
+	if err := gob.NewEncoder(w).Encode(f); err != nil {
+		file.Close()
+		return fmt.Errorf("hoptree: encoding forest: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		file.Close()
+		return fmt.Errorf("hoptree: %w", err)
+	}
+	return file.Close()
+}
+
+// Load reads a forest previously written by Save.
+func Load(path string) (*Forest, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("hoptree: %w", err)
+	}
+	defer file.Close()
+	var f Forest
+	if err := gob.NewDecoder(bufio.NewReader(file)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("hoptree: decoding forest: %w", err)
+	}
+	return &f, nil
+}

@@ -1,0 +1,121 @@
+// Package isochrone computes walking isochrones: the area reachable on foot
+// from a zone centroid within an acceptable walking time τ at walking speed
+// ω (the paper uses τ=600 s, ω=4.5 km/h). Isochrones serve two roles in the
+// pipeline: intersecting F_stops with W_i yields the bus stops walkable from
+// zone z_i during transit-hop tree generation, and intersecting two
+// isochrones detects interchanges during online feature extraction.
+package isochrone
+
+import (
+	"fmt"
+
+	"accessquery/internal/geo"
+	"accessquery/internal/graph"
+)
+
+// DefaultTauSeconds is the acceptable walking time from the paper's
+// experiments.
+const DefaultTauSeconds = 600
+
+// Isochrone is the walkable area around an origin within τ seconds.
+type Isochrone struct {
+	// Origin is the point the isochrone is centered on.
+	Origin geo.Point
+	// OriginNode is the road node the origin was snapped to.
+	OriginNode graph.NodeID
+	// Tau is the walking-time bound in seconds.
+	Tau float64
+	// Nodes maps every road node reachable within Tau to its walking time.
+	Nodes map[graph.NodeID]float64
+	// Hull is the convex hull of the reached nodes, the polygon form used
+	// for point-in-walkshed and walkshed-overlap tests.
+	Hull geo.Polygon
+}
+
+// Compute builds the isochrone around originNode on the road graph g. The
+// origin point is recorded for callers that snapped from an off-network
+// location. When the walkshed is degenerate (fewer than three reached
+// nodes), the hull falls back to a circle of the crow-flight walking radius
+// so Contains still behaves sensibly.
+func Compute(g *graph.Graph, origin geo.Point, originNode graph.NodeID, tau float64) (*Isochrone, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("isochrone: negative tau %f", tau)
+	}
+	nodes, err := g.Explore(originNode, tau)
+	if err != nil {
+		return nil, fmt.Errorf("isochrone: %w", err)
+	}
+	iso := &Isochrone{
+		Origin:     origin,
+		OriginNode: originNode,
+		Tau:        tau,
+		Nodes:      nodes,
+	}
+	pts := make([]geo.Point, 0, len(nodes)+1)
+	for id := range nodes {
+		pts = append(pts, g.Point(id))
+	}
+	pts = append(pts, origin)
+	hull := geo.ConvexHull(pts)
+	if len(hull) >= 3 {
+		iso.Hull = geo.Polygon{Ring: hull}
+	} else {
+		// Degenerate walkshed: use the unobstructed walking circle.
+		radius := tau / synthWalkSecondsPerMeter
+		iso.Hull = geo.Circle(origin, radius, 12)
+	}
+	return iso, nil
+}
+
+// synthWalkSecondsPerMeter mirrors synth.WalkSecondsPerMeter without
+// importing the generator; 4.5 km/h walking.
+const synthWalkSecondsPerMeter = 3.6 / 4.5
+
+// Contains reports whether p lies inside the walkshed polygon.
+func (iso *Isochrone) Contains(p geo.Point) bool { return iso.Hull.Contains(p) }
+
+// Intersects reports whether two walksheds overlap.
+func (iso *Isochrone) Intersects(other *Isochrone) bool {
+	if other == nil {
+		return false
+	}
+	return iso.Hull.Intersects(other.Hull)
+}
+
+// WalkSeconds returns the walking time to a road node inside the walkshed;
+// ok is false when the node is beyond τ.
+func (iso *Isochrone) WalkSeconds(node graph.NodeID) (float64, bool) {
+	s, ok := iso.Nodes[node]
+	return s, ok
+}
+
+// Set holds one isochrone per zone, the W structure from the paper.
+type Set struct {
+	Tau        float64
+	Isochrones []*Isochrone
+}
+
+// ComputeSet builds isochrones for each (origin, originNode) pair, typically
+// zone centroids and their welded road nodes.
+func ComputeSet(g *graph.Graph, origins []geo.Point, originNodes []graph.NodeID, tau float64) (*Set, error) {
+	if len(origins) != len(originNodes) {
+		return nil, fmt.Errorf("isochrone: %d origins but %d nodes", len(origins), len(originNodes))
+	}
+	s := &Set{Tau: tau, Isochrones: make([]*Isochrone, len(origins))}
+	for i := range origins {
+		iso, err := Compute(g, origins[i], originNodes[i], tau)
+		if err != nil {
+			return nil, fmt.Errorf("isochrone: zone %d: %w", i, err)
+		}
+		s.Isochrones[i] = iso
+	}
+	return s, nil
+}
+
+// For returns the isochrone for index i, or nil when out of range.
+func (s *Set) For(i int) *Isochrone {
+	if i < 0 || i >= len(s.Isochrones) {
+		return nil
+	}
+	return s.Isochrones[i]
+}

@@ -1,0 +1,294 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"accessquery/internal/mat"
+)
+
+// knnRegressor is a k-nearest-neighbour regressor with a Minkowski distance
+// of order P, distance-weighted averaging, and support for incremental
+// example addition — the component regressor of COREG.
+type knnRegressor struct {
+	k int
+	p float64
+	x [][]float64
+	y [][]float64
+}
+
+func newKNNRegressor(k int, p float64) *knnRegressor {
+	return &knnRegressor{k: k, p: p}
+}
+
+func (r *knnRegressor) add(x, y []float64) {
+	r.x = append(r.x, x)
+	r.y = append(r.y, y)
+}
+
+func (r *knnRegressor) minkowski(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		sum += math.Pow(math.Abs(a[i]-b[i]), r.p)
+	}
+	return math.Pow(sum, 1/r.p)
+}
+
+// predict returns the distance-weighted mean target of the k nearest
+// stored examples, optionally skipping one stored index (for leave-one-out
+// evaluation; pass -1 to use all).
+func (r *knnRegressor) predict(q []float64, skip int) []float64 {
+	type cand struct {
+		dist float64
+		idx  int
+	}
+	cands := make([]cand, 0, len(r.x))
+	for i := range r.x {
+		if i == skip {
+			continue
+		}
+		cands = append(cands, cand{dist: r.minkowski(q, r.x[i]), idx: i})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	k := r.k
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]float64, len(r.y[cands[0].idx]))
+	var wsum float64
+	for _, c := range cands[:k] {
+		w := 1 / (c.dist + 1e-9)
+		wsum += w
+		for j, v := range r.y[c.idx] {
+			out[j] += w * v
+		}
+	}
+	for j := range out {
+		out[j] /= wsum
+	}
+	return out
+}
+
+// COREG implements Zhou & Li's semi-supervised co-training regression: two
+// k-NN regressors with different distance metrics iteratively pseudo-label
+// the unlabeled example that most improves their fit, handing it to the
+// other regressor's training set. Predictions average the pair.
+type COREG struct {
+	// K is the neighbourhood size; default 3.
+	K int
+	// Iterations of co-training; default 30.
+	Iterations int
+	// PoolSize is the unlabeled subsample examined per iteration;
+	// default 100.
+	PoolSize int
+	// Seed drives pool sampling.
+	Seed int64
+
+	h1, h2 *knnRegressor
+	dim    int
+}
+
+// NewCOREG returns a COREG model with the original paper's parameters.
+func NewCOREG(seed int64) *COREG {
+	return &COREG{K: 3, Iterations: 30, PoolSize: 100, Seed: seed}
+}
+
+// Name implements Model.
+func (c *COREG) Name() string { return "COREG" }
+
+// Fit implements Model. xu supplies the unlabeled pool; with a nil or empty
+// pool the model reduces to a pair of supervised k-NN regressors.
+func (c *COREG) Fit(x, y, xu *mat.Dense) error {
+	if _, _, err := validateFit(x, y); err != nil {
+		return err
+	}
+	k := c.K
+	if k <= 0 {
+		k = 3
+	}
+	iters := c.Iterations
+	if iters <= 0 {
+		iters = 30
+	}
+	pool := c.PoolSize
+	if pool <= 0 {
+		pool = 100
+	}
+	c.dim = x.Cols()
+	// Minkowski orders 2 and 5, as in the original COREG configuration.
+	c.h1 = newKNNRegressor(k, 2)
+	c.h2 = newKNNRegressor(k, 5)
+	for i := 0; i < x.Rows(); i++ {
+		xi := append([]float64(nil), x.Row(i)...)
+		yi := append([]float64(nil), y.Row(i)...)
+		c.h1.add(xi, yi)
+		c.h2.add(xi, yi)
+	}
+	if xu == nil || xu.Rows() == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	unlabeled := make([][]float64, xu.Rows())
+	for i := range unlabeled {
+		unlabeled[i] = append([]float64(nil), xu.Row(i)...)
+	}
+	used := make([]bool, len(unlabeled))
+	for it := 0; it < iters; it++ {
+		moved := false
+		for _, pair := range []struct{ self, other *knnRegressor }{
+			{c.h1, c.h2}, {c.h2, c.h1},
+		} {
+			idx, label := selectConfident(pair.self, unlabeled, used, pool, rng)
+			if idx < 0 {
+				continue
+			}
+			used[idx] = true
+			pair.other.add(unlabeled[idx], label)
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+	return nil
+}
+
+// selectConfident scans a random pool of unused unlabeled examples and
+// returns the index whose inclusion most reduces the regressor's error on
+// the pseudo-labeled point's neighbourhood (the Δ criterion from COREG),
+// along with its pseudo-label. It returns -1 when no example helps.
+func selectConfident(r *knnRegressor, unlabeled [][]float64, used []bool, poolSize int, rng *rand.Rand) (int, []float64) {
+	var pool []int
+	for i, u := range used {
+		if !u {
+			pool = append(pool, i)
+		}
+	}
+	if len(pool) == 0 {
+		return -1, nil
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if len(pool) > poolSize {
+		pool = pool[:poolSize]
+	}
+	bestIdx := -1
+	bestDelta := 0.0
+	var bestLabel []float64
+	for _, ui := range pool {
+		q := unlabeled[ui]
+		label := r.predict(q, -1)
+		if label == nil {
+			continue
+		}
+		// Neighbourhood of q among labeled examples.
+		neighbors := r.nearestIdx(q, r.k)
+		// Error before vs after tentatively adding (q, label).
+		var before, after float64
+		r.add(q, label)
+		addedIdx := len(r.x) - 1
+		for _, ni := range neighbors {
+			predBefore := r.predictExcluding(r.x[ni], ni, addedIdx)
+			predAfter := r.predict(r.x[ni], ni)
+			for j := range r.y[ni] {
+				db := r.y[ni][j] - predBefore[j]
+				da := r.y[ni][j] - predAfter[j]
+				before += db * db
+				after += da * da
+			}
+		}
+		// Revert the tentative add.
+		r.x = r.x[:addedIdx]
+		r.y = r.y[:addedIdx]
+		if delta := before - after; delta > bestDelta {
+			bestDelta = delta
+			bestIdx = ui
+			bestLabel = label
+		}
+	}
+	return bestIdx, bestLabel
+}
+
+// nearestIdx returns the indices of the k nearest stored examples to q.
+func (r *knnRegressor) nearestIdx(q []float64, k int) []int {
+	type cand struct {
+		dist float64
+		idx  int
+	}
+	cands := make([]cand, len(r.x))
+	for i := range r.x {
+		cands[i] = cand{dist: r.minkowski(q, r.x[i]), idx: i}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}
+
+// predictExcluding predicts for q skipping two stored indices.
+func (r *knnRegressor) predictExcluding(q []float64, skipA, skipB int) []float64 {
+	// Temporarily emulate a double skip by filtering candidates.
+	type cand struct {
+		dist float64
+		idx  int
+	}
+	cands := make([]cand, 0, len(r.x))
+	for i := range r.x {
+		if i == skipA || i == skipB {
+			continue
+		}
+		cands = append(cands, cand{dist: r.minkowski(q, r.x[i]), idx: i})
+	}
+	if len(cands) == 0 {
+		return make([]float64, len(r.y[0]))
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	k := r.k
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]float64, len(r.y[cands[0].idx]))
+	var wsum float64
+	for _, c := range cands[:k] {
+		w := 1 / (c.dist + 1e-9)
+		wsum += w
+		for j, v := range r.y[c.idx] {
+			out[j] += w * v
+		}
+	}
+	for j := range out {
+		out[j] /= wsum
+	}
+	return out
+}
+
+// Predict implements Model: the average of both regressors.
+func (c *COREG) Predict(x *mat.Dense) (*mat.Dense, error) {
+	if c.h1 == nil || c.h2 == nil {
+		return nil, fmt.Errorf("ml/coreg: model not fitted")
+	}
+	if x.Cols() != c.dim {
+		return nil, fmt.Errorf("ml/coreg: %d features, model trained on %d", x.Cols(), c.dim)
+	}
+	k := len(c.h1.y[0])
+	out := mat.New(x.Rows(), k)
+	for i := 0; i < x.Rows(); i++ {
+		q := x.Row(i)
+		p1 := c.h1.predict(q, -1)
+		p2 := c.h2.predict(q, -1)
+		row := out.Row(i)
+		for j := 0; j < k; j++ {
+			row[j] = (p1[j] + p2[j]) / 2
+		}
+	}
+	return out, nil
+}

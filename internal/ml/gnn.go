@@ -1,0 +1,324 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"accessquery/internal/geo"
+	"accessquery/internal/mat"
+)
+
+// SparseAdj is a symmetric, normalized sparse adjacency matrix in
+// row-list form: the Â = D^(-1/2)(A+I)D^(-1/2) operator of a GCN.
+type SparseAdj struct {
+	n    int
+	cols [][]int32
+	vals [][]float64
+}
+
+// NewGaussianAdjacency builds the paper's zone adjacency: edge weights are
+// Gaussian kernels of the Euclidean distance between zone centroids,
+// exp(-d²/2σ²), thresholded to zero below the cutoff, with self-loops
+// added and symmetric degree normalization applied.
+func NewGaussianAdjacency(points []geo.Point, sigmaMeters, threshold float64) (*SparseAdj, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("ml/gnn: no points")
+	}
+	if sigmaMeters <= 0 {
+		return nil, fmt.Errorf("ml/gnn: non-positive sigma %f", sigmaMeters)
+	}
+	adj := &SparseAdj{n: n, cols: make([][]int32, n), vals: make([][]float64, n)}
+	// Raw weights including self-loops.
+	deg := make([]float64, n)
+	type edge struct {
+		j int32
+		w float64
+	}
+	rows := make([][]edge, n)
+	for i := 0; i < n; i++ {
+		rows[i] = append(rows[i], edge{j: int32(i), w: 1}) // self-loop
+		deg[i]++
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := geo.DistanceMeters(points[i], points[j])
+			w := math.Exp(-d * d / (2 * sigmaMeters * sigmaMeters))
+			if w < threshold {
+				continue
+			}
+			rows[i] = append(rows[i], edge{j: int32(j), w: w})
+			rows[j] = append(rows[j], edge{j: int32(i), w: w})
+			deg[i] += w
+			deg[j] += w
+		}
+	}
+	for i := 0; i < n; i++ {
+		adj.cols[i] = make([]int32, len(rows[i]))
+		adj.vals[i] = make([]float64, len(rows[i]))
+		for k, e := range rows[i] {
+			adj.cols[i][k] = e.j
+			adj.vals[i][k] = e.w / math.Sqrt(deg[i]*deg[int(e.j)])
+		}
+	}
+	return adj, nil
+}
+
+// N returns the node count.
+func (a *SparseAdj) N() int { return a.n }
+
+// NNZ returns the stored non-zero count (including self-loops).
+func (a *SparseAdj) NNZ() int {
+	var n int
+	for _, c := range a.cols {
+		n += len(c)
+	}
+	return n
+}
+
+// Mul returns Â·x for a dense x with N rows.
+func (a *SparseAdj) Mul(x *mat.Dense) (*mat.Dense, error) {
+	if x.Rows() != a.n {
+		return nil, fmt.Errorf("ml/gnn: adjacency is %d nodes, features have %d rows", a.n, x.Rows())
+	}
+	out := mat.New(a.n, x.Cols())
+	for i := 0; i < a.n; i++ {
+		orow := out.Row(i)
+		for k, j := range a.cols[i] {
+			w := a.vals[i][k]
+			xrow := x.Row(int(j))
+			for c, v := range xrow {
+				orow[c] += w * v
+			}
+		}
+	}
+	return out, nil
+}
+
+// GNN is a two-layer graph convolutional network for transductive
+// semi-supervised node regression over the zone graph. It requires
+// SetGraph before Fit; Fit stacks labeled and unlabeled features into the
+// node order given to SetGraph and minimizes MSE on the labeled rows.
+// Predict runs the full-graph forward pass and returns the unlabeled rows,
+// so the x passed to Predict must be the same unlabeled feature matrix
+// given to Fit.
+type GNN struct {
+	// Hidden is the convolution width; default 32.
+	Hidden int
+	// Epochs of full-graph training; default 300.
+	Epochs int
+	// LearningRate for Adam; default 0.01.
+	LearningRate float64
+	// Seed drives initialization.
+	Seed int64
+
+	adj       *SparseAdj
+	labeled   []int
+	unlabeled []int
+
+	w1, w2 *mat.Dense
+	b1, b2 []float64
+	cached *mat.Dense // full-node predictions after Fit
+}
+
+// NewGNN returns a GNN with the experiment defaults.
+func NewGNN(seed int64) *GNN {
+	return &GNN{Hidden: 32, Epochs: 300, LearningRate: 0.01, Seed: seed}
+}
+
+// Name implements Model.
+func (g *GNN) Name() string { return "GNN" }
+
+// SetGraph installs the zone adjacency and the node indices of the labeled
+// and unlabeled rows that Fit will receive.
+func (g *GNN) SetGraph(adj *SparseAdj, labeled, unlabeled []int) {
+	g.adj = adj
+	g.labeled = labeled
+	g.unlabeled = unlabeled
+}
+
+// Fit implements Model.
+func (g *GNN) Fit(x, y, xu *mat.Dense) error {
+	d, k, err := validateFit(x, y)
+	if err != nil {
+		return err
+	}
+	if g.adj == nil {
+		return fmt.Errorf("ml/gnn: SetGraph must be called before Fit")
+	}
+	if len(g.labeled) != x.Rows() {
+		return fmt.Errorf("ml/gnn: %d labeled indices but %d labeled rows", len(g.labeled), x.Rows())
+	}
+	nu := 0
+	if xu != nil {
+		nu = xu.Rows()
+	}
+	if len(g.unlabeled) != nu {
+		return fmt.Errorf("ml/gnn: %d unlabeled indices but %d unlabeled rows", len(g.unlabeled), nu)
+	}
+	if x.Rows()+nu != g.adj.N() {
+		return fmt.Errorf("ml/gnn: %d rows stacked but graph has %d nodes", x.Rows()+nu, g.adj.N())
+	}
+	// Stack features into node order.
+	feats := mat.New(g.adj.N(), d)
+	for r, node := range g.labeled {
+		copy(feats.Row(node), x.Row(r))
+	}
+	for r, node := range g.unlabeled {
+		copy(feats.Row(node), xu.Row(r))
+	}
+	hidden := g.Hidden
+	if hidden <= 0 {
+		hidden = 32
+	}
+	epochs := g.Epochs
+	if epochs <= 0 {
+		epochs = 300
+	}
+	lr := g.LearningRate
+	if lr <= 0 {
+		lr = 0.01
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	g.w1 = mat.New(d, hidden)
+	g.w2 = mat.New(hidden, k)
+	gaussianInit(g.w1, rng, math.Sqrt(2/float64(d)))
+	gaussianInit(g.w2, rng, math.Sqrt(2/float64(hidden)))
+	g.b1 = make([]float64, hidden)
+	g.b2 = make([]float64, k)
+
+	// Â·X is constant across epochs.
+	p, err := g.adj.Mul(feats)
+	if err != nil {
+		return err
+	}
+	// Adam state via the shared network machinery would need reshaping;
+	// keep a local two-matrix Adam here.
+	opt := newAdam(&network{
+		sizes: []int{d, hidden, k},
+		w:     []*mat.Dense{g.w1, g.w2},
+		b:     [][]float64{g.b1, g.b2},
+	}, lr)
+	net := &network{sizes: []int{d, hidden, k}, w: []*mat.Dense{g.w1, g.w2}, b: [][]float64{g.b1, g.b2}}
+
+	for e := 0; e < epochs; e++ {
+		z1, err := mat.Mul(p, g.w1)
+		if err != nil {
+			return err
+		}
+		if err := z1.AddRowVector(g.b1); err != nil {
+			return err
+		}
+		h1 := z1.Clone().Apply(relu)
+		q, err := g.adj.Mul(h1)
+		if err != nil {
+			return err
+		}
+		z2, err := mat.Mul(q, g.w2)
+		if err != nil {
+			return err
+		}
+		if err := z2.AddRowVector(g.b2); err != nil {
+			return err
+		}
+		// Loss gradient only on labeled rows.
+		dOut := mat.New(g.adj.N(), k)
+		scale := 2 / float64(len(g.labeled)*k)
+		for r, node := range g.labeled {
+			drow := dOut.Row(node)
+			zrow := z2.Row(node)
+			yrow := y.Row(r)
+			for j := 0; j < k; j++ {
+				drow[j] = (zrow[j] - yrow[j]) * scale
+			}
+		}
+		// Backprop.
+		dW2, err := mat.Mul(q.Transpose(), dOut)
+		if err != nil {
+			return err
+		}
+		db2 := colSums(dOut)
+		dQ, err := mat.Mul(dOut, g.w2.Transpose())
+		if err != nil {
+			return err
+		}
+		dH1, err := g.adj.Mul(dQ) // Â symmetric
+		if err != nil {
+			return err
+		}
+		for i := 0; i < dH1.Rows(); i++ {
+			drow := dH1.Row(i)
+			zrow := z1.Row(i)
+			for j := range drow {
+				if zrow[j] <= 0 {
+					drow[j] = 0
+				}
+			}
+		}
+		dW1, err := mat.Mul(p.Transpose(), dH1)
+		if err != nil {
+			return err
+		}
+		db1 := colSums(dH1)
+		opt.step(net, &grads{w: []*mat.Dense{dW1, dW2}, b: [][]float64{db1, db2}})
+	}
+	// Cache full-node predictions.
+	out, err := g.forwardAll(p)
+	if err != nil {
+		return err
+	}
+	g.cached = out
+	return nil
+}
+
+func (g *GNN) forwardAll(p *mat.Dense) (*mat.Dense, error) {
+	z1, err := mat.Mul(p, g.w1)
+	if err != nil {
+		return nil, err
+	}
+	if err := z1.AddRowVector(g.b1); err != nil {
+		return nil, err
+	}
+	h1 := z1.Apply(relu)
+	q, err := g.adj.Mul(h1)
+	if err != nil {
+		return nil, err
+	}
+	z2, err := mat.Mul(q, g.w2)
+	if err != nil {
+		return nil, err
+	}
+	if err := z2.AddRowVector(g.b2); err != nil {
+		return nil, err
+	}
+	return z2, nil
+}
+
+func colSums(m *mat.Dense) []float64 {
+	out := make([]float64, m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		for j, v := range m.Row(i) {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// Predict implements Model for the transductive setting: it returns the
+// cached predictions for the unlabeled nodes. x must have one row per
+// unlabeled node (it is not re-embedded; GCN inference is transductive).
+func (g *GNN) Predict(x *mat.Dense) (*mat.Dense, error) {
+	if g.cached == nil {
+		return nil, fmt.Errorf("ml/gnn: model not fitted")
+	}
+	if x.Rows() != len(g.unlabeled) {
+		return nil, fmt.Errorf("ml/gnn: transductive predict expects the %d unlabeled rows, got %d",
+			len(g.unlabeled), x.Rows())
+	}
+	out := mat.New(len(g.unlabeled), g.cached.Cols())
+	for r, node := range g.unlabeled {
+		copy(out.Row(r), g.cached.Row(node))
+	}
+	return out, nil
+}

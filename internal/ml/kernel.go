@@ -1,0 +1,283 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"accessquery/internal/mat"
+)
+
+// KRR is kernel ridge regression with an RBF kernel:
+// α = (K + λI)⁻¹ Y, ŷ(x) = Σ α_i k(x, x_i). A supervised kernel baseline
+// in the spirit of the deep-kernel-learning reference the paper builds its
+// semi-supervised baselines on.
+type KRR struct {
+	// Lambda is the ridge regularizer; default 1e-3.
+	Lambda float64
+	// Gamma is the RBF width k(a,b) = exp(-γ‖a-b‖²); default 1/d at fit
+	// time when zero.
+	Gamma float64
+
+	x     [][]float64
+	alpha *mat.Dense
+	gamma float64
+}
+
+// NewKRR returns a KRR model with defaults.
+func NewKRR() *KRR { return &KRR{Lambda: 1e-3} }
+
+// Name implements Model.
+func (k *KRR) Name() string { return "KRR" }
+
+// Fit implements Model; unlabeled data is ignored.
+func (k *KRR) Fit(x, y, _ *mat.Dense) error {
+	d, _, err := validateFit(x, y)
+	if err != nil {
+		return err
+	}
+	lambda := k.Lambda
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	k.gamma = k.Gamma
+	if k.gamma <= 0 {
+		k.gamma = 1 / float64(d)
+	}
+	n := x.Rows()
+	k.x = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		k.x[i] = append([]float64(nil), x.Row(i)...)
+	}
+	gram := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rbf(k.x[i], k.x[j], k.gamma)
+			gram.Set(i, j, v)
+			gram.Set(j, i, v)
+		}
+		gram.Set(i, i, gram.At(i, i)+lambda)
+	}
+	alpha, err := mat.Solve(gram, y)
+	if err != nil {
+		return fmt.Errorf("ml/krr: %w", err)
+	}
+	k.alpha = alpha
+	return nil
+}
+
+// Predict implements Model.
+func (k *KRR) Predict(x *mat.Dense) (*mat.Dense, error) {
+	if k.alpha == nil {
+		return nil, fmt.Errorf("ml/krr: model not fitted")
+	}
+	if len(k.x) > 0 && x.Cols() != len(k.x[0]) {
+		return nil, fmt.Errorf("ml/krr: %d features, model trained on %d", x.Cols(), len(k.x[0]))
+	}
+	out := mat.New(x.Rows(), k.alpha.Cols())
+	for i := 0; i < x.Rows(); i++ {
+		q := x.Row(i)
+		orow := out.Row(i)
+		for j := range k.x {
+			w := rbf(q, k.x[j], k.gamma)
+			arow := k.alpha.Row(j)
+			for c := range orow {
+				orow[c] += w * arow[c]
+			}
+		}
+	}
+	return out, nil
+}
+
+func rbf(a, b []float64, gamma float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-gamma * d2)
+}
+
+// LapRLS is Laplacian-regularized least squares (Belkin et al.), the
+// classical manifold-regularization approach to semi-supervised
+// regression: the kernel expansion spans labeled AND unlabeled points, and
+// a graph-Laplacian penalty over the joint feature-space k-NN graph pulls
+// predictions of nearby points together:
+//
+//	(J K + λ I + γ L K) α = Y₊
+//
+// where J selects labeled rows and L is the unnormalized Laplacian.
+type LapRLS struct {
+	// Lambda is the ridge regularizer; default 1e-3.
+	Lambda float64
+	// GammaI is the manifold penalty weight; default 1e-2.
+	GammaI float64
+	// Gamma is the RBF width; default 1/d at fit time when zero.
+	Gamma float64
+	// Neighbors is the k of the similarity graph; default 6.
+	Neighbors int
+
+	x     [][]float64
+	alpha *mat.Dense
+	gamma float64
+}
+
+// NewLapRLS returns a LapRLS model with defaults.
+func NewLapRLS() *LapRLS { return &LapRLS{Lambda: 1e-3, GammaI: 1e-2, Neighbors: 6} }
+
+// Name implements Model.
+func (m *LapRLS) Name() string { return "LapRLS" }
+
+// Fit implements Model over the joint labeled+unlabeled point set.
+func (m *LapRLS) Fit(x, y, xu *mat.Dense) error {
+	d, kOut, err := validateFit(x, y)
+	if err != nil {
+		return err
+	}
+	lambda := m.Lambda
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	gi := m.GammaI
+	if gi < 0 {
+		gi = 1e-2
+	}
+	m.gamma = m.Gamma
+	if m.gamma <= 0 {
+		m.gamma = 1 / float64(d)
+	}
+	nn := m.Neighbors
+	if nn <= 0 {
+		nn = 6
+	}
+	nl := x.Rows()
+	nu := 0
+	if xu != nil {
+		nu = xu.Rows()
+	}
+	n := nl + nu
+	m.x = make([][]float64, n)
+	for i := 0; i < nl; i++ {
+		m.x[i] = append([]float64(nil), x.Row(i)...)
+	}
+	for i := 0; i < nu; i++ {
+		m.x[nl+i] = append([]float64(nil), xu.Row(i)...)
+	}
+	// Gram matrix over all points.
+	gram := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rbf(m.x[i], m.x[j], m.gamma)
+			gram.Set(i, j, v)
+			gram.Set(j, i, v)
+		}
+	}
+	// k-NN similarity graph Laplacian L = D - W in feature space.
+	lap := laplacian(m.x, nn, m.gamma)
+	// System: (J K + λ n_l I + γ_I L K) α = Y₊.
+	jk := mat.New(n, n)
+	for i := 0; i < nl; i++ {
+		copy(jk.Row(i), gram.Row(i))
+	}
+	lk, err := mat.Mul(lap, gram)
+	if err != nil {
+		return fmt.Errorf("ml/laprls: %w", err)
+	}
+	sys, err := mat.Add(jk, lk.Scale(gi))
+	if err != nil {
+		return fmt.Errorf("ml/laprls: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		sys.Set(i, i, sys.At(i, i)+lambda*float64(nl))
+	}
+	rhs := mat.New(n, kOut)
+	for i := 0; i < nl; i++ {
+		copy(rhs.Row(i), y.Row(i))
+	}
+	alpha, err := mat.Solve(sys, rhs)
+	if err != nil {
+		return fmt.Errorf("ml/laprls: %w", err)
+	}
+	m.alpha = alpha
+	return nil
+}
+
+// laplacian builds the unnormalized Laplacian of a symmetric k-NN RBF
+// similarity graph.
+func laplacian(pts [][]float64, k int, gamma float64) *mat.Dense {
+	n := len(pts)
+	w := mat.New(n, n)
+	type cand struct {
+		d2  float64
+		idx int
+	}
+	for i := 0; i < n; i++ {
+		cands := make([]cand, 0, n-1)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			var d2 float64
+			for c := range pts[i] {
+				d := pts[i][c] - pts[j][c]
+				d2 += d * d
+			}
+			cands = append(cands, cand{d2: d2, idx: j})
+		}
+		// Partial selection of the k nearest.
+		kk := k
+		if kk > len(cands) {
+			kk = len(cands)
+		}
+		for s := 0; s < kk; s++ {
+			minI := s
+			for t := s + 1; t < len(cands); t++ {
+				if cands[t].d2 < cands[minI].d2 {
+					minI = t
+				}
+			}
+			cands[s], cands[minI] = cands[minI], cands[s]
+			j := cands[s].idx
+			sim := math.Exp(-gamma * cands[s].d2)
+			// Symmetrize with max.
+			if sim > w.At(i, j) {
+				w.Set(i, j, sim)
+				w.Set(j, i, sim)
+			}
+		}
+	}
+	lap := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		var deg float64
+		for j := 0; j < n; j++ {
+			deg += w.At(i, j)
+		}
+		for j := 0; j < n; j++ {
+			lap.Set(i, j, -w.At(i, j))
+		}
+		lap.Set(i, i, deg)
+	}
+	return lap
+}
+
+// Predict implements Model.
+func (m *LapRLS) Predict(x *mat.Dense) (*mat.Dense, error) {
+	if m.alpha == nil {
+		return nil, fmt.Errorf("ml/laprls: model not fitted")
+	}
+	if len(m.x) > 0 && x.Cols() != len(m.x[0]) {
+		return nil, fmt.Errorf("ml/laprls: %d features, model trained on %d", x.Cols(), len(m.x[0]))
+	}
+	out := mat.New(x.Rows(), m.alpha.Cols())
+	for i := 0; i < x.Rows(); i++ {
+		q := x.Row(i)
+		orow := out.Row(i)
+		for j := range m.x {
+			w := rbf(q, m.x[j], m.gamma)
+			arow := m.alpha.Row(j)
+			for c := range orow {
+				orow[c] += w * arow[c]
+			}
+		}
+	}
+	return out, nil
+}

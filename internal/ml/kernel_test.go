@@ -1,0 +1,166 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"accessquery/internal/mat"
+)
+
+func TestKRRInterpolatesTrainingData(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x, y := syntheticData(rng, 80, 0)
+	m := NewKRR()
+	m.Lambda = 1e-8
+	if err := m.Fit(x, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae := maeOf(pred, y); mae > 0.05 {
+		t.Errorf("KRR training MAE = %v, want near-interpolation", mae)
+	}
+}
+
+func TestKRRGeneralizesNonlinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := 250
+	x := mat.New(n, 2)
+	y := mat.New(n, 1)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		y.Set(i, 0, math.Sin(3*a)+b*b)
+	}
+	m := NewKRR()
+	m.Gamma = 2
+	if err := m.Fit(x, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	xt := mat.New(60, 2)
+	yt := mat.New(60, 1)
+	for i := 0; i < 60; i++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		xt.Set(i, 0, a)
+		xt.Set(i, 1, b)
+		yt.Set(i, 0, math.Sin(3*a)+b*b)
+	}
+	pred, err := m.Predict(xt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae := maeOf(pred, yt); mae > 0.15 {
+		t.Errorf("KRR test MAE = %v, want < 0.15", mae)
+	}
+}
+
+func TestKRRErrors(t *testing.T) {
+	m := NewKRR()
+	if _, err := m.Predict(mat.New(1, 2)); err == nil {
+		t.Error("predict before fit should fail")
+	}
+	x, y := syntheticData(rand.New(rand.NewSource(23)), 20, 0)
+	if err := m.Fit(x, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict(mat.New(1, 5)); err == nil {
+		t.Error("feature mismatch should fail")
+	}
+}
+
+func TestLapRLSUsesUnlabeledStructure(t *testing.T) {
+	// Two clusters in feature space with constant targets; only one labeled
+	// point per cluster. The manifold penalty should propagate the labels
+	// through the unlabeled cluster mass.
+	rng := rand.New(rand.NewSource(24))
+	mk := func(cx, cy float64, n int) *mat.Dense {
+		m := mat.New(n, 2)
+		for i := 0; i < n; i++ {
+			m.Set(i, 0, cx+rng.NormFloat64()*0.1)
+			m.Set(i, 1, cy+rng.NormFloat64()*0.1)
+		}
+		return m
+	}
+	// Labeled: one point per cluster.
+	x := mat.New(2, 2)
+	x.Set(0, 0, -2)
+	x.Set(1, 0, 2)
+	y := mat.New(2, 1)
+	y.Set(0, 0, -10)
+	y.Set(1, 0, 10)
+	// Unlabeled: 30 per cluster.
+	a := mk(-2, 0, 30)
+	b := mk(2, 0, 30)
+	xu := mat.New(60, 2)
+	for i := 0; i < 30; i++ {
+		copy(xu.Row(i), a.Row(i))
+		copy(xu.Row(30+i), b.Row(i))
+	}
+	m := NewLapRLS()
+	m.Gamma = 1
+	if err := m.Fit(x, y, xu); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(xu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if pred.At(i, 0) > 0 {
+			t.Fatalf("left-cluster point %d predicted %f, want negative", i, pred.At(i, 0))
+		}
+		if pred.At(30+i, 0) < 0 {
+			t.Fatalf("right-cluster point %d predicted %f, want positive", i, pred.At(30+i, 0))
+		}
+	}
+}
+
+func TestLapRLSWithoutUnlabeledMatchesSupervised(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	x, y := syntheticData(rng, 60, 0.05)
+	m := NewLapRLS()
+	if err := m.Fit(x, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae := maeOf(pred, y); mae > 0.8 {
+		t.Errorf("LapRLS supervised MAE = %v", mae)
+	}
+}
+
+func TestLapRLSErrors(t *testing.T) {
+	m := NewLapRLS()
+	if _, err := m.Predict(mat.New(1, 2)); err == nil {
+		t.Error("predict before fit should fail")
+	}
+	if err := m.Fit(nil, nil, nil); err == nil {
+		t.Error("nil data should fail")
+	}
+}
+
+func TestRBFKernelProperties(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, -1}
+	if rbf(a, a, 0.5) != 1 {
+		t.Error("k(a,a) should be 1")
+	}
+	if rbf(a, b, 0.5) != rbf(b, a, 0.5) {
+		t.Error("kernel should be symmetric")
+	}
+	if v := rbf(a, b, 0.5); v <= 0 || v >= 1 {
+		t.Errorf("k(a,b) = %v, want (0,1)", v)
+	}
+}
+
+func TestKernelModelNames(t *testing.T) {
+	if NewKRR().Name() != "KRR" || NewLapRLS().Name() != "LapRLS" {
+		t.Error("kernel model names wrong")
+	}
+}

@@ -1,0 +1,141 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+
+	"accessquery/internal/mat"
+)
+
+// MeanTeacher implements the Tarvainen & Valpola consistency-regularization
+// method adapted to regression: a student network trains on labeled MSE
+// plus a consistency term that pulls its predictions on noise-perturbed
+// unlabeled inputs toward those of an exponential-moving-average teacher.
+type MeanTeacher struct {
+	// Hidden lists hidden-layer widths; default {32, 16}.
+	Hidden []int
+	// Epochs of training; default 400.
+	Epochs int
+	// LearningRate for Adam; default 0.01.
+	LearningRate float64
+	// EMADecay is the teacher decay α; default 0.99.
+	EMADecay float64
+	// ConsistencyWeight scales the unlabeled consistency loss; default 0.5.
+	ConsistencyWeight float64
+	// NoiseSigma is the input perturbation; default 0.1 (features are
+	// standardized upstream).
+	NoiseSigma float64
+	// WeightDecay is the L2 penalty on the student; default 1e-4.
+	WeightDecay float64
+	// Seed drives initialization and noise.
+	Seed int64
+
+	teacher *network
+}
+
+// NewMeanTeacher returns a Mean Teacher model with the experiment defaults.
+func NewMeanTeacher(seed int64) *MeanTeacher {
+	return &MeanTeacher{
+		Hidden: []int{32, 16}, Epochs: 400, LearningRate: 0.01,
+		EMADecay: 0.99, ConsistencyWeight: 0.5, NoiseSigma: 0.1,
+		WeightDecay: 1e-4, Seed: seed,
+	}
+}
+
+// Name implements Model.
+func (m *MeanTeacher) Name() string { return "MT" }
+
+// Fit implements Model, using xu for the consistency term. When xu is nil
+// or empty the model degenerates to a plain MLP student.
+func (m *MeanTeacher) Fit(x, y, xu *mat.Dense) error {
+	d, k, err := validateFit(x, y)
+	if err != nil {
+		return err
+	}
+	hidden := m.Hidden
+	if len(hidden) == 0 {
+		hidden = []int{32, 16}
+	}
+	epochs := m.Epochs
+	if epochs <= 0 {
+		epochs = 400
+	}
+	lr := m.LearningRate
+	if lr <= 0 {
+		lr = 0.01
+	}
+	decay := m.EMADecay
+	if decay <= 0 || decay >= 1 {
+		decay = 0.99
+	}
+	cw := m.ConsistencyWeight
+	if cw < 0 {
+		cw = 0.5
+	}
+	sigma := m.NoiseSigma
+	if sigma <= 0 {
+		sigma = 0.1
+	}
+	sizes := append(append([]int{d}, hidden...), k)
+	rng := rand.New(rand.NewSource(m.Seed))
+	student := newNetwork(sizes, rng)
+	teacher := student.clone()
+	opt := newAdam(student, lr)
+	hasU := xu != nil && xu.Rows() > 0
+	for e := 0; e < epochs; e++ {
+		// Supervised pass.
+		zs, as, err := student.forward(x)
+		if err != nil {
+			return fmt.Errorf("ml/mt: %w", err)
+		}
+		delta, _, err := mseDelta(as[len(as)-1], y)
+		if err != nil {
+			return fmt.Errorf("ml/mt: %w", err)
+		}
+		g, err := student.backward(zs, as, delta)
+		if err != nil {
+			return fmt.Errorf("ml/mt: %w", err)
+		}
+		applyWeightDecay(student, g, m.WeightDecay)
+		opt.step(student, g)
+
+		if hasU && cw > 0 {
+			// Consistency pass: student on noisy inputs chases the teacher
+			// on clean inputs.
+			target, err := teacher.predict(xu)
+			if err != nil {
+				return fmt.Errorf("ml/mt: teacher: %w", err)
+			}
+			noisy := addNoise(xu, rng, sigma)
+			zsU, asU, err := student.forward(noisy)
+			if err != nil {
+				return fmt.Errorf("ml/mt: %w", err)
+			}
+			deltaU, _, err := mseDelta(asU[len(asU)-1], target)
+			if err != nil {
+				return fmt.Errorf("ml/mt: %w", err)
+			}
+			deltaU.Scale(cw)
+			gU, err := student.backward(zsU, asU, deltaU)
+			if err != nil {
+				return fmt.Errorf("ml/mt: %w", err)
+			}
+			opt.step(student, gU)
+		}
+		emaUpdate(teacher, student, decay)
+	}
+	m.teacher = teacher
+	return nil
+}
+
+// Predict implements Model using the teacher network (the better-averaged
+// model, as in the original paper).
+func (m *MeanTeacher) Predict(x *mat.Dense) (*mat.Dense, error) {
+	if m.teacher == nil {
+		return nil, fmt.Errorf("ml/mt: model not fitted")
+	}
+	if x.Cols() != m.teacher.sizes[0] {
+		return nil, fmt.Errorf("ml/mt: %d features, model trained on %d", x.Cols(), m.teacher.sizes[0])
+	}
+	return m.teacher.predict(x)
+}

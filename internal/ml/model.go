@@ -1,0 +1,67 @@
+// Package ml implements the semi-supervised regression models evaluated in
+// the paper: OLS regression, a multi-layer perceptron, COREG (co-training
+// with two k-NN regressors), Mean Teacher (EMA-consistency training), and a
+// graph neural network over the zone-adjacency graph. All models share the
+// Model interface: they fit on labeled features/targets, may exploit
+// unlabeled features, and predict multi-output targets (the pipeline trains
+// on [MAC, ACSD] jointly).
+//
+// Everything is stdlib-only and deterministic given a seed.
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+
+	"accessquery/internal/mat"
+)
+
+// Model is a trainable multi-output regressor.
+type Model interface {
+	// Name identifies the model in experiment reports.
+	Name() string
+	// Fit trains on labeled rows (x: n x d, y: n x k). xu carries the
+	// unlabeled rows' features; purely supervised models ignore it. xu may
+	// be nil.
+	Fit(x, y, xu *mat.Dense) error
+	// Predict returns a len(rows) x k prediction matrix.
+	Predict(x *mat.Dense) (*mat.Dense, error)
+}
+
+// validateFit checks the shared Fit preconditions and returns (d, k).
+func validateFit(x, y *mat.Dense) (int, int, error) {
+	if x == nil || y == nil {
+		return 0, 0, fmt.Errorf("ml: nil training data")
+	}
+	if x.Rows() == 0 {
+		return 0, 0, fmt.Errorf("ml: no training rows")
+	}
+	if x.Rows() != y.Rows() {
+		return 0, 0, fmt.Errorf("ml: %d feature rows but %d target rows", x.Rows(), y.Rows())
+	}
+	if y.Cols() == 0 {
+		return 0, 0, fmt.Errorf("ml: targets have no columns")
+	}
+	return x.Cols(), y.Cols(), nil
+}
+
+// withBias returns x with a prepended constant-1 column.
+func withBias(x *mat.Dense) *mat.Dense {
+	out := mat.New(x.Rows(), x.Cols()+1)
+	for i := 0; i < x.Rows(); i++ {
+		row := out.Row(i)
+		row[0] = 1
+		copy(row[1:], x.Row(i))
+	}
+	return out
+}
+
+// gaussianInit fills m with N(0, scale²) entries.
+func gaussianInit(m *mat.Dense, rng *rand.Rand, scale float64) {
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64() * scale
+		}
+	}
+}

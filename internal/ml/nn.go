@@ -1,0 +1,248 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"accessquery/internal/mat"
+)
+
+// network is a small fully connected net with ReLU hidden layers and a
+// linear output, shared by the MLP and Mean Teacher models.
+type network struct {
+	sizes []int // [in, hidden..., out]
+	w     []*mat.Dense
+	b     [][]float64
+}
+
+func newNetwork(sizes []int, rng *rand.Rand) *network {
+	n := &network{sizes: sizes}
+	for l := 0; l+1 < len(sizes); l++ {
+		w := mat.New(sizes[l], sizes[l+1])
+		// He initialization for ReLU layers.
+		gaussianInit(w, rng, math.Sqrt(2/float64(sizes[l])))
+		n.w = append(n.w, w)
+		n.b = append(n.b, make([]float64, sizes[l+1]))
+	}
+	return n
+}
+
+// clone deep-copies the network (used to spawn the teacher).
+func (n *network) clone() *network {
+	out := &network{sizes: append([]int(nil), n.sizes...)}
+	for l := range n.w {
+		out.w = append(out.w, n.w[l].Clone())
+		out.b = append(out.b, append([]float64(nil), n.b[l]...))
+	}
+	return out
+}
+
+// forward runs the batch x through the network, returning the
+// pre-activation and activation of every layer (activations[0] is x).
+func (n *network) forward(x *mat.Dense) (zs, as []*mat.Dense, err error) {
+	a := x
+	as = append(as, a)
+	last := len(n.w) - 1
+	for l := range n.w {
+		z, err := mat.Mul(a, n.w[l])
+		if err != nil {
+			return nil, nil, fmt.Errorf("ml: layer %d: %w", l, err)
+		}
+		if err := z.AddRowVector(n.b[l]); err != nil {
+			return nil, nil, err
+		}
+		zs = append(zs, z)
+		if l < last {
+			a = z.Clone().Apply(relu)
+		} else {
+			a = z // linear output
+		}
+		as = append(as, a)
+	}
+	return zs, as, nil
+}
+
+// predict returns the network output for x.
+func (n *network) predict(x *mat.Dense) (*mat.Dense, error) {
+	_, as, err := n.forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return as[len(as)-1], nil
+}
+
+func relu(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// grads holds per-layer weight and bias gradients.
+type grads struct {
+	w []*mat.Dense
+	b [][]float64
+}
+
+// backward computes MSE-loss gradients for the batch. delta0 is
+// (pred - target) * scale, i.e. the gradient of the loss w.r.t. the network
+// output, supplied by the caller so consistency losses can reuse the same
+// machinery.
+func (n *network) backward(zs, as []*mat.Dense, delta0 *mat.Dense) (*grads, error) {
+	g := &grads{
+		w: make([]*mat.Dense, len(n.w)),
+		b: make([][]float64, len(n.w)),
+	}
+	delta := delta0
+	for l := len(n.w) - 1; l >= 0; l-- {
+		// dW = aₗᵀ · delta ; db = column sums of delta.
+		dw, err := mat.Mul(as[l].Transpose(), delta)
+		if err != nil {
+			return nil, err
+		}
+		g.w[l] = dw
+		db := make([]float64, delta.Cols())
+		for i := 0; i < delta.Rows(); i++ {
+			row := delta.Row(i)
+			for j, v := range row {
+				db[j] += v
+			}
+		}
+		g.b[l] = db
+		if l == 0 {
+			break
+		}
+		// Propagate: deltaPrev = (delta · Wᵀ) ⊙ relu'(z_{l-1}).
+		dPrev, err := mat.Mul(delta, n.w[l].Transpose())
+		if err != nil {
+			return nil, err
+		}
+		z := zs[l-1]
+		for i := 0; i < dPrev.Rows(); i++ {
+			drow := dPrev.Row(i)
+			zrow := z.Row(i)
+			for j := range drow {
+				if zrow[j] <= 0 {
+					drow[j] = 0
+				}
+			}
+		}
+		delta = dPrev
+	}
+	return g, nil
+}
+
+// adam is a per-network Adam optimizer state.
+type adam struct {
+	lr, beta1, beta2, eps float64
+	t                     int
+	mw, vw                []*mat.Dense
+	mb, vb                [][]float64
+}
+
+func newAdam(n *network, lr float64) *adam {
+	a := &adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
+	for l := range n.w {
+		a.mw = append(a.mw, mat.New(n.w[l].Rows(), n.w[l].Cols()))
+		a.vw = append(a.vw, mat.New(n.w[l].Rows(), n.w[l].Cols()))
+		a.mb = append(a.mb, make([]float64, len(n.b[l])))
+		a.vb = append(a.vb, make([]float64, len(n.b[l])))
+	}
+	return a
+}
+
+// step applies one Adam update to n given gradients g.
+func (a *adam) step(n *network, g *grads) {
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for l := range n.w {
+		w := n.w[l]
+		for i := 0; i < w.Rows(); i++ {
+			wr := w.Row(i)
+			gr := g.w[l].Row(i)
+			mr := a.mw[l].Row(i)
+			vr := a.vw[l].Row(i)
+			for j := range wr {
+				mr[j] = a.beta1*mr[j] + (1-a.beta1)*gr[j]
+				vr[j] = a.beta2*vr[j] + (1-a.beta2)*gr[j]*gr[j]
+				wr[j] -= a.lr * (mr[j] / c1) / (math.Sqrt(vr[j]/c2) + a.eps)
+			}
+		}
+		for j := range n.b[l] {
+			gb := g.b[l][j]
+			a.mb[l][j] = a.beta1*a.mb[l][j] + (1-a.beta1)*gb
+			a.vb[l][j] = a.beta2*a.vb[l][j] + (1-a.beta2)*gb*gb
+			n.b[l][j] -= a.lr * (a.mb[l][j] / c1) / (math.Sqrt(a.vb[l][j]/c2) + a.eps)
+		}
+	}
+}
+
+// mseDelta returns (pred-target)·(2/n) — the output-layer gradient of mean
+// squared error — and the loss value.
+func mseDelta(pred, target *mat.Dense) (*mat.Dense, float64, error) {
+	d, err := mat.Sub(pred, target)
+	if err != nil {
+		return nil, 0, err
+	}
+	var loss float64
+	for i := 0; i < d.Rows(); i++ {
+		for _, v := range d.Row(i) {
+			loss += v * v
+		}
+	}
+	nTot := float64(d.Rows() * d.Cols())
+	if nTot > 0 {
+		loss /= nTot
+		d.Scale(2 / nTot)
+	}
+	return d, loss, nil
+}
+
+// applyWeightDecay adds the L2 penalty gradient wd·w to g in place.
+func applyWeightDecay(n *network, g *grads, wd float64) {
+	if wd <= 0 {
+		return
+	}
+	for l := range n.w {
+		w := n.w[l]
+		for i := 0; i < w.Rows(); i++ {
+			wr := w.Row(i)
+			gr := g.w[l].Row(i)
+			for j := range wr {
+				gr[j] += wd * wr[j]
+			}
+		}
+	}
+}
+
+// emaUpdate moves teacher parameters toward student: θ_t = α·θ_t + (1-α)·θ_s.
+func emaUpdate(teacher, student *network, alpha float64) {
+	for l := range teacher.w {
+		tw, sw := teacher.w[l], student.w[l]
+		for i := 0; i < tw.Rows(); i++ {
+			tr := tw.Row(i)
+			sr := sw.Row(i)
+			for j := range tr {
+				tr[j] = alpha*tr[j] + (1-alpha)*sr[j]
+			}
+		}
+		for j := range teacher.b[l] {
+			teacher.b[l][j] = alpha*teacher.b[l][j] + (1-alpha)*student.b[l][j]
+		}
+	}
+}
+
+// addNoise returns x plus N(0, sigma²) noise, used for consistency
+// perturbations.
+func addNoise(x *mat.Dense, rng *rand.Rand, sigma float64) *mat.Dense {
+	out := x.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += rng.NormFloat64() * sigma
+		}
+	}
+	return out
+}

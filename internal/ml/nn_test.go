@@ -1,0 +1,212 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"accessquery/internal/mat"
+)
+
+func TestNetworkForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := newNetwork([]int{3, 5, 2}, rng)
+	x := mat.New(7, 3)
+	zs, as, err := n.forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zs) != 2 || len(as) != 3 {
+		t.Fatalf("zs=%d as=%d", len(zs), len(as))
+	}
+	if as[2].Rows() != 7 || as[2].Cols() != 2 {
+		t.Fatalf("output %dx%d", as[2].Rows(), as[2].Cols())
+	}
+}
+
+func TestNetworkCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := newNetwork([]int{2, 3, 1}, rng)
+	c := n.clone()
+	n.w[0].Set(0, 0, 999)
+	n.b[0][0] = 777
+	if c.w[0].At(0, 0) == 999 || c.b[0][0] == 777 {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	if relu(-1) != 0 || relu(0) != 0 || relu(2.5) != 2.5 {
+		t.Error("relu wrong")
+	}
+}
+
+func TestMSEDelta(t *testing.T) {
+	pred, _ := mat.FromRows([][]float64{{1, 2}})
+	target, _ := mat.FromRows([][]float64{{0, 4}})
+	d, loss, err := mseDelta(pred, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// loss = (1 + 4)/2 = 2.5.
+	if math.Abs(loss-2.5) > 1e-12 {
+		t.Errorf("loss = %v", loss)
+	}
+	// delta = (pred-target)*2/n = {1,-2} * 1.
+	if math.Abs(d.At(0, 0)-1) > 1e-12 || math.Abs(d.At(0, 1)+2) > 1e-12 {
+		t.Errorf("delta = %v %v", d.At(0, 0), d.At(0, 1))
+	}
+}
+
+func TestEMAUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	student := newNetwork([]int{1, 2, 1}, rng)
+	teacher := student.clone()
+	// Move student far away, then EMA with alpha 0.5.
+	student.w[0].Set(0, 0, 10)
+	before := teacher.w[0].At(0, 0)
+	emaUpdate(teacher, student, 0.5)
+	want := 0.5*before + 0.5*10
+	if math.Abs(teacher.w[0].At(0, 0)-want) > 1e-12 {
+		t.Errorf("ema = %v, want %v", teacher.w[0].At(0, 0), want)
+	}
+}
+
+func TestAddNoiseChangesValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := mat.New(5, 3)
+	noisy := addNoise(x, rng, 1.0)
+	var diff float64
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			diff += math.Abs(noisy.At(i, j) - x.At(i, j))
+		}
+	}
+	if diff == 0 {
+		t.Error("noise had no effect")
+	}
+	// Source untouched.
+	if x.At(0, 0) != 0 {
+		t.Error("addNoise mutated input")
+	}
+}
+
+func TestApplyWeightDecay(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := newNetwork([]int{2, 2, 1}, rng)
+	g := &grads{
+		w: []*mat.Dense{mat.New(2, 2), mat.New(2, 1)},
+		b: [][]float64{make([]float64, 2), make([]float64, 1)},
+	}
+	w00 := n.w[0].At(0, 0)
+	applyWeightDecay(n, g, 0.1)
+	if math.Abs(g.w[0].At(0, 0)-0.1*w00) > 1e-12 {
+		t.Errorf("decay gradient = %v, want %v", g.w[0].At(0, 0), 0.1*w00)
+	}
+	// Zero decay is a no-op.
+	g2 := &grads{
+		w: []*mat.Dense{mat.New(2, 2), mat.New(2, 1)},
+		b: [][]float64{make([]float64, 2), make([]float64, 1)},
+	}
+	applyWeightDecay(n, g2, 0)
+	if g2.w[0].At(0, 0) != 0 {
+		t.Error("zero decay should not touch gradients")
+	}
+}
+
+func TestAdamStepMovesWeightsDownhill(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// One-layer linear network learning y = 2x by gradient steps.
+	n := newNetwork([]int{1, 1}, rng)
+	opt := newAdam(n, 0.05)
+	x, _ := mat.FromRows([][]float64{{1}, {2}, {-1}})
+	y, _ := mat.FromRows([][]float64{{2}, {4}, {-2}})
+	var lastLoss float64 = math.Inf(1)
+	for e := 0; e < 400; e++ {
+		zs, as, err := n.forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta, loss, err := mseDelta(as[len(as)-1], y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e == 399 {
+			lastLoss = loss
+		}
+		g, err := n.backward(zs, as, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.step(n, g)
+	}
+	if lastLoss > 1e-3 {
+		t.Errorf("final loss = %v, want < 1e-3", lastLoss)
+	}
+	if w := n.w[0].At(0, 0); math.Abs(w-2) > 0.1 {
+		t.Errorf("learned weight = %v, want ~2", w)
+	}
+}
+
+func TestGradientMatchesFiniteDifference(t *testing.T) {
+	// Verify backprop against numeric differentiation on a tiny net.
+	rng := rand.New(rand.NewSource(7))
+	n := newNetwork([]int{2, 3, 1}, rng)
+	x, _ := mat.FromRows([][]float64{{0.5, -0.3}, {-0.1, 0.8}})
+	y, _ := mat.FromRows([][]float64{{1}, {-1}})
+	lossOf := func() float64 {
+		_, as, err := n.forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, loss, err := mseDelta(as[len(as)-1], y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss
+	}
+	zs, as, err := n.forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, _, err := mseDelta(as[len(as)-1], y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := n.backward(zs, as, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	for l := range n.w {
+		for i := 0; i < n.w[l].Rows(); i++ {
+			for j := 0; j < n.w[l].Cols(); j++ {
+				orig := n.w[l].At(i, j)
+				n.w[l].Set(i, j, orig+eps)
+				up := lossOf()
+				n.w[l].Set(i, j, orig-eps)
+				down := lossOf()
+				n.w[l].Set(i, j, orig)
+				numeric := (up - down) / (2 * eps)
+				analytic := g.w[l].At(i, j)
+				if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+					t.Fatalf("layer %d w[%d][%d]: analytic %v, numeric %v",
+						l, i, j, analytic, numeric)
+				}
+			}
+		}
+		for j := range n.b[l] {
+			orig := n.b[l][j]
+			n.b[l][j] = orig + eps
+			up := lossOf()
+			n.b[l][j] = orig - eps
+			down := lossOf()
+			n.b[l][j] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := g.b[l][j]
+			if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("layer %d b[%d]: analytic %v, numeric %v", l, j, analytic, numeric)
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package ml
+
+import (
+	"fmt"
+
+	"accessquery/internal/mat"
+)
+
+// OLS is ordinary least squares with a small ridge term for numerical
+// stability: W = (XᵀX + λI)⁻¹ XᵀY over bias-augmented features. It is the
+// purely supervised baseline from the paper's experiments.
+type OLS struct {
+	// Ridge is the λ regularizer; zero means the 1e-8 stability default.
+	Ridge float64
+
+	weights *mat.Dense // (d+1) x k
+}
+
+// NewOLS returns an OLS model with the default ridge term.
+func NewOLS() *OLS { return &OLS{} }
+
+// Name implements Model.
+func (o *OLS) Name() string { return "OLS" }
+
+// Fit implements Model. The unlabeled features are ignored.
+func (o *OLS) Fit(x, y, _ *mat.Dense) error {
+	if _, _, err := validateFit(x, y); err != nil {
+		return err
+	}
+	xb := withBias(x)
+	xt := xb.Transpose()
+	xtx, err := mat.Mul(xt, xb)
+	if err != nil {
+		return fmt.Errorf("ml/ols: %w", err)
+	}
+	ridge := o.Ridge
+	if ridge <= 0 {
+		ridge = 1e-8
+	}
+	for i := 0; i < xtx.Rows(); i++ {
+		xtx.Set(i, i, xtx.At(i, i)+ridge)
+	}
+	xty, err := mat.Mul(xt, y)
+	if err != nil {
+		return fmt.Errorf("ml/ols: %w", err)
+	}
+	w, err := mat.Solve(xtx, xty)
+	if err != nil {
+		return fmt.Errorf("ml/ols: normal equations: %w", err)
+	}
+	o.weights = w
+	return nil
+}
+
+// Predict implements Model.
+func (o *OLS) Predict(x *mat.Dense) (*mat.Dense, error) {
+	if o.weights == nil {
+		return nil, fmt.Errorf("ml/ols: model not fitted")
+	}
+	if x.Cols()+1 != o.weights.Rows() {
+		return nil, fmt.Errorf("ml/ols: %d features, model trained on %d", x.Cols(), o.weights.Rows()-1)
+	}
+	return mat.Mul(withBias(x), o.weights)
+}

@@ -1,0 +1,152 @@
+package ml
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"accessquery/internal/mat"
+)
+
+// Trained models can be persisted so a fitted regressor survives process
+// restarts — a production server labels once, fits once, and then serves
+// inferences. Only the weight-based models serialize compactly (OLS, MLP,
+// Mean Teacher); instance-based and transductive models (COREG, GNN,
+// kernel models) carry their training sets and are cheaper to refit.
+
+// savedNetwork is the gob form of a network.
+type savedNetwork struct {
+	Sizes []int
+	W     [][]float64 // row-major per layer
+	B     [][]float64
+}
+
+func packNetwork(n *network) savedNetwork {
+	s := savedNetwork{Sizes: append([]int(nil), n.sizes...)}
+	for l := range n.w {
+		rows := n.w[l].Rows()
+		cols := n.w[l].Cols()
+		flat := make([]float64, 0, rows*cols)
+		for i := 0; i < rows; i++ {
+			flat = append(flat, n.w[l].Row(i)...)
+		}
+		s.W = append(s.W, flat)
+		s.B = append(s.B, append([]float64(nil), n.b[l]...))
+	}
+	return s
+}
+
+func unpackNetwork(s savedNetwork) (*network, error) {
+	if len(s.Sizes) < 2 {
+		return nil, fmt.Errorf("ml: saved network has %d layer sizes", len(s.Sizes))
+	}
+	if len(s.W) != len(s.Sizes)-1 || len(s.B) != len(s.Sizes)-1 {
+		return nil, fmt.Errorf("ml: saved network layer count mismatch")
+	}
+	n := &network{sizes: append([]int(nil), s.Sizes...)}
+	for l := 0; l+1 < len(s.Sizes); l++ {
+		rows, cols := s.Sizes[l], s.Sizes[l+1]
+		if len(s.W[l]) != rows*cols || len(s.B[l]) != cols {
+			return nil, fmt.Errorf("ml: saved network layer %d has wrong shape", l)
+		}
+		w := mat.New(rows, cols)
+		for i := 0; i < rows; i++ {
+			copy(w.Row(i), s.W[l][i*cols:(i+1)*cols])
+		}
+		n.w = append(n.w, w)
+		n.b = append(n.b, append([]float64(nil), s.B[l]...))
+	}
+	return n, nil
+}
+
+// Save writes the fitted MLP to w. It fails when the model is unfitted.
+func (m *MLP) Save(w io.Writer) error {
+	if m.net == nil {
+		return fmt.Errorf("ml/mlp: cannot save unfitted model")
+	}
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(packNetwork(m.net)); err != nil {
+		return fmt.Errorf("ml/mlp: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load restores a fitted MLP previously written with Save.
+func (m *MLP) Load(r io.Reader) error {
+	var s savedNetwork
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&s); err != nil {
+		return fmt.Errorf("ml/mlp: %w", err)
+	}
+	net, err := unpackNetwork(s)
+	if err != nil {
+		return err
+	}
+	m.net = net
+	return nil
+}
+
+// Save writes the fitted teacher network to w.
+func (m *MeanTeacher) Save(w io.Writer) error {
+	if m.teacher == nil {
+		return fmt.Errorf("ml/mt: cannot save unfitted model")
+	}
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(packNetwork(m.teacher)); err != nil {
+		return fmt.Errorf("ml/mt: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load restores a fitted Mean Teacher previously written with Save.
+func (m *MeanTeacher) Load(r io.Reader) error {
+	var s savedNetwork
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&s); err != nil {
+		return fmt.Errorf("ml/mt: %w", err)
+	}
+	net, err := unpackNetwork(s)
+	if err != nil {
+		return err
+	}
+	m.teacher = net
+	return nil
+}
+
+// savedOLS is the gob form of an OLS model.
+type savedOLS struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// Save writes the fitted OLS weights to w.
+func (o *OLS) Save(w io.Writer) error {
+	if o.weights == nil {
+		return fmt.Errorf("ml/ols: cannot save unfitted model")
+	}
+	s := savedOLS{Rows: o.weights.Rows(), Cols: o.weights.Cols()}
+	for i := 0; i < s.Rows; i++ {
+		s.Data = append(s.Data, o.weights.Row(i)...)
+	}
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(s); err != nil {
+		return fmt.Errorf("ml/ols: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load restores a fitted OLS previously written with Save.
+func (o *OLS) Load(r io.Reader) error {
+	var s savedOLS
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&s); err != nil {
+		return fmt.Errorf("ml/ols: %w", err)
+	}
+	if s.Rows <= 0 || s.Cols <= 0 || len(s.Data) != s.Rows*s.Cols {
+		return fmt.Errorf("ml/ols: saved weights have wrong shape")
+	}
+	w := mat.New(s.Rows, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		copy(w.Row(i), s.Data[i*s.Cols:(i+1)*s.Cols])
+	}
+	o.weights = w
+	return nil
+}

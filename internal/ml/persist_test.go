@@ -1,0 +1,154 @@
+package ml
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"accessquery/internal/mat"
+)
+
+func TestMLPSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x, y := syntheticData(rng, 100, 0.1)
+	m := NewMLP(7)
+	m.Epochs = 100
+	if err := m.Fit(x, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewMLP(0)
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	xt, _ := syntheticData(rng, 20, 0)
+	want, err := m.Predict(xt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Predict(xt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < want.Rows(); i++ {
+		for j := 0; j < want.Cols(); j++ {
+			if want.At(i, j) != got.At(i, j) {
+				t.Fatalf("prediction differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMLPSaveUnfitted(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewMLP(1).Save(&buf); err == nil {
+		t.Error("saving unfitted model should fail")
+	}
+}
+
+func TestMLPLoadGarbage(t *testing.T) {
+	m := NewMLP(1)
+	if err := m.Load(strings.NewReader("not gob")); err == nil {
+		t.Error("loading garbage should fail")
+	}
+}
+
+func TestOLSSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	x, y := syntheticData(rng, 80, 0.05)
+	m := NewOLS()
+	if err := m.Fit(x, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewOLS()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	xt, _ := syntheticData(rng, 15, 0)
+	want, _ := m.Predict(xt)
+	got, _ := restored.Predict(xt)
+	for i := 0; i < want.Rows(); i++ {
+		for j := 0; j < want.Cols(); j++ {
+			if want.At(i, j) != got.At(i, j) {
+				t.Fatalf("OLS prediction differs at (%d,%d)", i, j)
+			}
+		}
+	}
+	if err := NewOLS().Save(&bytes.Buffer{}); err == nil {
+		t.Error("saving unfitted OLS should fail")
+	}
+}
+
+func TestMeanTeacherSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	x, y := syntheticData(rng, 60, 0.1)
+	xu, _ := syntheticData(rng, 40, 0)
+	m := NewMeanTeacher(9)
+	m.Epochs = 60
+	if err := m.Fit(x, y, xu); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewMeanTeacher(0)
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	xt, _ := syntheticData(rng, 10, 0)
+	want, _ := m.Predict(xt)
+	got, _ := restored.Predict(xt)
+	for i := 0; i < want.Rows(); i++ {
+		if want.At(i, 0) != got.At(i, 0) {
+			t.Fatal("MT prediction differs after round trip")
+		}
+	}
+	if err := NewMeanTeacher(1).Save(&bytes.Buffer{}); err == nil {
+		t.Error("saving unfitted MT should fail")
+	}
+}
+
+func TestUnpackNetworkValidation(t *testing.T) {
+	bad := []savedNetwork{
+		{Sizes: []int{3}},
+		{Sizes: []int{2, 3}, W: [][]float64{{1}}, B: [][]float64{{1, 2, 3}}},
+		{Sizes: []int{2, 3}, W: [][]float64{make([]float64, 6)}, B: [][]float64{{1}}},
+	}
+	for i, s := range bad {
+		if _, err := unpackNetwork(s); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// Valid case round trips through pack.
+	rng := rand.New(rand.NewSource(34))
+	n := newNetwork([]int{2, 4, 1}, rng)
+	got, err := unpackNetwork(packNetwork(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.New(3, 2)
+	x.Set(0, 0, 1)
+	x.Set(1, 1, -0.5)
+	p1, err := n.predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := got.predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if p1.At(i, 0) != p2.At(i, 0) {
+			t.Fatal("packed network predicts differently")
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package router
+
+import (
+	"container/heap"
+	"fmt"
+
+	"accessquery/internal/graph"
+	"accessquery/internal/gtfs"
+)
+
+// LegMode distinguishes walking from riding.
+type LegMode int
+
+// Leg modes.
+const (
+	LegWalk LegMode = iota
+	LegRide
+)
+
+// String implements fmt.Stringer.
+func (m LegMode) String() string {
+	if m == LegWalk {
+		return "walk"
+	}
+	return "ride"
+}
+
+// Leg is one segment of a reconstructed itinerary. Walk legs cover one or
+// more road edges (merged); ride legs cover one vehicle boarding from
+// BoardStop to AlightStop.
+type Leg struct {
+	Mode LegMode
+	// From and To are road nodes.
+	From, To graph.NodeID
+	// Depart and Arrive bound the leg in time. For ride legs Depart is the
+	// vehicle's departure (waiting time precedes it).
+	Depart, Arrive gtfs.Seconds
+	// Route, Trip, BoardStop, and AlightStop are set for ride legs.
+	Route      gtfs.RouteID
+	Trip       gtfs.TripID
+	BoardStop  gtfs.StopID
+	AlightStop gtfs.StopID
+}
+
+// incomingLeg records how a node's current label was reached, enabling
+// itinerary reconstruction.
+type incomingLeg struct {
+	parent graph.NodeID
+	mode   LegMode
+	depart gtfs.Seconds
+	route  gtfs.RouteID
+	trip   gtfs.TripID
+	board  gtfs.StopID
+	alight gtfs.StopID
+}
+
+// RouteDetailed answers a single query like Route but also reconstructs
+// the itinerary's legs. Consecutive walking edges are merged into one walk
+// leg.
+func (r *Router) RouteDetailed(origin, dest graph.NodeID, depart gtfs.Seconds) (Journey, []Leg, bool, error) {
+	if origin < 0 || int(origin) >= r.road.NumNodes() {
+		return Journey{}, nil, false, fmt.Errorf("router: invalid origin node %d", origin)
+	}
+	if dest < 0 || int(dest) >= r.road.NumNodes() {
+		return Journey{}, nil, false, fmt.Errorf("router: invalid destination node %d", dest)
+	}
+	n := r.road.NumNodes()
+	labels := make([]label, n)
+	incoming := make([]incomingLeg, n)
+	for i := range incoming {
+		incoming[i].parent = graph.InvalidNode
+	}
+	labels[origin] = label{arrive: depart, reached: true}
+	q := pq{{node: origin, arrive: depart}}
+	deadline := depart + r.opts.MaxJourney
+	improveTracked := func(node graph.NodeID, nl label, in incomingLeg) {
+		cur := &labels[node]
+		if cur.reached && nl.arrive >= cur.arrive {
+			return
+		}
+		nl.reached = true
+		*cur = nl
+		incoming[node] = in
+		heap.Push(&q, pqItem{node: node, arrive: nl.arrive})
+	}
+	for q.Len() > 0 {
+		cur := heap.Pop(&q).(pqItem)
+		l := &labels[cur.node]
+		if cur.arrive > l.arrive || l.settled {
+			continue
+		}
+		l.settled = true
+		curLabel := *l
+		curNode := cur.node
+
+		r.road.Neighbors(curNode, func(to graph.NodeID, seconds float64) {
+			wsec := gtfs.Seconds(seconds + 0.5)
+			na := curLabel.arrive + wsec
+			if na > deadline {
+				return
+			}
+			nl := curLabel
+			nl.arrive = na
+			nl.settled = false
+			if curLabel.boardings == 0 {
+				nl.accessWalk += float32(wsec)
+			} else {
+				nl.egressWalk += float32(wsec)
+			}
+			improveTracked(to, nl, incomingLeg{
+				parent: curNode, mode: LegWalk, depart: curLabel.arrive,
+			})
+		})
+
+		for _, sid := range r.stopsAtNode[curNode] {
+			earliest := curLabel.arrive + r.opts.BoardSlack
+			deps := r.index.NextDepartures(sid, earliest, r.opts.MaxDeparturesPerStop)
+			for _, dep := range deps {
+				waitHere := dep.Departure - curLabel.arrive
+				if waitHere > r.opts.MaxWait {
+					break
+				}
+				trip, ok := r.index.Trip(dep.TripID)
+				if !ok {
+					continue
+				}
+				route, _ := r.index.Feed().Route(trip.RouteID)
+				boarded := curLabel
+				boarded.wait += float32(waitHere)
+				boarded.boardings++
+				boarded.fare += float32(route.FareFlat)
+				boarded.transferWalk += boarded.egressWalk
+				boarded.egressWalk = 0
+				boardDep := dep.Departure
+				for si := dep.StopIndex + 1; si < len(trip.StopTimes); si++ {
+					st := trip.StopTimes[si]
+					if st.Arrival > deadline {
+						break
+					}
+					node, ok := r.stopNode[st.StopID]
+					if !ok {
+						continue
+					}
+					nl := boarded
+					nl.arrive = st.Arrival
+					nl.inVehicle += float32(st.Arrival - boardDep)
+					nl.settled = false
+					improveTracked(node, nl, incomingLeg{
+						parent: curNode, mode: LegRide, depart: boardDep,
+						route: trip.RouteID, trip: trip.ID,
+						board: sid, alight: st.StopID,
+					})
+				}
+			}
+		}
+	}
+	if !labels[dest].reached {
+		return Journey{}, nil, false, nil
+	}
+	legs := reconstruct(incoming, labels, origin, dest)
+	return journeyFrom(depart, labels[dest]), legs, true, nil
+}
+
+// reconstruct walks the parent chain from dest to origin, emitting legs in
+// forward order with consecutive walks merged.
+func reconstruct(incoming []incomingLeg, labels []label, origin, dest graph.NodeID) []Leg {
+	var rev []Leg
+	at := dest
+	for at != origin {
+		in := incoming[at]
+		if in.parent == graph.InvalidNode {
+			break // origin or disconnected bookkeeping; stop defensively
+		}
+		leg := Leg{
+			Mode: in.mode, From: in.parent, To: at,
+			Depart: in.depart, Arrive: labels[at].arrive,
+			Route: in.route, Trip: in.trip,
+			BoardStop: in.board, AlightStop: in.alight,
+		}
+		rev = append(rev, leg)
+		at = in.parent
+	}
+	// Reverse and merge consecutive walks.
+	var legs []Leg
+	for i := len(rev) - 1; i >= 0; i-- {
+		leg := rev[i]
+		if leg.Mode == LegWalk && len(legs) > 0 && legs[len(legs)-1].Mode == LegWalk {
+			prev := &legs[len(legs)-1]
+			prev.To = leg.To
+			prev.Arrive = leg.Arrive
+			continue
+		}
+		legs = append(legs, leg)
+	}
+	return legs
+}

@@ -1,0 +1,142 @@
+package router
+
+import (
+	"testing"
+
+	"accessquery/internal/gtfs"
+)
+
+func TestRouteDetailedWalkOnly(t *testing.T) {
+	s := buildScenario(t)
+	r := newRouter(t, s)
+	j, legs, ok, err := r.RouteDetailed(s.nodes[0], s.nodes[1], 8*3600)
+	if err != nil || !ok {
+		t.Fatalf("err=%v ok=%v", err, ok)
+	}
+	if len(legs) != 1 || legs[0].Mode != LegWalk {
+		t.Fatalf("legs = %+v, want one merged walk", legs)
+	}
+	if legs[0].From != s.nodes[0] || legs[0].To != s.nodes[1] {
+		t.Errorf("walk endpoints %d->%d", legs[0].From, legs[0].To)
+	}
+	if legs[0].Arrive != j.Arrive {
+		t.Errorf("leg arrive %v != journey arrive %v", legs[0].Arrive, j.Arrive)
+	}
+}
+
+func TestRouteDetailedTransitItinerary(t *testing.T) {
+	s := buildScenario(t)
+	r := newRouter(t, s)
+	depart := gtfs.Seconds(7*3600 + 8*60 + 30)
+	j, legs, ok, err := r.RouteDetailed(s.nodes[0], s.nodes[3], depart)
+	if err != nil || !ok {
+		t.Fatalf("err=%v ok=%v", err, ok)
+	}
+	// walk n0->n1, ride SA->SB, walk n2->n3.
+	if len(legs) != 3 {
+		t.Fatalf("got %d legs: %+v", len(legs), legs)
+	}
+	if legs[0].Mode != LegWalk || legs[1].Mode != LegRide || legs[2].Mode != LegWalk {
+		t.Fatalf("leg modes wrong: %v %v %v", legs[0].Mode, legs[1].Mode, legs[2].Mode)
+	}
+	ride := legs[1]
+	if ride.BoardStop != "SA" || ride.AlightStop != "SB" || ride.Route != "R" {
+		t.Errorf("ride leg = %+v", ride)
+	}
+	if ride.Depart != 7*3600+20*60 {
+		t.Errorf("ride departs %v, want 07:20", ride.Depart)
+	}
+	// Legs are contiguous in space and monotone in time.
+	for i := 1; i < len(legs); i++ {
+		if legs[i].From != legs[i-1].To {
+			t.Errorf("leg %d not contiguous", i)
+		}
+		if legs[i].Arrive < legs[i-1].Arrive {
+			t.Errorf("leg %d goes back in time", i)
+		}
+	}
+	if legs[len(legs)-1].Arrive != j.Arrive {
+		t.Errorf("final leg arrive %v != journey %v", legs[len(legs)-1].Arrive, j.Arrive)
+	}
+	// Detailed journey matches the plain query.
+	plain, ok2, err := r.Route(s.nodes[0], s.nodes[3], depart)
+	if err != nil || !ok2 {
+		t.Fatal("plain route failed")
+	}
+	if plain.Arrive != j.Arrive || plain.Boardings != j.Boardings {
+		t.Errorf("detailed journey %+v differs from plain %+v", j, plain)
+	}
+}
+
+func TestRouteDetailedUnreachable(t *testing.T) {
+	s := buildScenario(t)
+	r, err := New(s.road, s.index, s.stopNode, Options{MaxJourney: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, legs, ok, err := r.RouteDetailed(s.nodes[0], s.nodes[3], 8*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || legs != nil {
+		t.Error("unreachable should report !ok with no legs")
+	}
+}
+
+func TestRouteDetailedValidation(t *testing.T) {
+	s := buildScenario(t)
+	r := newRouter(t, s)
+	if _, _, _, err := r.RouteDetailed(-1, s.nodes[0], 0); err == nil {
+		t.Error("invalid origin should fail")
+	}
+	if _, _, _, err := r.RouteDetailed(s.nodes[0], 99, 0); err == nil {
+		t.Error("invalid dest should fail")
+	}
+}
+
+func TestRouteDetailedSelf(t *testing.T) {
+	s := buildScenario(t)
+	r := newRouter(t, s)
+	j, legs, ok, err := r.RouteDetailed(s.nodes[2], s.nodes[2], 8*3600)
+	if err != nil || !ok {
+		t.Fatal("self route failed")
+	}
+	if len(legs) != 0 || j.Duration() != 0 {
+		t.Errorf("self route: %d legs, duration %v", len(legs), j.Duration())
+	}
+}
+
+func TestRouteDetailedCityConsistency(t *testing.T) {
+	c, r := cityWorld(t)
+	depart := gtfs.Seconds(8 * 3600)
+	for i := 0; i < 30; i++ {
+		o := c.ZoneNode[(i*13)%len(c.Zones)]
+		d := c.ZoneNode[(i*29+3)%len(c.Zones)]
+		jd, legs, okD, err := r.RouteDetailed(o, d, depart)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jp, okP, err := r.Route(o, d, depart)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okD != okP {
+			t.Fatalf("reachability disagrees for pair %d", i)
+		}
+		if !okD {
+			continue
+		}
+		if jd.Arrive != jp.Arrive {
+			t.Errorf("pair %d: detailed arrive %v != plain %v", i, jd.Arrive, jp.Arrive)
+		}
+		rides := 0
+		for _, leg := range legs {
+			if leg.Mode == LegRide {
+				rides++
+			}
+		}
+		if rides != jd.Boardings {
+			t.Errorf("pair %d: %d ride legs but %d boardings", i, rides, jd.Boardings)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package router
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"accessquery/internal/geo"
+	"accessquery/internal/gtfs"
+	"accessquery/internal/metrics"
+)
+
+func newRaptor(t *testing.T, s *scenario) *Raptor {
+	t.Helper()
+	r, err := NewRaptor(s.index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRaptorValidation(t *testing.T) {
+	if _, err := NewRaptor(nil); err == nil {
+		t.Error("nil index should fail")
+	}
+}
+
+func TestRaptorPatterns(t *testing.T) {
+	s := buildScenario(t)
+	r := newRaptor(t, s)
+	// All 12 trips share one stop sequence SA -> SB.
+	if r.NumPatterns() != 1 {
+		t.Errorf("patterns = %d, want 1", r.NumPatterns())
+	}
+}
+
+func TestRaptorWalkOnly(t *testing.T) {
+	s := buildScenario(t)
+	r := newRaptor(t, s)
+	// Destination 100 m away: pure walk, no transit helps.
+	origin := s.road.Point(s.nodes[0])
+	dest := geo.Offset(origin, 100, 0)
+	j, ok := r.Route(origin, dest, 8*3600)
+	if !ok {
+		t.Fatal("walk-only journey not found")
+	}
+	if j.Boardings != 0 {
+		t.Errorf("boardings = %d, want 0", j.Boardings)
+	}
+	wantWalk := walkSeconds(100)
+	if j.Arrive != 8*3600+wantWalk {
+		t.Errorf("arrive = %v, want %v", j.Arrive, 8*3600+wantWalk)
+	}
+}
+
+func TestRaptorUsesTransit(t *testing.T) {
+	s := buildScenario(t)
+	r := newRaptor(t, s)
+	// n0 -> n3 is 2250 m: walking takes 2160 s. The bus covers SA->SB in
+	// 120 s, so transit should win comfortably when a departure is near.
+	origin := s.road.Point(s.nodes[0])
+	dest := s.road.Point(s.nodes[3])
+	depart := gtfs.Seconds(7*3600 + 5*60)
+	j, ok := r.Route(origin, dest, depart)
+	if !ok {
+		t.Fatal("journey not found")
+	}
+	walkArrive, _ := r.walkOnlyArrival(origin, dest, depart)
+	if j.Arrive >= walkArrive {
+		t.Errorf("transit (%v) no better than walking (%v)", j.Arrive, walkArrive)
+	}
+	if j.Boardings != 1 {
+		t.Errorf("boardings = %d, want 1", j.Boardings)
+	}
+	// Hand-computed: access walk 750 m = 720 s -> at SA 07:17:00; board
+	// slack 30 s -> catch the 07:20 bus; SB at 07:22; egress 750 m = 720 s
+	// -> 07:34.
+	want := gtfs.Seconds(7*3600 + 34*60)
+	if j.Arrive != want {
+		t.Errorf("arrive = %v, want %v", j.Arrive, want)
+	}
+}
+
+func TestRaptorRespectsMaxRounds(t *testing.T) {
+	s := buildScenario(t)
+	r := newRaptor(t, s)
+	r.MaxRounds = 0
+	origin := s.road.Point(s.nodes[0])
+	dest := s.road.Point(s.nodes[3])
+	j, ok := r.Route(origin, dest, 7*3600)
+	if !ok {
+		t.Fatal("walking fallback missing")
+	}
+	if j.Boardings != 0 {
+		t.Errorf("MaxRounds=0 should force walking, got %d boardings", j.Boardings)
+	}
+}
+
+func TestRaptorNoServiceLate(t *testing.T) {
+	s := buildScenario(t)
+	r := newRaptor(t, s)
+	origin := s.road.Point(s.nodes[0])
+	dest := s.road.Point(s.nodes[3])
+	j, ok := r.Route(origin, dest, 22*3600)
+	if !ok {
+		t.Fatal("journey not found")
+	}
+	if j.Boardings != 0 {
+		t.Error("late-night journey should be walk-only")
+	}
+}
+
+func TestRaptorEmptySchedule(t *testing.T) {
+	empty := gtfs.NewIndex(gtfs.NewFeed(), time.Tuesday)
+	r, err := NewRaptor(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := geo.Point{Lat: 52.4, Lon: -1.9}
+	b := geo.Offset(a, 500, 0)
+	j, ok := r.Route(a, b, 8*3600)
+	if !ok || j.Boardings != 0 {
+		t.Errorf("empty schedule should walk: %+v ok=%v", j, ok)
+	}
+}
+
+// TestRaptorCrossValidatesDijkstra compares the two routers city-wide.
+// Their walking models differ (crow-flight footpaths vs road network), so
+// exact equality is not required; arrival times must correlate strongly
+// and agree within the footpath-model slack.
+func TestRaptorCrossValidatesDijkstra(t *testing.T) {
+	c, dij := cityWorld(t)
+	ix := gtfs.NewIndex(c.Feed, time.Tuesday)
+	rap, err := NewRaptor(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depart := gtfs.Seconds(8 * 3600)
+	var dArr, rArr []float64
+	var disagreements int
+	samples := 0
+	for i := 0; i < len(c.Zones); i += 3 {
+		for jj := 1; jj < len(c.Zones); jj += 7 {
+			o, d := i, (i+jj)%len(c.Zones)
+			if o == d {
+				continue
+			}
+			samples++
+			jd, okD, err := dij.Route(c.ZoneNode[o], c.ZoneNode[d], depart)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jr, okR := rap.Route(c.Zones[o].Centroid, c.Zones[d].Centroid, depart)
+			if !okD || !okR {
+				continue
+			}
+			dArr = append(dArr, float64(jd.Arrive))
+			rArr = append(rArr, float64(jr.Arrive))
+			if math.Abs(float64(jd.Arrive)-float64(jr.Arrive)) > 1200 {
+				disagreements++
+			}
+		}
+	}
+	if len(dArr) < 50 {
+		t.Fatalf("only %d comparable pairs of %d samples", len(dArr), samples)
+	}
+	r, err := metrics.Pearson(dArr, rArr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.9 {
+		t.Errorf("router arrival correlation = %f, want > 0.9", r)
+	}
+	if frac := float64(disagreements) / float64(len(dArr)); frac > 0.15 {
+		t.Errorf("%.0f%% of pairs disagree by more than 20 min", frac*100)
+	}
+}
+
+func BenchmarkRaptorRoute(b *testing.B) {
+	c, _ := cityWorld(b)
+	ix := gtfs.NewIndex(c.Feed, time.Tuesday)
+	rap, err := NewRaptor(ix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	depart := gtfs.Seconds(8 * 3600)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := i % len(c.Zones)
+		d := (i*31 + 7) % len(c.Zones)
+		rap.Route(c.Zones[o].Centroid, c.Zones[d].Centroid, depart)
+	}
+}

@@ -1,0 +1,366 @@
+// Package router implements the multimodal (walk + transit) shortest-path
+// oracle the paper delegates to OpenTripPlanner. Given an (origin,
+// destination, start time) query it returns the earliest-arrival journey
+// through the road network and timetable, decomposed into the cost
+// components the UK Department for Transport generalized-cost model needs:
+// access walk, waiting, in-vehicle time, egress walk, transfers, and fare.
+//
+// The search is a time-dependent Dijkstra over road nodes. Walking edges are
+// relaxed with their static costs; when a node carrying transit stops is
+// settled, the next few departures from those stops are boarded and the trip
+// is ridden forward, relaxing every downstream stop. A single one-to-many
+// Profile call therefore prices a zone against every POI at once, which is
+// how the TODAM labeling loop amortizes its SPQ workload.
+package router
+
+import (
+	"container/heap"
+	"fmt"
+
+	"accessquery/internal/graph"
+	"accessquery/internal/gtfs"
+)
+
+// Options tune the search. The zero value is replaced by defaults.
+type Options struct {
+	// BoardSlack is the minimum seconds between arriving at a stop and
+	// boarding a vehicle there.
+	BoardSlack gtfs.Seconds
+	// MaxWait is the longest the search will wait at a stop for a departure.
+	MaxWait gtfs.Seconds
+	// MaxDeparturesPerStop bounds how many upcoming departures are tried per
+	// settled stop.
+	MaxDeparturesPerStop int
+	// MaxJourney bounds total journey duration; longer journeys are treated
+	// as unreachable.
+	MaxJourney gtfs.Seconds
+}
+
+// DefaultOptions returns the options used by the experiments.
+func DefaultOptions() Options {
+	return Options{
+		BoardSlack:           30,
+		MaxWait:              2700,
+		MaxDeparturesPerStop: 3,
+		MaxJourney:           3 * 3600,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.BoardSlack <= 0 {
+		o.BoardSlack = d.BoardSlack
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = d.MaxWait
+	}
+	if o.MaxDeparturesPerStop <= 0 {
+		o.MaxDeparturesPerStop = d.MaxDeparturesPerStop
+	}
+	if o.MaxJourney <= 0 {
+		o.MaxJourney = d.MaxJourney
+	}
+	return o
+}
+
+// Router answers multimodal earliest-arrival queries.
+type Router struct {
+	road        *graph.Graph
+	index       *gtfs.Index
+	stopNode    map[gtfs.StopID]graph.NodeID
+	stopsAtNode map[graph.NodeID][]gtfs.StopID
+	opts        Options
+}
+
+// New builds a router over a road graph, a schedule index for the service
+// day, and the welding of stops onto road nodes.
+func New(road *graph.Graph, index *gtfs.Index, stopNode map[gtfs.StopID]graph.NodeID, opts Options) (*Router, error) {
+	if road == nil || index == nil {
+		return nil, fmt.Errorf("router: nil road graph or schedule index")
+	}
+	r := &Router{
+		road:        road,
+		index:       index,
+		stopNode:    stopNode,
+		stopsAtNode: make(map[graph.NodeID][]gtfs.StopID, len(stopNode)),
+		opts:        opts.withDefaults(),
+	}
+	for sid, nid := range stopNode {
+		r.stopsAtNode[nid] = append(r.stopsAtNode[nid], sid)
+	}
+	return r, nil
+}
+
+// Journey is a priced multimodal journey. All durations are in seconds.
+type Journey struct {
+	Depart gtfs.Seconds
+	Arrive gtfs.Seconds
+	// AccessWalk is walking before the first boarding (the whole journey for
+	// walk-only trips).
+	AccessWalk float64
+	// EgressWalk is walking after the final alight.
+	EgressWalk float64
+	// TransferWalk is walking between alights and subsequent boardings.
+	TransferWalk float64
+	// Wait is total time spent waiting at stops.
+	Wait float64
+	// InVehicle is total riding time.
+	InVehicle float64
+	// Boardings counts vehicles boarded; transfers are Boardings-1.
+	Boardings int
+	// Fare is the summed flat fares of boarded routes, in pence.
+	Fare float64
+}
+
+// Duration returns total journey time in seconds (the paper's JT access
+// cost).
+func (j Journey) Duration() float64 { return float64(j.Arrive - j.Depart) }
+
+// WalkOnly reports whether the journey used no transit.
+func (j Journey) WalkOnly() bool { return j.Boardings == 0 }
+
+// label is the running cost decomposition carried through the search.
+type label struct {
+	arrive       gtfs.Seconds
+	accessWalk   float32
+	egressWalk   float32 // walk since last alight (reclassified on arrival)
+	transferWalk float32
+	wait         float32
+	inVehicle    float32
+	boardings    int16
+	fare         float32
+	settled      bool
+	reached      bool
+}
+
+// journeyFrom converts a final label into a Journey. Walking after the last
+// alight is egress; for walk-only journeys all walking is access walk.
+func journeyFrom(depart gtfs.Seconds, l label) Journey {
+	j := Journey{
+		Depart:       depart,
+		Arrive:       l.arrive,
+		AccessWalk:   float64(l.accessWalk),
+		EgressWalk:   float64(l.egressWalk),
+		TransferWalk: float64(l.transferWalk),
+		Wait:         float64(l.wait),
+		InVehicle:    float64(l.inVehicle),
+		Boardings:    int(l.boardings),
+		Fare:         float64(l.fare),
+	}
+	return j
+}
+
+// Profile computes earliest-arrival labels from the origin road node at the
+// given start time to every reachable road node within MaxJourney. The
+// result is indexed by node ID; entries with Reached()==false were not
+// reached.
+type Profile struct {
+	depart gtfs.Seconds
+	labels []label
+}
+
+// Reached reports whether node was reached.
+func (p *Profile) Reached(node graph.NodeID) bool {
+	return int(node) < len(p.labels) && p.labels[node].reached
+}
+
+// Journey returns the journey to node. ok is false when the node was not
+// reached within MaxJourney.
+func (p *Profile) Journey(node graph.NodeID) (Journey, bool) {
+	if !p.Reached(node) {
+		return Journey{}, false
+	}
+	return journeyFrom(p.depart, p.labels[node]), true
+}
+
+// pqItem orders the frontier by arrival time.
+type pqItem struct {
+	node   graph.NodeID
+	arrive gtfs.Seconds
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].arrive < q[j].arrive }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// ProfileFrom runs the one-to-many search from origin at time depart.
+func (r *Router) ProfileFrom(origin graph.NodeID, depart gtfs.Seconds) (*Profile, error) {
+	if origin < 0 || int(origin) >= r.road.NumNodes() {
+		return nil, fmt.Errorf("router: invalid origin node %d", origin)
+	}
+	n := r.road.NumNodes()
+	labels := make([]label, n)
+	labels[origin] = label{arrive: depart, reached: true}
+	q := pq{{node: origin, arrive: depart}}
+	deadline := depart + r.opts.MaxJourney
+	for q.Len() > 0 {
+		cur := heap.Pop(&q).(pqItem)
+		l := &labels[cur.node]
+		if cur.arrive > l.arrive || l.settled {
+			continue
+		}
+		l.settled = true
+		curLabel := *l // copy: relaxations below must not read mutated state
+
+		// Walking relaxations.
+		r.road.Neighbors(cur.node, func(to graph.NodeID, seconds float64) {
+			// Round once so arrival times and walk components stay in
+			// lockstep (times are integer seconds).
+			wsec := gtfs.Seconds(seconds + 0.5)
+			na := curLabel.arrive + wsec
+			if na > deadline {
+				return
+			}
+			nl := curLabel
+			nl.arrive = na
+			nl.settled = false
+			if curLabel.boardings == 0 {
+				nl.accessWalk += float32(wsec)
+			} else {
+				nl.egressWalk += float32(wsec)
+			}
+			improve(labels, to, nl, &q)
+		})
+
+		// Transit relaxations: board upcoming departures at stops welded to
+		// this node.
+		for _, sid := range r.stopsAtNode[cur.node] {
+			r.relaxBoardings(labels, &q, sid, curLabel, deadline)
+		}
+	}
+	return &Profile{depart: depart, labels: labels}, nil
+}
+
+// relaxBoardings boards the next departures from stop and rides them
+// forward.
+func (r *Router) relaxBoardings(labels []label, q *pq, sid gtfs.StopID, from label, deadline gtfs.Seconds) {
+	earliest := from.arrive + r.opts.BoardSlack
+	deps := r.index.NextDepartures(sid, earliest, r.opts.MaxDeparturesPerStop)
+	for _, dep := range deps {
+		waitHere := dep.Departure - from.arrive
+		if waitHere > r.opts.MaxWait {
+			break // departures are ordered; all later ones wait longer
+		}
+		trip, ok := r.index.Trip(dep.TripID)
+		if !ok {
+			continue
+		}
+		route, _ := r.index.Feed().Route(trip.RouteID)
+		boarded := from
+		boarded.wait += float32(waitHere)
+		boarded.boardings++
+		boarded.fare += float32(route.FareFlat)
+		// Walking since the last alight was a transfer walk, not egress.
+		boarded.transferWalk += boarded.egressWalk
+		boarded.egressWalk = 0
+		boardDep := dep.Departure
+		for si := dep.StopIndex + 1; si < len(trip.StopTimes); si++ {
+			st := trip.StopTimes[si]
+			if st.Arrival > deadline {
+				break
+			}
+			node, ok := r.stopNode[st.StopID]
+			if !ok {
+				continue
+			}
+			nl := boarded
+			nl.arrive = st.Arrival
+			nl.inVehicle += float32(st.Arrival - boardDep)
+			nl.settled = false
+			improve(labels, node, nl, q)
+		}
+	}
+}
+
+// improve updates the label for node when nl arrives earlier.
+func improve(labels []label, node graph.NodeID, nl label, q *pq) {
+	cur := &labels[node]
+	if cur.reached && nl.arrive >= cur.arrive {
+		return
+	}
+	nl.reached = true
+	*cur = nl
+	heap.Push(q, pqItem{node: node, arrive: nl.arrive})
+}
+
+// Route answers a single (origin, destination, depart) query. ok is false
+// when the destination is unreachable within MaxJourney.
+func (r *Router) Route(origin, dest graph.NodeID, depart gtfs.Seconds) (Journey, bool, error) {
+	if dest < 0 || int(dest) >= r.road.NumNodes() {
+		return Journey{}, false, fmt.Errorf("router: invalid destination node %d", dest)
+	}
+	// One-to-many with an early exit would save little because transit
+	// relaxations jump around the city; reuse ProfileFrom for simplicity and
+	// identical semantics.
+	p, err := r.ProfileFrom(origin, depart)
+	if err != nil {
+		return Journey{}, false, err
+	}
+	j, ok := p.Journey(dest)
+	return j, ok, nil
+}
+
+// CostParams are the weights of the DfT generalized access cost (Eq. 1 of
+// the paper): GAC = λ1·TAN + λ2·WT + λ3·IVT + λ4·ET + TP + FARE/VOT, in
+// generalized seconds.
+type CostParams struct {
+	// LambdaAccess (λ1) weights walking time to the network.
+	LambdaAccess float64
+	// LambdaWait (λ2) weights waiting time.
+	LambdaWait float64
+	// LambdaInVehicle (λ3) weights in-vehicle time.
+	LambdaInVehicle float64
+	// LambdaEgress (λ4) weights egress walking time.
+	LambdaEgress float64
+	// TransferPenalty is added once per transfer (boardings beyond the
+	// first), in seconds.
+	TransferPenalty float64
+	// ValueOfTime converts fare pence to seconds: seconds = pence / VOT,
+	// with VOT in pence per second.
+	ValueOfTime float64
+}
+
+// DefaultCostParams returns weights following DfT TAG unit M3.2 conventions:
+// out-of-vehicle time is twice as onerous as in-vehicle time, a transfer
+// costs ten minutes, and the value of time is ~GBP 10/hour.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		LambdaAccess:    2.0,
+		LambdaWait:      2.0,
+		LambdaInVehicle: 1.0,
+		LambdaEgress:    2.0,
+		TransferPenalty: 600,
+		ValueOfTime:     1000.0 / 3600.0, // pence per second
+	}
+}
+
+// GeneralizedCost prices a journey in generalized seconds under p.
+func (p CostParams) GeneralizedCost(j Journey) float64 {
+	transfers := j.Boardings - 1
+	if transfers < 0 {
+		transfers = 0
+	}
+	cost := p.LambdaAccess*(j.AccessWalk+j.TransferWalk) +
+		p.LambdaWait*j.Wait +
+		p.LambdaInVehicle*j.InVehicle +
+		p.LambdaEgress*j.EgressWalk +
+		p.TransferPenalty*float64(transfers)
+	if p.ValueOfTime > 0 {
+		cost += j.Fare / p.ValueOfTime
+	}
+	return cost
+}
+
+// JourneyTime returns the paper's JT access cost in seconds:
+// c(o,d,t) = AT(d) - t.
+func JourneyTime(j Journey) float64 { return j.Duration() }

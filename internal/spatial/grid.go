@@ -1,0 +1,185 @@
+package spatial
+
+import (
+	"math"
+	"sort"
+
+	"accessquery/internal/geo"
+)
+
+// Grid is a uniform spatial hash over geographic points, suited to repeated
+// radius queries with a radius comparable to the cell size (e.g. "bus stops
+// within walking distance"). Unlike KDTree it supports incremental Insert.
+type Grid struct {
+	cellMeters float64
+	origin     geo.Point
+	cells      map[cellKey][]Item
+	n          int
+	// bounding box of occupied cells, valid when n > 0
+	minX, maxX, minY, maxY int32
+}
+
+type cellKey struct{ X, Y int32 }
+
+// NewGrid returns an empty grid with the given cell edge length in meters,
+// anchored at origin. cellMeters must be positive; values <= 0 are replaced
+// with 500.
+func NewGrid(origin geo.Point, cellMeters float64) *Grid {
+	if cellMeters <= 0 {
+		cellMeters = 500
+	}
+	return &Grid{
+		cellMeters: cellMeters,
+		origin:     origin,
+		cells:      make(map[cellKey][]Item),
+	}
+}
+
+// key maps a point to its cell coordinates in the local projection.
+func (g *Grid) key(p geo.Point) cellKey {
+	const d2r = math.Pi / 180
+	x := (p.Lon - g.origin.Lon) * d2r * math.Cos(g.origin.Lat*d2r) * geo.EarthRadiusMeters
+	y := (p.Lat - g.origin.Lat) * d2r * geo.EarthRadiusMeters
+	return cellKey{
+		X: int32(math.Floor(x / g.cellMeters)),
+		Y: int32(math.Floor(y / g.cellMeters)),
+	}
+}
+
+// Insert adds an item to the grid.
+func (g *Grid) Insert(it Item) {
+	k := g.key(it.Point)
+	g.cells[k] = append(g.cells[k], it)
+	if g.n == 0 {
+		g.minX, g.maxX, g.minY, g.maxY = k.X, k.X, k.Y, k.Y
+	} else {
+		g.minX = min32(g.minX, k.X)
+		g.maxX = max32(g.maxX, k.X)
+		g.minY = min32(g.minY, k.Y)
+		g.maxY = max32(g.maxY, k.Y)
+	}
+	g.n++
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Len returns the number of inserted items.
+func (g *Grid) Len() int { return g.n }
+
+// WithinRadius returns all items within radiusMeters of q, ordered by
+// ascending distance.
+func (g *Grid) WithinRadius(q geo.Point, radiusMeters float64) []Neighbor {
+	if radiusMeters < 0 || g.n == 0 {
+		return nil
+	}
+	center := g.key(q)
+	reach := int32(math.Ceil(radiusMeters/g.cellMeters)) + 1
+	var out []Neighbor
+	for dx := -reach; dx <= reach; dx++ {
+		for dy := -reach; dy <= reach; dy++ {
+			items, ok := g.cells[cellKey{X: center.X + dx, Y: center.Y + dy}]
+			if !ok {
+				continue
+			}
+			for _, it := range items {
+				d := geo.DistanceMeters(q, it.Point)
+				if d <= radiusMeters {
+					out = append(out, Neighbor{Item: it, Meters: d})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Meters < out[j].Meters })
+	return out
+}
+
+// Nearest scans outward ring by ring and returns the closest item, or
+// ok=false when the grid is empty.
+func (g *Grid) Nearest(q geo.Point) (Neighbor, bool) {
+	if g.n == 0 {
+		return Neighbor{}, false
+	}
+	center := g.key(q)
+	best := Neighbor{Meters: math.Inf(1)}
+	found := false
+	// Scan square rings outward, starting at the first ring that can touch
+	// an occupied cell and stopping at the last one. Any cell in ring r is at
+	// least (r-1)*cellMeters away, so once that lower bound exceeds the best
+	// distance found, no farther ring can improve on it.
+	startReach := int32(0)
+	if d := chebyshevToBox(center, g.minX, g.maxX, g.minY, g.maxY); d > 0 {
+		startReach = d
+	}
+	endReach := chebyshevToFarCorner(center, g.minX, g.maxX, g.minY, g.maxY)
+	for reach := startReach; reach <= endReach; reach++ {
+		if found && float64(reach-1)*g.cellMeters > best.Meters {
+			break
+		}
+		scan := func(dx, dy int32) {
+			for _, it := range g.cells[cellKey{X: center.X + dx, Y: center.Y + dy}] {
+				d := geo.DistanceMeters(q, it.Point)
+				if d < best.Meters {
+					best = Neighbor{Item: it, Meters: d}
+					found = true
+				}
+			}
+		}
+		if reach == 0 {
+			scan(0, 0)
+			continue
+		}
+		for dx := -reach; dx <= reach; dx++ {
+			scan(dx, -reach)
+			scan(dx, reach)
+		}
+		for dy := -reach + 1; dy <= reach-1; dy++ {
+			scan(-reach, dy)
+			scan(reach, dy)
+		}
+	}
+	return best, found
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// chebyshevToBox returns the Chebyshev (ring) distance from cell c to the
+// nearest cell of the box, 0 when c is inside it.
+func chebyshevToBox(c cellKey, minX, maxX, minY, maxY int32) int32 {
+	var dx, dy int32
+	if c.X < minX {
+		dx = minX - c.X
+	} else if c.X > maxX {
+		dx = c.X - maxX
+	}
+	if c.Y < minY {
+		dy = minY - c.Y
+	} else if c.Y > maxY {
+		dy = c.Y - maxY
+	}
+	return max32(dx, dy)
+}
+
+// chebyshevToFarCorner returns the Chebyshev distance from cell c to the
+// farthest corner of the box.
+func chebyshevToFarCorner(c cellKey, minX, maxX, minY, maxY int32) int32 {
+	dx := max32(abs32(c.X-minX), abs32(c.X-maxX))
+	dy := max32(abs32(c.Y-minY), abs32(c.Y-maxY))
+	return max32(dx, dy)
+}

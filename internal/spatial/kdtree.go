@@ -1,0 +1,213 @@
+// Package spatial provides in-memory spatial indexes over geographic points:
+// a static k-d tree for k-nearest-neighbour queries and a uniform grid for
+// radius queries. Both index opaque integer IDs supplied by the caller.
+//
+// The k-NN search is the primitive behind the paper's interchange
+// identification (Section IV-B1): for each leaf of an outbound transit-hop
+// tree a 1-NN query is made against the leaves of an inbound tree.
+package spatial
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"accessquery/internal/geo"
+)
+
+// Item is an indexed point with a caller-supplied identifier.
+type Item struct {
+	ID    int
+	Point geo.Point
+}
+
+// KDTree is a static 2-dimensional k-d tree over geographic points.
+// Distances are equirectangular meters (geo.DistanceMeters). The zero value
+// is an empty tree; build one with NewKDTree.
+type KDTree struct {
+	nodes []kdNode
+	root  int
+	// maxAbsLat is the highest absolute latitude among indexed points; it
+	// lower-bounds meters-per-degree of longitude across the region, keeping
+	// the search's plane-distance prune admissible.
+	maxAbsLat float64
+}
+
+type kdNode struct {
+	item        Item
+	left, right int // index into nodes, -1 when absent
+	axis        uint8
+}
+
+// NewKDTree builds a balanced k-d tree over items. The input slice is copied
+// and may be reused by the caller.
+func NewKDTree(items []Item) *KDTree {
+	t := &KDTree{root: -1}
+	if len(items) == 0 {
+		return t
+	}
+	buf := make([]Item, len(items))
+	copy(buf, items)
+	for _, it := range items {
+		if a := math.Abs(it.Point.Lat); a > t.maxAbsLat {
+			t.maxAbsLat = a
+		}
+	}
+	t.nodes = make([]kdNode, 0, len(items))
+	t.root = t.build(buf, 0)
+	return t
+}
+
+// build recursively partitions items by the median along the current axis and
+// returns the index of the subtree root.
+func (t *KDTree) build(items []Item, depth int) int {
+	if len(items) == 0 {
+		return -1
+	}
+	axis := uint8(depth % 2)
+	sort.Slice(items, func(i, j int) bool {
+		return coord(items[i].Point, axis) < coord(items[j].Point, axis)
+	})
+	mid := len(items) / 2
+	idx := len(t.nodes)
+	t.nodes = append(t.nodes, kdNode{item: items[mid], axis: axis, left: -1, right: -1})
+	left := t.build(items[:mid], depth+1)
+	right := t.build(items[mid+1:], depth+1)
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+func coord(p geo.Point, axis uint8) float64 {
+	if axis == 0 {
+		return p.Lat
+	}
+	return p.Lon
+}
+
+// Len returns the number of indexed items.
+func (t *KDTree) Len() int { return len(t.nodes) }
+
+// Neighbor is a k-NN result: the indexed item and its distance in meters.
+type Neighbor struct {
+	Item   Item
+	Meters float64
+}
+
+// maxHeap over neighbor distances, used to keep the best k during search.
+type nnHeap []Neighbor
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].Meters > h[j].Meters }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Nearest returns the single nearest item to q, or ok=false when the tree is
+// empty.
+func (t *KDTree) Nearest(q geo.Point) (Neighbor, bool) {
+	res := t.KNearest(q, 1)
+	if len(res) == 0 {
+		return Neighbor{}, false
+	}
+	return res[0], true
+}
+
+// KNearest returns up to k nearest items to q ordered by ascending distance.
+func (t *KDTree) KNearest(q geo.Point, k int) []Neighbor {
+	if k <= 0 || t.root < 0 {
+		return nil
+	}
+	h := make(nnHeap, 0, k+1)
+	t.search(t.root, q, k, &h)
+	// Heap holds up to k results in max-first order; sort ascending.
+	out := make([]Neighbor, len(h))
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool { return out[i].Meters < out[j].Meters })
+	return out
+}
+
+func (t *KDTree) search(idx int, q geo.Point, k int, h *nnHeap) {
+	if idx < 0 {
+		return
+	}
+	n := &t.nodes[idx]
+	d := geo.DistanceMeters(q, n.item.Point)
+	if len(*h) < k {
+		heap.Push(h, Neighbor{Item: n.item, Meters: d})
+	} else if d < (*h)[0].Meters {
+		(*h)[0] = Neighbor{Item: n.item, Meters: d}
+		heap.Fix(h, 0)
+	}
+	diff := coord(q, n.axis) - coord(n.item.Point, n.axis)
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	t.search(near, q, k, h)
+	// Prune: only descend the far side if the splitting plane is closer than
+	// the current kth-best distance, using a lower bound on the plane's
+	// distance in meters so the prune never discards a true neighbour.
+	planeMeters := math.Abs(diff) * t.minMetersPerDegree(n.axis, q)
+	if len(*h) < k || planeMeters < (*h)[0].Meters {
+		t.search(far, q, k, h)
+	}
+}
+
+// minMetersPerDegree returns a lower bound on meters per degree along the
+// given axis anywhere in the indexed region (and at the query point). For
+// latitude this is a global constant; for longitude it shrinks with the
+// cosine of the highest latitude in play.
+func (t *KDTree) minMetersPerDegree(axis uint8, q geo.Point) float64 {
+	const latLower = 110500.0 // true value ranges 110574..111694 m/deg
+	if axis == 0 {
+		return latLower
+	}
+	lat := t.maxAbsLat
+	if a := math.Abs(q.Lat); a > lat {
+		lat = a
+	}
+	c := math.Cos((lat + 0.01) * math.Pi / 180)
+	if c < 0 {
+		c = 0
+	}
+	return latLower * c
+}
+
+// WithinRadius returns all items within radiusMeters of q, ordered by
+// ascending distance.
+func (t *KDTree) WithinRadius(q geo.Point, radiusMeters float64) []Neighbor {
+	if t.root < 0 || radiusMeters < 0 {
+		return nil
+	}
+	var out []Neighbor
+	var walk func(idx int)
+	walk = func(idx int) {
+		if idx < 0 {
+			return
+		}
+		n := &t.nodes[idx]
+		d := geo.DistanceMeters(q, n.item.Point)
+		if d <= radiusMeters {
+			out = append(out, Neighbor{Item: n.item, Meters: d})
+		}
+		diff := coord(q, n.axis) - coord(n.item.Point, n.axis)
+		near, far := n.left, n.right
+		if diff > 0 {
+			near, far = far, near
+		}
+		walk(near)
+		if math.Abs(diff)*t.minMetersPerDegree(n.axis, q) <= radiusMeters {
+			walk(far)
+		}
+	}
+	walk(t.root)
+	sort.Slice(out, func(i, j int) bool { return out[i].Meters < out[j].Meters })
+	return out
+}
