@@ -1,16 +1,21 @@
 // Command aqserver serves dynamic access queries over HTTP against a
 // synthetic city. It builds the offline structures once at startup and then
-// answers queries in seconds, demonstrating the interactive policy-analysis
-// loop the paper motivates.
+// answers queries through an asynchronous serving layer (internal/serve):
+// a bounded worker pool with admission control, an LRU result cache with
+// TTL, and in-flight deduplication, so identical concurrent queries cost
+// one engine run and overload sheds fast instead of piling up.
 //
 // Endpoints:
 //
 //	GET  /healthz                    liveness probe
+//	GET  /stats                      serving-layer counters
 //	GET  /city                       city summary
 //	GET  /zones                      zone list with centroids and demographics
 //	GET  /journey?from=3&to=50&depart=08:00:00
 //	                                 one multimodal journey between zones
 //	POST /query                      JSON access query -> per-zone measures
+//	POST /query?async=1              enqueue; returns {"job_id": ...} (202)
+//	GET  /jobs/{id}                  job status; includes the result when done
 //
 // Example query body:
 //
@@ -18,32 +23,46 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"accessquery/internal/access"
 	"accessquery/internal/core"
 	"accessquery/internal/gtfs"
+	"accessquery/internal/serve"
 	"accessquery/internal/synth"
 )
 
 type server struct {
 	engine *core.Engine
+	mgr    *serve.Manager
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aqserver: ")
 	var (
-		cityName = flag.String("city", "coventry", "city preset: birmingham or coventry")
-		scale    = flag.Float64("scale", 0.25, "city scale factor")
-		addr     = flag.String("addr", "127.0.0.1:8321", "listen address")
+		cityName     = flag.String("city", "coventry", "city preset: birmingham or coventry")
+		scale        = flag.Float64("scale", 0.25, "city scale factor")
+		addr         = flag.String("addr", "127.0.0.1:8321", "listen address")
+		workers      = flag.Int("workers", 2, "concurrent engine runs (serving worker pool)")
+		queueDepth   = flag.Int("queue", 32, "admission queue depth; beyond it queries get 429")
+		cacheSize    = flag.Int("cache-size", 64, "result-cache entries (negative disables)")
+		cacheTTL     = flag.Duration("cache-ttl", 10*time.Minute, "result-cache entry lifetime")
+		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-query engine deadline")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+		labelWorkers = flag.Int("label-workers", 0, "goroutines labeling zones inside one engine run (0 = serial)")
 	)
 	flag.Parse()
 	var cfg synth.Config
@@ -68,20 +87,90 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{engine: engine}
+	s := newServer(engine, serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		CacheSize:  *cacheSize,
+		CacheTTL:   *cacheTTL,
+		JobTimeout: *jobTimeout,
+	}, *labelWorkers)
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: s.routes(),
+		// The sync /query path legitimately holds a response open for the
+		// full job timeout, so WriteTimeout must sit above it.
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      *jobTimeout + 15*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("ready: %d zones, prep took %v, listening on %s",
+		len(city.Zones), engine.PrepDuration, *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("%s: draining in-flight jobs (up to %v)...", sig, *drainTimeout)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := s.mgr.Shutdown(ctx); err != nil {
+		log.Printf("job drain: %v", err)
+	}
+	log.Printf("bye")
+}
+
+// newServer wires a serve.Manager to the engine. labelWorkers controls the
+// intra-query labeling parallelism of each engine run.
+func newServer(engine *core.Engine, cfg serve.Config, labelWorkers int) *server {
+	run := func(ctx context.Context, req serve.Request) (*core.Result, error) {
+		pois := core.POIsOf(engine.City, synth.POICategory(req.Category))
+		if len(pois) == 0 {
+			return nil, fmt.Errorf("unknown or empty POI category %q", req.Category)
+		}
+		cost := access.JourneyTime
+		if req.Cost == "GAC" {
+			cost = access.Generalized
+		}
+		return engine.RunContext(ctx, core.Query{
+			POIs:           pois,
+			Cost:           cost,
+			Budget:         req.Budget,
+			Model:          core.ModelKind(req.Model),
+			SamplesPerHour: req.SamplesPerHour,
+			Workers:        labelWorkers,
+			Seed:           req.Seed,
+		})
+	}
+	return &server{engine: engine, mgr: serve.NewManager(run, cfg)}
+}
+
+func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/city", s.handleCity)
 	mux.HandleFunc("/zones", s.handleZones)
 	mux.HandleFunc("/journey", s.handleJourney)
 	mux.HandleFunc("/query", s.handleQuery)
-	log.Printf("ready: %d zones, prep took %v, listening on %s",
-		len(city.Zones), engine.PrepDuration, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	mux.HandleFunc("/jobs/", s.handleJob)
+	return mux
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Stats())
 }
 
 func (s *server) handleCity(w http.ResponseWriter, _ *http.Request) {
@@ -171,13 +260,10 @@ func (s *server) handleJourney(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// queryRequest is the POST /query body.
+// queryRequest is the POST /query body: the serving-layer request plus
+// presentation options that don't affect caching.
 type queryRequest struct {
-	Category string  `json:"category"`
-	Cost     string  `json:"cost"`
-	Budget   float64 `json:"budget"`
-	Model    string  `json:"model"`
-	Seed     int64   `json:"seed"`
+	serve.Request
 	// IncludeZones returns the per-zone measures (can be large).
 	IncludeZones bool `json:"include_zones"`
 }
@@ -192,34 +278,95 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
-	pois := core.POIsOf(s.engine.City, synth.POICategory(req.Category))
-	if len(pois) == 0 {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown or empty POI category %q", req.Category))
-		return
-	}
-	cost := access.JourneyTime
-	if strings.EqualFold(req.Cost, "GAC") {
-		cost = access.Generalized
-	}
-	if req.Budget == 0 {
-		req.Budget = 0.05
-	}
-	model := core.ModelKind(strings.ToUpper(req.Model))
-	if model == "" {
-		model = core.ModelMLP
-	}
-	res, err := s.engine.Run(core.Query{
-		POIs:   pois,
-		Cost:   cost,
-		Budget: req.Budget,
-		Model:  model,
-		Seed:   req.Seed,
-	})
+	norm, err := req.Request.Normalize()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	resp := map[string]interface{}{
+	if len(core.POIsOf(s.engine.City, synth.POICategory(norm.Category))) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown or empty POI category %q", norm.Category))
+		return
+	}
+	job, err := s.mgr.Submit(norm)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	if r.URL.Query().Get("async") == "1" {
+		writeJSON(w, http.StatusAccepted, map[string]interface{}{
+			"job_id":     job.ID,
+			"state":      job.Snapshot().State,
+			"status_url": "/jobs/" + job.ID,
+		})
+		return
+	}
+	res, err := s.mgr.Wait(r.Context(), job)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+			strings.Contains(err.Error(), context.DeadlineExceeded.Error()) {
+			code = http.StatusGatewayTimeout
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resultBody(res, req.IncludeZones))
+}
+
+// writeSubmitError maps admission failures to HTTP codes: a full queue is
+// 429 with a Retry-After hint, a draining server is 503.
+func (s *server) writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serve.ErrQueueFull):
+		secs := int(s.mgr.RetryAfter().Round(time.Second).Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		httpError(w, http.StatusTooManyRequests, "query queue full; retry later")
+	case errors.Is(err, serve.ErrShutdown):
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// handleJob serves GET /jobs/{id}: job state, and the result once done.
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		httpError(w, http.StatusBadRequest, "want /jobs/{id}")
+		return
+	}
+	job, err := s.mgr.Get(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	snap := job.Snapshot()
+	body := map[string]interface{}{
+		"id":        snap.ID,
+		"state":     snap.State,
+		"cache_hit": snap.CacheHit,
+		"created":   snap.Created,
+	}
+	if snap.Error != "" {
+		body["error"] = snap.Error
+	}
+	if snap.State == serve.StateDone && snap.Result != nil {
+		body["result"] = resultBody(snap.Result, r.URL.Query().Get("include_zones") == "1")
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// resultBody shapes an engine result for JSON, optionally with the
+// per-zone rows.
+func resultBody(res *core.Result, includeZones bool) map[string]interface{} {
+	body := map[string]interface{}{
 		"fairness":        res.Fairness,
 		"walk_only_share": res.WalkOnlyShare,
 		"spqs":            res.Timing.SPQs,
@@ -228,7 +375,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		"matrix_full":     res.Matrix.FullSize(),
 		"reduction_pct":   res.Matrix.Reduction(),
 	}
-	if req.IncludeZones {
+	if includeZones {
 		type zoneOut struct {
 			Zone    int     `json:"zone"`
 			MAC     float64 `json:"mac"`
@@ -246,9 +393,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				Class: res.Classes[i].String(), Labeled: res.Labeled[i],
 			})
 		}
-		resp["zones"] = zones
+		body["zones"] = zones
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return body
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {

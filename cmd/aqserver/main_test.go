@@ -1,31 +1,57 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"accessquery/internal/core"
 	"accessquery/internal/gtfs"
+	"accessquery/internal/serve"
 	"accessquery/internal/synth"
 )
 
+// The test engine is expensive to pre-process, so every test shares one
+// read-only instance; each test gets its own serve.Manager on top of it.
+var (
+	engineOnce sync.Once
+	testEngine *core.Engine
+	engineErr  error
+)
+
+func sharedEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	engineOnce.Do(func() {
+		var city *synth.City
+		city, engineErr = synth.Generate(synth.Scaled(synth.Coventry(), 0.08))
+		if engineErr != nil {
+			return
+		}
+		testEngine, engineErr = core.NewEngine(city, core.EngineOptions{
+			Interval: gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday},
+		})
+	})
+	if engineErr != nil {
+		t.Fatal(engineErr)
+	}
+	return testEngine
+}
+
 func testServer(t *testing.T) *server {
 	t.Helper()
-	city, err := synth.Generate(synth.Scaled(synth.Coventry(), 0.08))
-	if err != nil {
-		t.Fatal(err)
-	}
-	engine, err := core.NewEngine(city, core.EngineOptions{
-		Interval: gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday},
+	s := newServer(sharedEngine(t), serve.Config{Workers: 2}, 0)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.mgr.Shutdown(ctx)
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return &server{engine: engine}
+	return s
 }
 
 func TestHandleHealth(t *testing.T) {
@@ -108,9 +134,13 @@ func TestHandleJourney(t *testing.T) {
 func TestHandleJourneyErrors(t *testing.T) {
 	s := testServer(t)
 	cases := []string{
-		"/journey?from=abc&to=1",
-		"/journey?from=0&to=999999",
+		"/journey?from=abc&to=1",    // malformed from
+		"/journey?to=1",             // missing from
+		"/journey?from=0&to=xyz",    // malformed to
+		"/journey?from=-1&to=1",     // negative zone index
+		"/journey?from=0&to=999999", // zone index out of range
 		"/journey?from=0&to=1&depart=notatime",
+		"/journey?from=0&to=1&depart=25:99",
 	}
 	for _, url := range cases {
 		rec := httptest.NewRecorder()
@@ -121,12 +151,16 @@ func TestHandleJourneyErrors(t *testing.T) {
 	}
 }
 
+func postQuery(s *server, target, body string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	s.handleQuery(rec, httptest.NewRequest(http.MethodPost, target, strings.NewReader(body)))
+	return rec
+}
+
 func TestHandleQuery(t *testing.T) {
 	s := testServer(t)
 	body := `{"category": "school", "cost": "JT", "budget": 0.2, "model": "OLS", "include_zones": true}`
-	rec := httptest.NewRecorder()
-	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
-	s.handleQuery(rec, req)
+	rec := postQuery(s, "/query", body)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
@@ -144,6 +178,16 @@ func TestHandleQuery(t *testing.T) {
 	if !ok || len(zones) == 0 {
 		t.Error("include_zones did not return zones")
 	}
+
+	// An identical repeat is served from the cache: same answer, one run.
+	rec = postQuery(s, "/query", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("repeat status %d: %s", rec.Code, rec.Body.String())
+	}
+	st := s.mgr.Stats()
+	if st.CacheHits != 1 {
+		t.Errorf("stats.CacheHits = %d, want 1", st.CacheHits)
+	}
 }
 
 func TestHandleQueryErrors(t *testing.T) {
@@ -154,24 +198,180 @@ func TestHandleQueryErrors(t *testing.T) {
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("GET status %d", rec.Code)
 	}
-	// Bad JSON.
-	rec = httptest.NewRecorder()
-	s.handleQuery(rec, httptest.NewRequest(http.MethodPost, "/query", strings.NewReader("{")))
-	if rec.Code != http.StatusBadRequest {
-		t.Errorf("bad JSON status %d", rec.Code)
+	badBodies := []struct {
+		name, body, wantMsg string
+	}{
+		{"bad JSON", "{", "bad JSON"},
+		{"missing category", `{}`, "category"},
+		{"unknown category", `{"category": "casinos"}`, "category"},
+		{"budget above one", `{"category": "school", "budget": 7}`, "budget"},
+		{"negative budget", `{"category": "school", "budget": -0.5}`, "budget"},
+		{"unknown model", `{"category": "school", "model": "XGBOOST"}`, "model"},
+		{"unknown cost", `{"category": "school", "cost": "MILES"}`, "cost"},
 	}
-	// Unknown category.
-	rec = httptest.NewRecorder()
-	s.handleQuery(rec, httptest.NewRequest(http.MethodPost, "/query",
-		strings.NewReader(`{"category": "casinos"}`)))
-	if rec.Code != http.StatusBadRequest {
-		t.Errorf("unknown category status %d", rec.Code)
+	for _, c := range badBodies {
+		rec := postQuery(s, "/query", c.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, rec.Code, rec.Body.String())
+		}
+		if !strings.Contains(rec.Body.String(), c.wantMsg) {
+			t.Errorf("%s: body %q does not mention %q", c.name, rec.Body.String(), c.wantMsg)
+		}
 	}
-	// Bad budget.
+}
+
+func TestHandleQueryAsync(t *testing.T) {
+	s := testServer(t)
+	rec := postQuery(s, "/query?async=1", `{"category": "school", "budget": 0.2, "model": "OLS", "seed": 42}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var accepted struct {
+		JobID     string `json:"job_id"`
+		StatusURL string `json:"status_url"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	if accepted.JobID == "" || accepted.StatusURL != "/jobs/"+accepted.JobID {
+		t.Fatalf("accepted body: %+v", accepted)
+	}
+
+	// Poll until the job completes, as a client would.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		rec := httptest.NewRecorder()
+		s.handleJob(rec, httptest.NewRequest(http.MethodGet, accepted.StatusURL+"?include_zones=1", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("poll status %d: %s", rec.Code, rec.Body.String())
+		}
+		var status struct {
+			State  string                 `json:"state"`
+			Error  string                 `json:"error"`
+			Result map[string]interface{} `json:"result"`
+		}
+		if err := json.NewDecoder(rec.Body).Decode(&status); err != nil {
+			t.Fatal(err)
+		}
+		switch status.State {
+		case "done":
+			if status.Result["fairness"].(float64) <= 0 {
+				t.Errorf("result %v", status.Result)
+			}
+			if _, ok := status.Result["zones"]; !ok {
+				t.Error("include_zones=1 poll did not return zones")
+			}
+			return
+		case "failed":
+			t.Fatalf("job failed: %s", status.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %q after deadline", status.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestHandleJobErrors(t *testing.T) {
+	s := testServer(t)
+	// Unknown job.
+	rec := httptest.NewRecorder()
+	s.handleJob(rec, httptest.NewRequest(http.MethodGet, "/jobs/j99999999", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown job status %d", rec.Code)
+	}
+	// Missing ID.
 	rec = httptest.NewRecorder()
-	s.handleQuery(rec, httptest.NewRequest(http.MethodPost, "/query",
-		strings.NewReader(`{"category": "school", "budget": 7}`)))
+	s.handleJob(rec, httptest.NewRequest(http.MethodGet, "/jobs/", nil))
 	if rec.Code != http.StatusBadRequest {
-		t.Errorf("bad budget status %d", rec.Code)
+		t.Errorf("missing id status %d", rec.Code)
+	}
+	// POST not allowed.
+	rec = httptest.NewRecorder()
+	s.handleJob(rec, httptest.NewRequest(http.MethodPost, "/jobs/j00000001", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST status %d", rec.Code)
+	}
+}
+
+// TestHandleQueryQueueFull exercises the 429 path with a stub manager: one
+// busy worker, a one-slot queue, and a third distinct query arriving.
+func TestHandleQueryQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{}, 1)
+	run := func(ctx context.Context, req serve.Request) (*core.Result, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return &core.Result{}, nil
+	}
+	s := &server{
+		engine: sharedEngine(t),
+		mgr:    serve.NewManager(run, serve.Config{Workers: 1, QueueDepth: 1}),
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.mgr.Shutdown(ctx)
+	})
+
+	for i := 0; i < 2; i++ {
+		rec := postQuery(s, "/query?async=1", fmt.Sprintf(`{"category": "school", "seed": %d}`, i))
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("fill %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		if i == 0 {
+			<-started // ensure the worker, not the queue, holds job 0
+		}
+	}
+	rec := postQuery(s, "/query?async=1", `{"category": "school", "seed": 2}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	}
+}
+
+func TestHandleStats(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(rec.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoutes checks the mux wiring end to end over httptest, including the
+// /jobs/{id} path pattern.
+func TestRoutes(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/jobs/j00000042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/jobs/{unknown} status %d", resp.StatusCode)
 	}
 }

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunContextPreCancelled(t *testing.T) {
+	e := engine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.RunContext(ctx, vaxQuery(e, ModelOLS, 0.3))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	e := engine(t)
+	// A deadline far shorter than any real query: the run must abort
+	// between zone batches and report the deadline, not a partial result.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.RunContext(ctx, vaxQuery(e, ModelOLS, 0.5))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// Generous bound: cancellation must not wait for the full SPQ loop.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancelled run still took %v", elapsed)
+	}
+}
+
+func TestRunContextDeadlineParallelLabeling(t *testing.T) {
+	e := engine(t)
+	q := vaxQuery(e, ModelOLS, 0.5)
+	q.Workers = 4
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := e.RunContext(ctx, q); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	e := engine(t)
+	q := vaxQuery(e, ModelOLS, 0.3)
+	want, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.RunContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Fairness != got.Fairness || want.Timing.SPQs != got.Timing.SPQs {
+		t.Errorf("RunContext diverges from Run: fairness %v vs %v, spqs %d vs %d",
+			got.Fairness, want.Fairness, got.Timing.SPQs, want.Timing.SPQs)
+	}
+}

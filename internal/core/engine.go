@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -81,6 +82,9 @@ type Engine struct {
 	// online query cost in Table II).
 	PrepDuration time.Duration
 
+	// adjMu guards adjCache: concurrent queries (e.g. from a serving
+	// layer's worker pool) may race to build the GNN adjacency.
+	adjMu    sync.Mutex
 	adjCache *ml.SparseAdj
 }
 
@@ -188,6 +192,18 @@ type Query struct {
 	Seed int64
 }
 
+// Serving-layer defaults, shared with callers (e.g. internal/serve) so a
+// request with omitted fields fingerprints identically to one that spells
+// the defaults out.
+const (
+	// DefaultBudget is the labeling budget β used when a query leaves it
+	// unset (the paper's headline operating point).
+	DefaultBudget = 0.05
+	// DefaultSamplesPerHour is the TODAM start-time sampling rate r
+	// (|R| = 60 over a 2-hour interval, Table I).
+	DefaultSamplesPerHour = 30
+)
+
 // POIsOf extracts a category's POI points from the city.
 func POIsOf(city *synth.City, cat synth.POICategory) []geo.Point {
 	pois := city.POIs[cat]
@@ -200,7 +216,7 @@ func POIsOf(city *synth.City, cat synth.POICategory) []geo.Point {
 
 func (q Query) withDefaults() Query {
 	if q.SamplesPerHour <= 0 {
-		q.SamplesPerHour = 30
+		q.SamplesPerHour = DefaultSamplesPerHour
 	}
 	if q.Attractiveness.DecayMeters <= 0 {
 		q.Attractiveness = todam.DefaultAttractiveness()
@@ -248,6 +264,13 @@ type Result struct {
 
 // Run answers a dynamic access query with semi-supervised regression.
 func (e *Engine) Run(q Query) (*Result, error) {
+	return e.RunContext(context.Background(), q)
+}
+
+// RunContext answers a dynamic access query, aborting between zone batches
+// when ctx is cancelled so a timed-out or abandoned query stops burning CPU
+// mid-SPQ-loop. On cancellation it returns ctx.Err() (possibly wrapped).
+func (e *Engine) RunContext(ctx context.Context, q Query) (*Result, error) {
 	q = q.withDefaults()
 	if len(q.POIs) == 0 {
 		return nil, fmt.Errorf("core: query has no POIs")
@@ -264,6 +287,9 @@ func (e *Engine) Run(q Query) (*Result, error) {
 	}
 
 	// 1. Gravity TODAM.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	m, poiNodes, poiZones, err := e.buildMatrix(q)
 	if err != nil {
@@ -287,7 +313,7 @@ func (e *Engine) Run(q Query) (*Result, error) {
 
 	// 3. Label L.
 	t0 = time.Now()
-	measures, spqs, err := e.labelZones(q, m, poiNodes, labeledSet)
+	measures, spqs, err := e.labelZones(ctx, q, m, poiNodes, labeledSet)
 	if err != nil {
 		return nil, err
 	}
@@ -323,6 +349,11 @@ func (e *Engine) Run(q Query) (*Result, error) {
 	var unlabeled []int
 	var xuRows [][]float64
 	for zone := 0; zone < nz; zone++ {
+		if zone%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		v, err := e.extractor.OriginVector(zone, m.Row(zone), q.POIs, poiZones)
 		if err != nil {
 			return nil, err
@@ -337,6 +368,9 @@ func (e *Engine) Run(q Query) (*Result, error) {
 	res.Timing.Features = time.Since(t0)
 
 	// 5. Train and infer.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t0 = time.Now()
 	preds, err := e.trainPredict(q, labeledOK, unlabeled, xRows, yRows, xuRows)
 	if err != nil {
@@ -364,7 +398,9 @@ func (e *Engine) Run(q Query) (*Result, error) {
 // labelZones prices the given zones, optionally in parallel, returning one
 // measure per zone (nil where the zone had no reachable trips) and the
 // total SPQ count. Output is deterministic regardless of worker count.
-func (e *Engine) labelZones(q Query, m *todam.Matrix, poiNodes []graph.NodeID, zones []int) ([]*access.ZoneMeasure, int64, error) {
+// Labeling dominates online query cost, so ctx is checked between zones:
+// a cancelled query stops within one zone's worth of SPQs.
+func (e *Engine) labelZones(ctx context.Context, q Query, m *todam.Matrix, poiNodes []graph.NodeID, zones []int) ([]*access.ZoneMeasure, int64, error) {
 	workers := q.Workers
 	if workers <= 1 {
 		labeler := &access.Labeler{
@@ -373,6 +409,9 @@ func (e *Engine) labelZones(q Query, m *todam.Matrix, poiNodes []graph.NodeID, z
 		}
 		out := make([]*access.ZoneMeasure, len(zones))
 		for i, zone := range zones {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
 			zm, ok, err := labeler.LabelZone(zone)
 			if err != nil {
 				return nil, 0, err
@@ -420,6 +459,10 @@ func (e *Engine) labelZones(q Query, m *todam.Matrix, poiNodes []graph.NodeID, z
 			close(jobs)
 			wg.Wait()
 			return nil, 0, err
+		case <-ctx.Done():
+			close(jobs)
+			wg.Wait()
+			return nil, 0, ctx.Err()
 		case jobs <- i:
 		}
 	}
@@ -524,6 +567,8 @@ func (e *Engine) newModel(q Query, labeled, unlabeled []int) (ml.Model, error) {
 // adjacency lazily builds the Gaussian-thresholded zone adjacency the GNN
 // uses.
 func (e *Engine) adjacency() (*ml.SparseAdj, error) {
+	e.adjMu.Lock()
+	defer e.adjMu.Unlock()
 	if e.adjCache != nil {
 		return e.adjCache, nil
 	}
@@ -582,7 +627,7 @@ func (e *Engine) GroundTruth(q Query) (*Result, error) {
 	for i := range all {
 		all[i] = i
 	}
-	measures, spqs, err := e.labelZones(q, m, poiNodes, all)
+	measures, spqs, err := e.labelZones(context.Background(), q, m, poiNodes, all)
 	if err != nil {
 		return nil, err
 	}

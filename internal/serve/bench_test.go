@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"accessquery/internal/core"
+)
+
+// benchRun stands in for an engine run during benchmarks. The simulated
+// cost is deliberately tiny so the measurements isolate serving-layer
+// overhead (fingerprint, cache, job bookkeeping), not engine time.
+func benchRun(simulated time.Duration) RunFunc {
+	return func(ctx context.Context, req Request) (*core.Result, error) {
+		if simulated > 0 {
+			time.Sleep(simulated)
+		}
+		return &core.Result{Fairness: req.Budget}, nil
+	}
+}
+
+// BenchmarkCacheHit measures the fast path: an identical query served
+// entirely from the LRU cache, no engine run and no queue round-trip.
+func BenchmarkCacheHit(b *testing.B) {
+	m := NewManager(benchRun(0), Config{Workers: 2})
+	defer m.Shutdown(context.Background())
+	ctx := context.Background()
+	req := Request{Category: "school", Model: "OLS", Budget: 0.2}
+	if _, err := m.Do(ctx, req); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Do(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheMiss measures the slow path: every query has a fresh
+// fingerprint, so each one takes the full submit -> queue -> worker ->
+// complete round-trip.
+func BenchmarkCacheMiss(b *testing.B) {
+	m := NewManager(benchRun(0), Config{Workers: 2, QueueDepth: 1 << 16, CacheSize: -1})
+	defer m.Shutdown(context.Background())
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := Request{Category: "school", Model: "OLS", Budget: 0.2, Seed: int64(i)}
+		if _, err := m.Do(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentClients drives the serve layer from parallel
+// goroutines (in-process, no network) over a small hot set of queries —
+// the workload shape the cache and singleflight are built for.
+func BenchmarkConcurrentClients(b *testing.B) {
+	m := NewManager(benchRun(100*time.Microsecond), Config{Workers: 4, QueueDepth: 256})
+	defer m.Shutdown(context.Background())
+	ctx := context.Background()
+	var rejected atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			req := Request{Category: "school", Model: "OLS", Budget: 0.2, Seed: int64(i % 8)}
+			i++
+			if _, err := m.Do(ctx, req); err != nil {
+				if errors.Is(err, ErrQueueFull) {
+					rejected.Add(1)
+					continue
+				}
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(rejected.Load()), "rejected")
+	st := m.Stats()
+	if total := st.CacheHits + st.Deduplicated + st.Completed; total > 0 {
+		b.ReportMetric(float64(st.CacheHits)/float64(st.Submitted), "hit-ratio")
+	}
+}

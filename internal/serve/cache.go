@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"accessquery/internal/core"
+)
+
+// resultCache is an LRU cache of engine results keyed by request
+// fingerprint, with a per-entry TTL. Accessibility results are expensive to
+// compute (seconds of SPQs) and reused across many consumers — dashboards,
+// planners, repeated what-if runs — so even a small cache absorbs most of a
+// realistic workload. A TTL bounds staleness once the engine serves
+// mutable scenarios.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ttl   time.Duration // <= 0 means entries never expire
+	ll    *list.List    // front = most recently used
+	items map[string]*list.Element
+	now   func() time.Time
+}
+
+type cacheEntry struct {
+	key     string
+	res     *core.Result
+	expires time.Time // zero when ttl <= 0
+}
+
+func newResultCache(capacity int, ttl time.Duration, now func() time.Time) *resultCache {
+	if now == nil {
+		now = time.Now
+	}
+	return &resultCache{
+		cap:   capacity,
+		ttl:   ttl,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		now:   now,
+	}
+}
+
+// get returns the cached result for key, promoting it to most recently
+// used. Expired entries are evicted on access.
+func (c *resultCache) get(key string) (*core.Result, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if !ent.expires.IsZero() && c.now().After(ent.expires) {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return ent.res, true
+}
+
+// put stores res under key, evicting the least recently used entry when
+// over capacity.
+func (c *resultCache) put(key string, res *core.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.res = res
+		ent.expires = expires
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, res: res, expires: expires})
+	c.items[key] = el
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of live entries (including not-yet-collected
+// expired ones).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"accessquery/internal/core"
+)
+
+// fakeClock is a manually-advanced clock for TTL and retention tests. It
+// is mutex-guarded because manager workers read it from other goroutines.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func resultN(n int) *core.Result { return &core.Result{Fairness: float64(n)} }
+
+func TestCachePutGet(t *testing.T) {
+	c := newResultCache(4, 0, nil)
+	if _, ok := c.get("a"); ok {
+		t.Error("hit on empty cache")
+	}
+	c.put("a", resultN(1))
+	got, ok := c.get("a")
+	if !ok || got.Fairness != 1 {
+		t.Fatalf("get = %v, %v", got, ok)
+	}
+	// Overwrite keeps one entry.
+	c.put("a", resultN(2))
+	if got, _ := c.get("a"); got.Fairness != 2 {
+		t.Errorf("overwrite not visible: %v", got.Fairness)
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d", c.len())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2, 0, nil)
+	c.put("a", resultN(1))
+	c.put("b", resultN(2))
+	c.get("a") // promote a; b is now least recently used
+	c.put("c", resultN(3))
+	if _, ok := c.get("b"); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently-used entry a evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("new entry c missing")
+	}
+}
+
+func TestCacheTTL(t *testing.T) {
+	clock := newFakeClock()
+	c := newResultCache(4, time.Minute, clock.now)
+	c.put("a", resultN(1))
+	clock.advance(59 * time.Second)
+	if _, ok := c.get("a"); !ok {
+		t.Error("entry expired before TTL")
+	}
+	clock.advance(2 * time.Second)
+	if _, ok := c.get("a"); ok {
+		t.Error("entry served after TTL")
+	}
+	if c.len() != 0 {
+		t.Errorf("expired entry not collected: len = %d", c.len())
+	}
+	// Re-put restarts the clock.
+	c.put("a", resultN(2))
+	clock.advance(30 * time.Second)
+	if _, ok := c.get("a"); !ok {
+		t.Error("refreshed entry expired early")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1, 0, nil)
+	c.put("a", resultN(1))
+	if _, ok := c.get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(8, time.Hour, nil)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%16)
+				c.put(k, resultN(i))
+				c.get(k)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	close(done)
+	if c.len() > 8 {
+		t.Errorf("cache over capacity: %d", c.len())
+	}
+}

@@ -1,0 +1,466 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accessquery/internal/core"
+)
+
+// RunFunc executes one validated, canonical request against the engine.
+// The ctx carries the per-job timeout and manager shutdown; implementations
+// should pass it to core.Engine.RunContext so cancelled jobs stop mid-loop.
+type RunFunc func(ctx context.Context, req Request) (*core.Result, error)
+
+// Config sizes the serving layer. The zero value of any field selects the
+// default noted on it.
+type Config struct {
+	// Workers is the number of goroutines executing engine runs; default 2.
+	Workers int
+	// QueueDepth bounds the admission queue of distinct pending queries
+	// (deduplicated followers don't consume slots); default 32. When the
+	// queue is full, Submit fails fast with ErrQueueFull.
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries; default 64.
+	// Negative disables caching.
+	CacheSize int
+	// CacheTTL expires cached results; default 10m. Negative means no
+	// expiry.
+	CacheTTL time.Duration
+	// JobTimeout bounds one engine run; default 120s.
+	JobTimeout time.Duration
+	// JobRetention keeps finished jobs pollable; default 10m.
+	JobRetention time.Duration
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = 10 * time.Minute
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 120 * time.Second
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 10 * time.Minute
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull means admission control rejected the query; retry later
+	// (HTTP 429).
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrShutdown means the manager no longer accepts queries (HTTP 503).
+	ErrShutdown = errors.New("serve: shutting down")
+	// ErrUnknownJob means the polled job ID does not exist or has been
+	// garbage-collected past its retention window (HTTP 404).
+	ErrUnknownJob = errors.New("serve: unknown job")
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Job tracks one submitted query. Fields are written only by the manager;
+// readers take snapshots via Snapshot or wait on Done.
+type Job struct {
+	ID          string
+	Fingerprint string
+
+	mu       sync.Mutex
+	state    State
+	res      *core.Result
+	err      error
+	cacheHit bool
+	dedup    bool
+	created  time.Time
+	finished time.Time
+
+	done chan struct{}
+}
+
+// Snapshot is a point-in-time view of a job, shaped for JSON status
+// responses.
+type Snapshot struct {
+	ID           string       `json:"id"`
+	Fingerprint  string       `json:"fingerprint"`
+	State        State        `json:"state"`
+	CacheHit     bool         `json:"cache_hit"`
+	Deduplicated bool         `json:"deduplicated"`
+	Created      time.Time    `json:"created"`
+	Error        string       `json:"error,omitempty"`
+	Result       *core.Result `json:"-"`
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot returns the job's current state, result, and error.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID:           j.ID,
+		Fingerprint:  j.Fingerprint,
+		State:        j.state,
+		CacheHit:     j.cacheHit,
+		Deduplicated: j.dedup,
+		Created:      j.created,
+		Result:       j.res,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+func (j *Job) complete(res *core.Result, err error, at time.Time) {
+	j.mu.Lock()
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+	} else {
+		j.state = StateDone
+		j.res = res
+	}
+	j.finished = at
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *Job) setState(s State) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// flight is one in-progress engine run; all jobs sharing its fingerprint
+// attach to it and complete together (singleflight).
+type flight struct {
+	fp   string
+	req  Request
+	jobs []*Job // guarded by Manager.mu
+}
+
+// Stats counts serving-layer events since startup.
+type Stats struct {
+	Submitted    int64 `json:"submitted"`
+	CacheHits    int64 `json:"cache_hits"`
+	Deduplicated int64 `json:"deduplicated"`
+	Rejected     int64 `json:"rejected"`
+	Completed    int64 `json:"completed"`
+	Failed       int64 `json:"failed"`
+	QueueLen     int   `json:"queue_len"`
+}
+
+// Manager owns the worker pool, result cache, singleflight table, and job
+// registry. Create with NewManager; stop with Shutdown.
+type Manager struct {
+	cfg   Config
+	run   RunFunc
+	cache *resultCache
+
+	mu      sync.Mutex
+	closed  bool
+	flights map[string]*flight
+	jobs    map[string]*Job
+	nextID  uint64
+
+	queue    chan *flight
+	wg       sync.WaitGroup
+	rootCtx  context.Context
+	rootStop context.CancelFunc
+
+	submitted   atomic.Int64
+	cacheHits   atomic.Int64
+	dedups      atomic.Int64
+	rejected    atomic.Int64
+	completed   atomic.Int64
+	failed      atomic.Int64
+	avgRunNanos atomic.Int64 // EWMA of engine-run durations, for Retry-After
+}
+
+// NewManager starts cfg.Workers workers executing run.
+func NewManager(run RunFunc, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:      cfg,
+		run:      run,
+		cache:    newResultCache(cfg.CacheSize, cfg.CacheTTL, cfg.now),
+		flights:  make(map[string]*flight),
+		jobs:     make(map[string]*Job),
+		queue:    make(chan *flight, cfg.QueueDepth),
+		rootCtx:  ctx,
+		rootStop: stop,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit admits a query and returns immediately with a pollable job. The
+// fast paths: a fresh cached result completes the job synchronously, and a
+// fingerprint already in flight attaches to that run without consuming a
+// queue slot. Otherwise the query takes a queue slot or is rejected with
+// ErrQueueFull.
+func (m *Manager) Submit(req Request) (*Job, error) {
+	req, err := req.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	fp := req.Fingerprint()
+	now := m.cfg.now()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrShutdown
+	}
+	m.pruneLocked(now)
+	m.submitted.Add(1)
+	m.nextID++
+	job := &Job{
+		ID:          fmt.Sprintf("j%08d", m.nextID),
+		Fingerprint: fp,
+		state:       StateQueued,
+		created:     now,
+		done:        make(chan struct{}),
+	}
+
+	if res, ok := m.cache.get(fp); ok {
+		job.cacheHit = true
+		m.jobs[job.ID] = job
+		m.cacheHits.Add(1)
+		job.complete(res, nil, now)
+		return job, nil
+	}
+	if fl, ok := m.flights[fp]; ok {
+		job.dedup = true
+		fl.jobs = append(fl.jobs, job)
+		m.jobs[job.ID] = job
+		m.dedups.Add(1)
+		return job, nil
+	}
+	fl := &flight{fp: fp, req: req, jobs: []*Job{job}}
+	select {
+	case m.queue <- fl:
+	default:
+		m.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	m.flights[fp] = fl
+	m.jobs[job.ID] = job
+	return job, nil
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return job, nil
+}
+
+// Wait blocks until the job finishes or ctx is cancelled. It is the bridge
+// that keeps the synchronous HTTP path a thin wrapper over the async one.
+func (m *Manager) Wait(ctx context.Context, job *Job) (*core.Result, error) {
+	select {
+	case <-job.Done():
+		s := job.Snapshot()
+		if s.State == StateFailed {
+			return nil, errors.New(s.Error)
+		}
+		return s.Result, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Do is the synchronous path: submit, then wait. It shares the cache,
+// dedup, and admission control with async submissions.
+func (m *Manager) Do(ctx context.Context, req Request) (*core.Result, error) {
+	job, err := m.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	return m.Wait(ctx, job)
+}
+
+// RetryAfter estimates, from the queue backlog and a moving average of
+// engine-run time, how long a rejected client should back off. Always at
+// least one second.
+func (m *Manager) RetryAfter() time.Duration {
+	avg := time.Duration(m.avgRunNanos.Load())
+	if avg <= 0 {
+		avg = time.Second
+	}
+	backlog := len(m.queue) + 1
+	d := avg * time.Duration(backlog) / time.Duration(m.cfg.Workers)
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > m.cfg.JobTimeout {
+		d = m.cfg.JobTimeout
+	}
+	return d
+}
+
+// Stats returns event counters and the current queue length.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Submitted:    m.submitted.Load(),
+		CacheHits:    m.cacheHits.Load(),
+		Deduplicated: m.dedups.Load(),
+		Rejected:     m.rejected.Load(),
+		Completed:    m.completed.Load(),
+		Failed:       m.failed.Load(),
+		QueueLen:     len(m.queue),
+	}
+}
+
+// Shutdown stops admission immediately, then waits for queued and running
+// jobs to drain. If ctx expires first, running jobs are cancelled through
+// their contexts and Shutdown returns ctx.Err().
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		m.rootStop() // cancel in-flight engine runs
+		<-drained
+		return ctx.Err()
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for fl := range m.queue {
+		m.runFlight(fl)
+	}
+}
+
+// runFlight executes one deduplicated engine run and completes every job
+// attached to it.
+func (m *Manager) runFlight(fl *flight) {
+	m.mu.Lock()
+	for _, j := range fl.jobs {
+		j.setState(StateRunning)
+	}
+	m.mu.Unlock()
+
+	start := m.cfg.now()
+	res, err := m.safeRun(fl.req)
+	elapsed := m.cfg.now().Sub(start)
+	m.observeRun(elapsed)
+
+	m.mu.Lock()
+	// Remove the flight before completing its jobs: once the lock drops,
+	// a same-fingerprint Submit starts a fresh flight (or hits the cache)
+	// instead of attaching to a finished one.
+	delete(m.flights, fl.fp)
+	if err == nil {
+		m.cache.put(fl.fp, res)
+	}
+	jobs := fl.jobs
+	fl.jobs = nil
+	m.mu.Unlock()
+
+	now := m.cfg.now()
+	for _, j := range jobs {
+		if err != nil {
+			m.failed.Add(1)
+		} else {
+			m.completed.Add(1)
+		}
+		j.complete(res, err, now)
+	}
+}
+
+// safeRun applies the per-job timeout and converts a panicking query into
+// an error, so one bad query cannot kill the server.
+func (m *Manager) safeRun(req Request) (res *core.Result, err error) {
+	ctx, cancel := context.WithTimeout(m.rootCtx, m.cfg.JobTimeout)
+	defer cancel()
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("serve: query panicked: %v", r)
+		}
+	}()
+	res, err = m.run(ctx, req)
+	if err == nil && ctx.Err() != nil {
+		// The engine returned a stale success after its deadline; don't
+		// cache or report a result computed under cancellation.
+		return nil, ctx.Err()
+	}
+	return res, err
+}
+
+// observeRun folds one run duration into the EWMA behind RetryAfter.
+func (m *Manager) observeRun(d time.Duration) {
+	const alpha = 0.3
+	prev := m.avgRunNanos.Load()
+	if prev == 0 {
+		m.avgRunNanos.Store(int64(d))
+		return
+	}
+	m.avgRunNanos.Store(int64(alpha*float64(d) + (1-alpha)*float64(prev)))
+}
+
+// pruneLocked drops finished jobs past the retention window. Callers hold
+// m.mu.
+func (m *Manager) pruneLocked(now time.Time) {
+	cutoff := now.Add(-m.cfg.JobRetention)
+	for id, j := range m.jobs {
+		j.mu.Lock()
+		expired := (j.state == StateDone || j.state == StateFailed) && j.finished.Before(cutoff)
+		j.mu.Unlock()
+		if expired {
+			delete(m.jobs, id)
+		}
+	}
+}

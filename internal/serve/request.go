@@ -1,0 +1,109 @@
+// Package serve is the asynchronous query-serving layer between HTTP
+// handlers and core.Engine. It gives the interactive policy-analysis loop
+// the paper motivates a production shape: queries run on a bounded worker
+// pool and are polled by job ID, identical results are reused through an
+// LRU cache with TTL, N identical concurrent queries collapse into one
+// engine run (singleflight), and a bounded admission queue sheds load fast
+// instead of letting requests pile up until the server falls over.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"accessquery/internal/core"
+)
+
+// Request is a serving-layer access query: the wire-level parameters that
+// determine an engine result. Presentation options (like whether the HTTP
+// response includes per-zone rows) deliberately do not belong here, so two
+// requests that differ only in presentation share a fingerprint, a cache
+// entry, and an engine run.
+type Request struct {
+	Category       string  `json:"category"`
+	Cost           string  `json:"cost"`
+	Budget         float64 `json:"budget"`
+	Model          string  `json:"model"`
+	Seed           int64   `json:"seed"`
+	SamplesPerHour int     `json:"samples_per_hour"`
+}
+
+// validCosts are the cost kinds the paper evaluates.
+var validCosts = map[string]bool{"JT": true, "GAC": true}
+
+var validModels = func() map[core.ModelKind]bool {
+	m := make(map[core.ModelKind]bool)
+	for _, k := range core.AllModels {
+		m[k] = true
+	}
+	for _, k := range core.ExtensionModels {
+		m[k] = true
+	}
+	return m
+}()
+
+// Normalize canonicalizes a request (trim/case-fold strings, apply the
+// documented defaults) and validates every field, so that a rejected
+// request never reaches the engine and two spellings of the same query
+// share one fingerprint. It returns the canonical form or a descriptive
+// error suitable for a 400 response.
+func (r Request) Normalize() (Request, error) {
+	r.Category = strings.ToLower(strings.TrimSpace(r.Category))
+	if r.Category == "" {
+		return r, fmt.Errorf("category is required")
+	}
+	r.Cost = strings.ToUpper(strings.TrimSpace(r.Cost))
+	if r.Cost == "" {
+		r.Cost = "JT"
+	}
+	if !validCosts[r.Cost] {
+		return r, fmt.Errorf("unknown cost %q (want JT or GAC)", r.Cost)
+	}
+	if r.Budget == 0 {
+		r.Budget = core.DefaultBudget
+	}
+	if r.Budget < 0 || r.Budget > 1 {
+		return r, fmt.Errorf("budget %g outside (0, 1]", r.Budget)
+	}
+	r.Model = strings.ToUpper(strings.TrimSpace(r.Model))
+	if r.Model == "" {
+		r.Model = string(core.ModelMLP)
+	}
+	if !validModels[core.ModelKind(r.Model)] {
+		return r, fmt.Errorf("unknown model %q", r.Model)
+	}
+	if r.SamplesPerHour < 0 {
+		return r, fmt.Errorf("samples_per_hour %d is negative", r.SamplesPerHour)
+	}
+	if r.SamplesPerHour == 0 {
+		r.SamplesPerHour = core.DefaultSamplesPerHour
+	}
+	return r, nil
+}
+
+// Fingerprint returns a stable hash of the canonical request, the key for
+// the result cache and in-flight deduplication. Call Normalize first;
+// Fingerprint normalizes again defensively so a raw request can never
+// alias a canonical one.
+func (r Request) Fingerprint() string {
+	if n, err := r.Normalize(); err == nil {
+		r = n
+	}
+	h := sha256.New()
+	// A length-prefixed field encoding: unambiguous even if a category
+	// name ever contains a separator character.
+	for _, f := range []string{
+		r.Category,
+		r.Cost,
+		strconv.FormatFloat(r.Budget, 'g', -1, 64),
+		r.Model,
+		strconv.FormatInt(r.Seed, 10),
+		strconv.Itoa(r.SamplesPerHour),
+	} {
+		fmt.Fprintf(h, "%d:%s;", len(f), f)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

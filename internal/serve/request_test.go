@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"accessquery/internal/core"
+)
+
+func TestNormalizeDefaults(t *testing.T) {
+	r, err := Request{Category: " School "}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Category != "school" {
+		t.Errorf("category = %q", r.Category)
+	}
+	if r.Cost != "JT" {
+		t.Errorf("cost = %q", r.Cost)
+	}
+	if r.Budget != core.DefaultBudget {
+		t.Errorf("budget = %g", r.Budget)
+	}
+	if r.Model != string(core.ModelMLP) {
+		t.Errorf("model = %q", r.Model)
+	}
+	if r.SamplesPerHour != core.DefaultSamplesPerHour {
+		t.Errorf("samples_per_hour = %d", r.SamplesPerHour)
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		want string
+	}{
+		{"empty category", Request{}, "category"},
+		{"negative budget", Request{Category: "school", Budget: -0.1}, "budget"},
+		{"budget above one", Request{Category: "school", Budget: 1.5}, "budget"},
+		{"unknown cost", Request{Category: "school", Cost: "MILES"}, "cost"},
+		{"unknown model", Request{Category: "school", Model: "XGBOOST"}, "model"},
+		{"negative rate", Request{Category: "school", SamplesPerHour: -3}, "samples_per_hour"},
+	}
+	for _, c := range cases {
+		if _, err := c.req.Normalize(); err == nil {
+			t.Errorf("%s: no error", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestNormalizeAcceptsEveryKnownModel(t *testing.T) {
+	for _, kind := range append(append([]core.ModelKind{}, core.AllModels...), core.ExtensionModels...) {
+		if _, err := (Request{Category: "school", Model: string(kind)}).Normalize(); err != nil {
+			t.Errorf("model %s rejected: %v", kind, err)
+		}
+	}
+}
+
+func TestFingerprintCanonical(t *testing.T) {
+	a := Request{Category: "School", Cost: "jt", Budget: 0, Model: "mlp"}.Fingerprint()
+	b := Request{Category: "school", Cost: "JT", Budget: core.DefaultBudget, Model: "MLP",
+		SamplesPerHour: core.DefaultSamplesPerHour}.Fingerprint()
+	if a != b {
+		t.Error("spelling variants of the same query have different fingerprints")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := Request{Category: "school"}
+	vary := []Request{
+		{Category: "gp"},
+		{Category: "school", Cost: "GAC"},
+		{Category: "school", Budget: 0.2},
+		{Category: "school", Model: "OLS"},
+		{Category: "school", Seed: 7},
+		{Category: "school", SamplesPerHour: 10},
+	}
+	seen := map[string]int{base.Fingerprint(): -1}
+	for i, r := range vary {
+		fp := r.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("request %d collides with %d", i, prev)
+		}
+		seen[fp] = i
+	}
+}
