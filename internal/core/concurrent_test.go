@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"accessquery/internal/access"
+	"accessquery/internal/gtfs"
+	"accessquery/internal/synth"
+)
+
+// TestConcurrentDistinctQueries runs two different queries through one
+// engine at the same time, the way a serving layer's worker pool does. The
+// engine must be fresh: the feature extractor's lazy caches (hop counts,
+// reach fractions, inbound KD-trees) are cold, so both runs populate them
+// concurrently. Under -race this is the regression test for the extractor
+// cache data race; without -race it still checks both runs succeed.
+func TestConcurrentDistinctQueries(t *testing.T) {
+	c, err := synth.Generate(synth.Scaled(synth.Coventry(), 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(c, EngineOptions{
+		Interval: gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday, Label: "AM peak"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []Query{
+		{
+			POIs:           POIsOf(c, synth.POIVaxCenter),
+			Cost:           access.JourneyTime,
+			Budget:         0.3,
+			Model:          ModelOLS,
+			SamplesPerHour: 10,
+			Seed:           99,
+		},
+		{
+			POIs:           POIsOf(c, synth.POISchool),
+			Cost:           access.JourneyTime,
+			Budget:         0.3,
+			Model:          ModelOLS,
+			SamplesPerHour: 10,
+			Seed:           7,
+		},
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(queries))
+	results := make([]*Result, len(queries))
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q Query) {
+			defer wg.Done()
+			results[i], errs[i] = e.Run(q)
+		}(i, q)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if results[i] == nil || len(results[i].MAC) != len(c.Zones) {
+			t.Fatalf("query %d: malformed result", i)
+		}
+	}
+}

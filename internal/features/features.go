@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"accessquery/internal/geo"
 	"accessquery/internal/hoptree"
@@ -57,6 +58,12 @@ type Extractor struct {
 	// Hops is the chaining depth h; the paper uses 1 or 2.
 	Hops int
 
+	// mu guards the lazy caches below: one Extractor is shared by every
+	// concurrent engine run (e.g. a serving layer's worker pool), and
+	// unsynchronized map writes are a fatal runtime error. Cache values are
+	// deterministic and immutable once stored, so misses compute outside the
+	// write lock and the first stored value wins.
+	mu sync.RWMutex
 	// ibTrees caches a KD-tree over the inbound leaves per destination zone.
 	ibTrees map[int]*spatial.KDTree
 	// reachFrac caches the h-hop reachable fraction per origin.
@@ -175,20 +182,34 @@ func (e *Extractor) PairVector(origin int, dest geo.Point, destZone int) ([]floa
 }
 
 func (e *Extractor) hopsFor(origin int) map[int]int {
-	if m, ok := e.hopsTo[origin]; ok {
+	e.mu.RLock()
+	m, ok := e.hopsTo[origin]
+	e.mu.RUnlock()
+	if ok {
 		return m
 	}
-	m := e.forest.ReachableWithin(origin, e.Hops)
-	e.hopsTo[origin] = m
+	m = e.forest.ReachableWithin(origin, e.Hops)
+	e.mu.Lock()
+	if prev, ok := e.hopsTo[origin]; ok {
+		m = prev // a concurrent miss stored first; share its map
+	} else {
+		e.hopsTo[origin] = m
+	}
+	e.mu.Unlock()
 	return m
 }
 
 func (e *Extractor) reachFraction(origin int) float64 {
-	if f, ok := e.reachFrac[origin]; ok {
+	e.mu.RLock()
+	f, ok := e.reachFrac[origin]
+	e.mu.RUnlock()
+	if ok {
 		return f
 	}
-	f := float64(len(e.hopsFor(origin))) / float64(len(e.zones))
+	f = float64(len(e.hopsFor(origin))) / float64(len(e.zones))
+	e.mu.Lock()
 	e.reachFrac[origin] = f
+	e.mu.Unlock()
 	return f
 }
 
@@ -237,7 +258,10 @@ func (e *Extractor) interchanges(ob *hoptree.Tree, destZone int) []int {
 }
 
 func (e *Extractor) ibTreeFor(destZone int) *spatial.KDTree {
-	if t, ok := e.ibTrees[destZone]; ok {
+	e.mu.RLock()
+	t, ok := e.ibTrees[destZone]
+	e.mu.RUnlock()
+	if ok {
 		return t
 	}
 	ib := e.forest.Inbound(destZone)
@@ -245,8 +269,14 @@ func (e *Extractor) ibTreeFor(destZone int) *spatial.KDTree {
 	for zone := range ib.Leaves {
 		items = append(items, spatial.Item{ID: zone, Point: e.zones[zone]})
 	}
-	t := spatial.NewKDTree(items)
-	e.ibTrees[destZone] = t
+	t = spatial.NewKDTree(items)
+	e.mu.Lock()
+	if prev, ok := e.ibTrees[destZone]; ok {
+		t = prev
+	} else {
+		e.ibTrees[destZone] = t
+	}
+	e.mu.Unlock()
 	return t
 }
 

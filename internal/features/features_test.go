@@ -2,6 +2,8 @@ package features
 
 import (
 	"math"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -317,6 +319,65 @@ func BenchmarkPairVector(b *testing.B) {
 		d := (i*17 + 3) % len(w.zones)
 		if _, err := e.PairVector(o, w.zones[d], d); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestPairVectorConcurrent exercises the lazy caches (hop counts, reach
+// fractions, inbound KD-trees) from several goroutines on a cold
+// extractor: a serving layer's worker pool shares one Extractor across
+// concurrent engine runs. Run with -race this is the cache-synchronization
+// regression test.
+func TestPairVectorConcurrent(t *testing.T) {
+	e := newExtractor(t) // cold caches
+	w := fixture(t)
+	nz := len(w.zones)
+	const goroutines = 4
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine walks the pairs in a different order so cache
+			// misses collide, yielding every iteration so the accesses
+			// interleave even on GOMAXPROCS=1.
+			for i := 0; i < nz; i++ {
+				origin := (i + g*nz/goroutines) % nz
+				dest := (origin*7 + g + 1) % nz
+				if _, err := e.PairVector(origin, w.zones[dest], dest); err != nil {
+					errs[g] = err
+					return
+				}
+				runtime.Gosched()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	// Fully warmed caches must agree with a serial recomputation.
+	serial, err := NewExtractor(w.forest, w.zones, w.isos, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for origin := 0; origin < nz; origin++ {
+		dest := (origin*7 + 1) % nz
+		want, err := serial.PairVector(origin, w.zones[dest], dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.PairVector(origin, w.zones[dest], dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("origin %d feature %d: concurrent %v != serial %v", origin, j, got[j], want[j])
+			}
 		}
 	}
 }

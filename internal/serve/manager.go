@@ -162,9 +162,10 @@ func (j *Job) setState(s State) {
 // flight is one in-progress engine run; all jobs sharing its fingerprint
 // attach to it and complete together (singleflight).
 type flight struct {
-	fp   string
-	req  Request
-	jobs []*Job // guarded by Manager.mu
+	fp      string
+	req     Request
+	jobs    []*Job // guarded by Manager.mu
+	started bool   // guarded by Manager.mu: a worker has begun the run
 }
 
 // Stats counts serving-layer events since startup.
@@ -245,17 +246,9 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		return nil, ErrShutdown
 	}
 	m.pruneLocked(now)
-	m.submitted.Add(1)
-	m.nextID++
-	job := &Job{
-		ID:          fmt.Sprintf("j%08d", m.nextID),
-		Fingerprint: fp,
-		state:       StateQueued,
-		created:     now,
-		done:        make(chan struct{}),
-	}
 
 	if res, ok := m.cache.get(fp); ok {
+		job := m.newJobLocked(fp, now)
 		job.cacheHit = true
 		m.jobs[job.ID] = job
 		m.cacheHits.Add(1)
@@ -263,28 +256,58 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		return job, nil
 	}
 	if fl, ok := m.flights[fp]; ok {
+		job := m.newJobLocked(fp, now)
 		job.dedup = true
+		if fl.started {
+			// The worker already set the attached jobs running; a late
+			// follower must not report "queued" for an in-progress run.
+			job.state = StateRunning
+		}
 		fl.jobs = append(fl.jobs, job)
 		m.jobs[job.ID] = job
 		m.dedups.Add(1)
 		return job, nil
 	}
-	fl := &flight{fp: fp, req: req, jobs: []*Job{job}}
+	// Admission decision before consuming a job ID or counting the
+	// submission, so rejected queries are counted once (rejected only) and
+	// job IDs stay gapless.
+	fl := &flight{fp: fp, req: req}
 	select {
 	case m.queue <- fl:
 	default:
 		m.rejected.Add(1)
 		return nil, ErrQueueFull
 	}
+	// A worker may already have dequeued fl, but it blocks on m.mu before
+	// touching fl.jobs, so attaching here is safe.
+	job := m.newJobLocked(fp, now)
+	fl.jobs = []*Job{job}
 	m.flights[fp] = fl
 	m.jobs[job.ID] = job
 	return job, nil
 }
 
-// Get returns a job by ID.
+// newJobLocked allocates the next job ID and counts the submission. Callers
+// hold m.mu and must only call it once admission has succeeded.
+func (m *Manager) newJobLocked(fp string, now time.Time) *Job {
+	m.submitted.Add(1)
+	m.nextID++
+	return &Job{
+		ID:          fmt.Sprintf("j%08d", m.nextID),
+		Fingerprint: fp,
+		state:       StateQueued,
+		created:     now,
+		done:        make(chan struct{}),
+	}
+}
+
+// Get returns a job by ID. Like Submit it prunes expired jobs first, so
+// retention is enforced even on a server that has gone idle between
+// submissions.
 func (m *Manager) Get(id string) (*Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.pruneLocked(m.cfg.now())
 	job, ok := m.jobs[id]
 	if !ok {
 		return nil, ErrUnknownJob
@@ -388,6 +411,7 @@ func (m *Manager) worker() {
 // attached to it.
 func (m *Manager) runFlight(fl *flight) {
 	m.mu.Lock()
+	fl.started = true
 	for _, j := range fl.jobs {
 		j.setState(StateRunning)
 	}
@@ -440,15 +464,20 @@ func (m *Manager) safeRun(req Request) (res *core.Result, err error) {
 	return res, err
 }
 
-// observeRun folds one run duration into the EWMA behind RetryAfter.
+// observeRun folds one run duration into the EWMA behind RetryAfter. The
+// CAS loop keeps concurrent worker completions from losing updates.
 func (m *Manager) observeRun(d time.Duration) {
 	const alpha = 0.3
-	prev := m.avgRunNanos.Load()
-	if prev == 0 {
-		m.avgRunNanos.Store(int64(d))
-		return
+	for {
+		prev := m.avgRunNanos.Load()
+		next := int64(d)
+		if prev != 0 {
+			next = int64(alpha*float64(d) + (1-alpha)*float64(prev))
+		}
+		if m.avgRunNanos.CompareAndSwap(prev, next) {
+			return
+		}
 	}
-	m.avgRunNanos.Store(int64(alpha*float64(d) + (1-alpha)*float64(prev)))
 }
 
 // pruneLocked drops finished jobs past the retention window. Callers hold

@@ -386,3 +386,96 @@ func TestConcurrentMixedLoad(t *testing.T) {
 		t.Errorf("engine ran %d times for 5 distinct queries", n)
 	}
 }
+
+// TestRejectedNotCountedAsSubmitted checks the admission accounting: a
+// query bounced by a full queue is counted once (rejected), not also as
+// submitted, and consumes no job ID.
+func TestRejectedNotCountedAsSubmitted(t *testing.T) {
+	stub := &stubEngine{started: make(chan string, 8), release: make(chan struct{})}
+	m := newTestManager(t, stub, Config{Workers: 1, QueueDepth: 1})
+
+	reqA, reqB, reqC, reqD := schoolReq(), schoolReq(), schoolReq(), schoolReq()
+	reqB.Seed, reqC.Seed, reqD.Seed = 1, 2, 3
+
+	if _, err := m.Submit(reqA); err != nil {
+		t.Fatal(err)
+	}
+	<-stub.started // worker busy on A
+	if _, err := m.Submit(reqB); err != nil {
+		t.Fatal(err) // fills the queue
+	}
+	if _, err := m.Submit(reqC); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: err = %v, want ErrQueueFull", err)
+	}
+	st := m.Stats()
+	if st.Submitted != 2 {
+		t.Errorf("stats.Submitted = %d, want 2 (rejection double-counted)", st.Submitted)
+	}
+	if st.Rejected != 1 {
+		t.Errorf("stats.Rejected = %d, want 1", st.Rejected)
+	}
+	close(stub.release) // drain A and B, freeing a queue slot
+	deadline := time.After(2 * time.Second)
+	for len(m.queue) > 0 {
+		select {
+		case <-deadline:
+			t.Fatal("queue never drained")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	job, err := m.Submit(reqD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "j00000003" {
+		t.Errorf("job ID = %q, want j00000003 (rejection consumed an ID)", job.ID)
+	}
+}
+
+// TestPruneOnGet checks that retention is enforced by polling alone: on a
+// server with no further submissions, an expired job still disappears.
+func TestPruneOnGet(t *testing.T) {
+	clock := newFakeClock()
+	m := newTestManager(t, &stubEngine{}, Config{Workers: 1, JobRetention: time.Minute, now: clock.now})
+	ctx := context.Background()
+
+	job, err := m.Submit(schoolReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(ctx, job); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(2 * time.Minute)
+	if _, err := m.Get(job.ID); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("expired job survived an idle server: err = %v", err)
+	}
+}
+
+// TestDedupAttachWhileRunning checks that a follower attaching to a flight
+// the worker has already picked up reports "running", not "queued".
+func TestDedupAttachWhileRunning(t *testing.T) {
+	stub := &stubEngine{started: make(chan string, 1), release: make(chan struct{})}
+	m := newTestManager(t, stub, Config{Workers: 1})
+	defer close(stub.release)
+
+	lead, err := m.Submit(schoolReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-stub.started // the run is in progress
+	follower, err := m.Submit(schoolReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := follower.Snapshot()
+	if !s.Deduplicated {
+		t.Error("follower not deduplicated")
+	}
+	if s.State != StateRunning {
+		t.Errorf("follower state = %s, want running", s.State)
+	}
+	if ls := lead.Snapshot(); ls.State != StateRunning {
+		t.Errorf("lead state = %s, want running", ls.State)
+	}
+}
