@@ -21,6 +21,7 @@ import (
 
 	"accessquery/internal/core"
 	"accessquery/internal/experiments"
+	"accessquery/internal/obs"
 )
 
 func main() {
@@ -33,8 +34,17 @@ func main() {
 		models  = flag.String("models", "", "comma-separated model subset (default: all five)")
 		csvOut  = flag.Bool("csv", false, "emit fig3/fig4/fig5 as CSV instead of formatted tables")
 		csvFig5 = flag.Bool("fig5csv", false, "emit fig5 as CSV instead of ASCII maps")
+		debug   = flag.String("debug-addr", "", "optional loopback listener for /metrics and /debug/pprof while experiments run")
 	)
 	flag.Parse()
+	if *debug != "" {
+		dbg, bound, err := obs.StartDebugServer(*debug)
+		if err != nil {
+			log.Fatalf("debug listener: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("debug endpoints (pprof, metrics) on http://%s", bound)
+	}
 	s := experiments.NewSuite(*scale)
 	s.SamplesPerHour = *samples
 	if *models != "" {

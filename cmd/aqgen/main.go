@@ -24,6 +24,7 @@ import (
 	"accessquery/internal/gtfs"
 	"accessquery/internal/hoptree"
 	"accessquery/internal/isochrone"
+	"accessquery/internal/obs"
 	"accessquery/internal/synth"
 )
 
@@ -36,11 +37,20 @@ func main() {
 		seed     = flag.Int64("seed", 0, "override the preset's seed (0 keeps it)")
 		out      = flag.String("out", "", "output directory (required)")
 		forest   = flag.Bool("forest", false, "also pre-compute and save the transit-hop forest for the weekday AM peak")
+		debug    = flag.String("debug-addr", "", "optional loopback listener for /metrics and /debug/pprof during generation")
 	)
 	flag.Parse()
 	if *out == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *debug != "" {
+		dbg, bound, err := obs.StartDebugServer(*debug)
+		if err != nil {
+			log.Fatalf("debug listener: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("debug endpoints (pprof, metrics) on http://%s", bound)
 	}
 	cfg, err := presetConfig(*cityName, *scale, *seed)
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"accessquery/internal/access"
 	"accessquery/internal/core"
 	"accessquery/internal/gtfs"
+	"accessquery/internal/obs"
 	"accessquery/internal/synth"
 )
 
@@ -38,6 +39,7 @@ func main() {
 		workers  = flag.Int("workers", 1, "parallel labeling workers")
 		seed     = flag.Int64("seed", 1, "random seed")
 		od       = flag.Bool("od", false, "learn at OD granularity instead of origin level")
+		metrics  = flag.Bool("metrics", false, "dump process metrics (stage latencies, SPQs) to stderr after the run")
 	)
 	flag.Parse()
 	engine, err := buildEngine(*load, *cityName, *scale)
@@ -86,6 +88,12 @@ func main() {
 		engine.City.Name, *category, costKind, *budget*100,
 		s.ValidZones, s.Zones, s.LabeledZones, costKind, s.MeanMAC/60,
 		s.Fairness, s.Gini, s.SPQs, res.Timing.Total())
+	if *metrics {
+		fmt.Fprintln(os.Stderr)
+		if err := obs.WritePrometheus(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 // buildEngine loads a snapshot or generates and pre-processes a city.

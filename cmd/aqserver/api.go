@@ -1,0 +1,178 @@
+// HTTP API surface of aqserver.
+//
+// The API is versioned under /v1/. Unversioned paths from earlier releases
+// remain as deprecated aliases: they serve the same handler but set a
+// "Deprecation: true" header and a Link to the successor route, so clients
+// can migrate on their own schedule while operators watch the
+// aq_http_deprecated_requests_total counter drain to zero.
+//
+// Every handler goes through the same wrapper: method enforcement (405
+// with an Allow header), Content-Type enforcement for request bodies (415
+// unless application/json), per-route request counters and latency
+// histograms, and one JSON error envelope
+//
+//	{"error": {"code": "queue_full", "message": "query queue full; retry later"}}
+//
+// emitted by a single helper for every failure path.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"mime"
+	"net/http"
+	"strconv"
+	"time"
+
+	"accessquery/internal/obs"
+)
+
+// Stable machine-readable error codes of the JSON error envelope.
+const (
+	codeBadRequest       = "bad_request"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeUnsupportedMedia = "unsupported_media_type"
+	codeNotFound         = "not_found"
+	codeQueueFull        = "queue_full"
+	codeShuttingDown     = "shutting_down"
+	codeTimeout          = "timeout"
+	codeInternal         = "internal"
+)
+
+// routes wires the versioned API, its deprecated unversioned aliases, and
+// the operational endpoints onto one mux.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	// /healthz is a liveness probe, deliberately unversioned (infra
+	// convention) and exempt from deprecation.
+	mux.Handle("/healthz", handle("/healthz", s.handleHealth, http.MethodGet))
+
+	type route struct {
+		v1, old string
+		fn      http.HandlerFunc
+		method  string
+	}
+	for _, rt := range []route{
+		{"/v1/metrics", "/metrics", s.handleMetrics, http.MethodGet},
+		{"/v1/stats", "/stats", s.handleStats, http.MethodGet},
+		{"/v1/city", "/city", s.handleCity, http.MethodGet},
+		{"/v1/zones", "/zones", s.handleZones, http.MethodGet},
+		{"/v1/journey", "/journey", s.handleJourney, http.MethodGet},
+		{"/v1/query", "/query", s.handleQuery, http.MethodPost},
+		{"/v1/jobs/", "/jobs/", s.handleJob, http.MethodGet},
+	} {
+		h := handle(rt.v1, rt.fn, rt.method)
+		mux.Handle(rt.v1, h)
+		mux.Handle(rt.old, deprecated(rt.v1, rt.old, h))
+	}
+	return mux
+}
+
+// handle wraps an endpoint with method enforcement, Content-Type checks,
+// and per-route metrics under the canonical route label.
+func handle(route string, fn http.HandlerFunc, method string) http.Handler {
+	durations := obs.Histogram(fmt.Sprintf("aq_http_request_seconds{route=%q}", route))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			durations.ObserveDuration(time.Since(start))
+			obs.Counter(fmt.Sprintf("aq_http_requests_total{route=%q,code=%q}",
+				route, strconv.Itoa(sw.status()))).Inc()
+		}()
+		if r.Method != method {
+			sw.Header().Set("Allow", method)
+			writeError(sw, http.StatusMethodNotAllowed, codeMethodNotAllowed, method+" only")
+			return
+		}
+		if method == http.MethodPost && !jsonBody(r) {
+			writeError(sw, http.StatusUnsupportedMediaType, codeUnsupportedMedia,
+				"request body must be Content-Type: application/json")
+			return
+		}
+		fn(sw, r)
+	})
+}
+
+// deprecated marks an unversioned alias: RFC 8594-style Deprecation and
+// successor Link headers, plus a counter so operators can see who still
+// uses the old paths.
+func deprecated(v1, old string, h http.Handler) http.Handler {
+	hits := obs.Counter(fmt.Sprintf("aq_http_deprecated_requests_total{route=%q}", old))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Inc()
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", v1))
+		h.ServeHTTP(w, r)
+	})
+}
+
+// jsonBody reports whether the request body is declared as JSON. An absent
+// Content-Type is accepted for compatibility with terse curl usage.
+func jsonBody(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	return err == nil && mt == "application/json"
+}
+
+// statusWriter captures the response status for metrics labels.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}
+
+// errorBody is the single JSON error envelope every handler emits.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// writeError emits the error envelope. All failure paths in this package
+// must go through it so clients can rely on one shape.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = msg
+	writeJSON(w, status, body)
+}
+
+// handleMetrics serves the process-wide registry in Prometheus text
+// exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	obs.MetricsHandler(obs.Default).ServeHTTP(w, r)
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// decodeError parses the JSON error envelope and fails the test if the
+// response does not carry one.
+func decodeError(t *testing.T, rec *httptest.ResponseRecorder) errorBody {
+	t.Helper()
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("error response Content-Type = %q, want application/json", ct)
+	}
+	var env errorBody
+	if err := json.NewDecoder(rec.Body).Decode(&env); err != nil {
+		t.Fatalf("error body is not the envelope: %v", err)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %+v", env)
+	}
+	return env
+}
+
+// TestMethodNotAllowed sends a wrong-method request to every /v1 endpoint
+// and expects 405 with an Allow header and the error envelope.
+func TestMethodNotAllowed(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		target, method, allow string
+	}{
+		{"/healthz", http.MethodPost, http.MethodGet},
+		{"/v1/metrics", http.MethodPost, http.MethodGet},
+		{"/v1/stats", http.MethodDelete, http.MethodGet},
+		{"/v1/city", http.MethodPost, http.MethodGet},
+		{"/v1/zones", http.MethodPut, http.MethodGet},
+		{"/v1/journey", http.MethodPost, http.MethodGet},
+		{"/v1/query", http.MethodGet, http.MethodPost},
+		{"/v1/jobs/j00000001", http.MethodPost, http.MethodGet},
+	}
+	for _, c := range cases {
+		rec := do(s, c.method, c.target, "")
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", c.method, c.target, rec.Code)
+			continue
+		}
+		if got := rec.Header().Get("Allow"); got != c.allow {
+			t.Errorf("%s %s: Allow = %q, want %q", c.method, c.target, got, c.allow)
+		}
+		if env := decodeError(t, rec); env.Error.Code != "method_not_allowed" {
+			t.Errorf("%s %s: error code %q", c.method, c.target, env.Error.Code)
+		}
+	}
+}
+
+// TestUnsupportedMediaType posts a non-JSON body to /v1/query and expects
+// 415. An absent Content-Type stays accepted for terse curl usage.
+func TestUnsupportedMediaType(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/v1/query",
+		strings.NewReader("category=school"))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	s.routes().ServeHTTP(rec, req)
+	if rec.Code != http.StatusUnsupportedMediaType {
+		t.Fatalf("status %d, want 415", rec.Code)
+	}
+	if env := decodeError(t, rec); env.Error.Code != "unsupported_media_type" {
+		t.Errorf("error code %q", env.Error.Code)
+	}
+
+	// Charset parameters on a JSON Content-Type are fine.
+	req = httptest.NewRequest(http.MethodPost, "/v1/query",
+		strings.NewReader(`{"category": "school", "budget": 0.2, "model": "OLS"}`))
+	req.Header.Set("Content-Type", "application/json; charset=utf-8")
+	rec = httptest.NewRecorder()
+	s.routes().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("json+charset status %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+
+	// No Content-Type at all is accepted.
+	req = httptest.NewRequest(http.MethodPost, "/v1/query",
+		strings.NewReader(`{"category": "nosuchcategory"}`))
+	rec = httptest.NewRecorder()
+	s.routes().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest { // past the 415 gate, rejected on content
+		t.Errorf("no content-type status %d, want 400", rec.Code)
+	}
+}
+
+// TestDeprecatedAliases checks that every unversioned path still works but
+// announces its successor.
+func TestDeprecatedAliases(t *testing.T) {
+	s := testServer(t)
+	aliases := map[string]string{
+		"/metrics": "/v1/metrics",
+		"/stats":   "/v1/stats",
+		"/city":    "/v1/city",
+		"/zones":   "/v1/zones",
+	}
+	for old, v1 := range aliases {
+		rec := do(s, http.MethodGet, old, "")
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s: status %d", old, rec.Code)
+			continue
+		}
+		if got := rec.Header().Get("Deprecation"); got != "true" {
+			t.Errorf("%s: Deprecation = %q, want \"true\"", old, got)
+		}
+		link := rec.Header().Get("Link")
+		if !strings.Contains(link, "<"+v1+">") || !strings.Contains(link, `rel="successor-version"`) {
+			t.Errorf("%s: Link = %q, want successor-version pointing at %s", old, link, v1)
+		}
+	}
+	// Versioned routes must NOT carry the deprecation headers.
+	rec := do(s, http.MethodGet, "/v1/stats", "")
+	if rec.Header().Get("Deprecation") != "" {
+		t.Error("/v1/stats carries a Deprecation header")
+	}
+}
+
+// TestMetricsEndpoint runs one query and checks that /v1/metrics then
+// exposes the engine stage histograms, SPQ and relaxation counters, and
+// serving-layer counters in Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := postQuery(s, "/v1/query", `{"category": "school", "budget": 0.2, "model": "OLS", "seed": 7}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec = do(s, http.MethodGet, "/v1/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`aq_engine_stage_seconds_bucket{stage="matrix",le="+Inf"}`,
+		`aq_engine_stage_seconds_bucket{stage="labeling",le="+Inf"}`,
+		`aq_engine_stage_seconds_bucket{stage="training",le="+Inf"}`,
+		`aq_engine_spqs_total`,
+		`aq_router_relaxations_total`,
+		`aq_serve_cache_misses_total`,
+		`aq_serve_run_seconds_count`,
+		`aq_http_requests_total{code="200",route="/v1/query"}`,
+		`# TYPE aq_engine_stage_seconds histogram`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/v1/metrics missing %q", want)
+		}
+	}
+	// Text-format sanity: every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}

@@ -5,17 +5,22 @@
 // TTL, and in-flight deduplication, so identical concurrent queries cost
 // one engine run and overload sheds fast instead of piling up.
 //
-// Endpoints:
+// The API is versioned under /v1/ (see api.go; unversioned paths remain as
+// deprecated aliases):
 //
-//	GET  /healthz                    liveness probe
-//	GET  /stats                      serving-layer counters
-//	GET  /city                       city summary
-//	GET  /zones                      zone list with centroids and demographics
-//	GET  /journey?from=3&to=50&depart=08:00:00
-//	                                 one multimodal journey between zones
-//	POST /query                      JSON access query -> per-zone measures
-//	POST /query?async=1              enqueue; returns {"job_id": ...} (202)
-//	GET  /jobs/{id}                  job status; includes the result when done
+//	GET  /healthz                       liveness probe
+//	GET  /v1/metrics                    Prometheus text exposition
+//	GET  /v1/stats                      serving-layer counters
+//	GET  /v1/city                       city summary
+//	GET  /v1/zones                      zone list with centroids and demographics
+//	GET  /v1/journey?from=3&to=50&depart=08:00:00
+//	                                    one multimodal journey between zones
+//	POST /v1/query                      JSON access query -> per-zone measures
+//	POST /v1/query?async=1              enqueue; returns {"job_id": ...} (202)
+//	GET  /v1/jobs/{id}                  job status; includes the result when done
+//
+// With -debug-addr set, a second loopback listener serves /metrics and
+// /debug/pprof/ so a loaded server can be profiled without redeploying.
 //
 // Example query body:
 //
@@ -40,6 +45,7 @@ import (
 	"accessquery/internal/access"
 	"accessquery/internal/core"
 	"accessquery/internal/gtfs"
+	"accessquery/internal/obs"
 	"accessquery/internal/serve"
 	"accessquery/internal/synth"
 )
@@ -56,6 +62,7 @@ func main() {
 		cityName     = flag.String("city", "coventry", "city preset: birmingham or coventry")
 		scale        = flag.Float64("scale", 0.25, "city scale factor")
 		addr         = flag.String("addr", "127.0.0.1:8321", "listen address")
+		debugAddr    = flag.String("debug-addr", "", "optional loopback listener for /metrics and /debug/pprof (e.g. 127.0.0.1:8322)")
 		workers      = flag.Int("workers", 2, "concurrent engine runs (serving worker pool)")
 		queueDepth   = flag.Int("queue", 32, "admission queue depth; beyond it queries get 429")
 		cacheSize    = flag.Int("cache-size", 64, "result-cache entries (negative disables)")
@@ -94,6 +101,15 @@ func main() {
 		CacheTTL:   *cacheTTL,
 		JobTimeout: *jobTimeout,
 	}, *labelWorkers)
+
+	if *debugAddr != "" {
+		dbg, bound, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			log.Fatalf("debug listener: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("debug endpoints (pprof, metrics) on http://%s", bound)
+	}
 
 	srv := &http.Server{
 		Addr:    *addr,
@@ -153,18 +169,6 @@ func newServer(engine *core.Engine, cfg serve.Config, labelWorkers int) *server 
 	return &server{engine: engine, mgr: serve.NewManager(run, cfg)}
 }
 
-func (s *server) routes() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/city", s.handleCity)
-	mux.HandleFunc("/zones", s.handleZones)
-	mux.HandleFunc("/journey", s.handleJourney)
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/jobs/", s.handleJob)
-	return mux
-}
-
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -200,12 +204,12 @@ func (s *server) handleJourney(w http.ResponseWriter, r *http.Request) {
 	from, err1 := strconv.Atoi(q.Get("from"))
 	to, err2 := strconv.Atoi(q.Get("to"))
 	if err1 != nil || err2 != nil {
-		httpError(w, http.StatusBadRequest, "from and to must be zone indices")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "from and to must be zone indices")
 		return
 	}
 	c := s.engine.City
 	if from < 0 || from >= len(c.Zones) || to < 0 || to >= len(c.Zones) {
-		httpError(w, http.StatusBadRequest, "zone index out of range")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "zone index out of range")
 		return
 	}
 	depart := gtfs.Seconds(8 * 3600)
@@ -213,17 +217,17 @@ func (s *server) handleJourney(w http.ResponseWriter, r *http.Request) {
 		var err error
 		depart, err = gtfs.ParseSeconds(ds)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad depart time, want HH:MM:SS")
+			writeError(w, http.StatusBadRequest, codeBadRequest, "bad depart time, want HH:MM:SS")
 			return
 		}
 	}
 	j, legs, ok, err := s.engine.Router().RouteDetailed(c.ZoneNode[from], c.ZoneNode[to], depart)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
 		return
 	}
 	if !ok {
-		httpError(w, http.StatusNotFound, "no journey within the search horizon")
+		writeError(w, http.StatusNotFound, codeNotFound, "no journey within the search horizon")
 		return
 	}
 	type legOut struct {
@@ -260,7 +264,7 @@ func (s *server) handleJourney(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// queryRequest is the POST /query body: the serving-layer request plus
+// queryRequest is the POST /v1/query body: the serving-layer request plus
 // presentation options that don't affect caching.
 type queryRequest struct {
 	serve.Request
@@ -269,22 +273,19 @@ type queryRequest struct {
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad JSON: "+err.Error())
 		return
 	}
 	norm, err := req.Request.Normalize()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
 	if len(core.POIsOf(s.engine.City, synth.POICategory(norm.Category))) == 0 {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown or empty POI category %q", norm.Category))
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("unknown or empty POI category %q", norm.Category))
 		return
 	}
 	job, err := s.mgr.Submit(norm)
@@ -296,18 +297,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, map[string]interface{}{
 			"job_id":     job.ID,
 			"state":      job.Snapshot().State,
-			"status_url": "/jobs/" + job.ID,
+			"status_url": "/v1/jobs/" + job.ID,
 		})
 		return
 	}
 	res, err := s.mgr.Wait(r.Context(), job)
 	if err != nil {
-		code := http.StatusInternalServerError
+		status, code := http.StatusInternalServerError, codeInternal
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
 			strings.Contains(err.Error(), context.DeadlineExceeded.Error()) {
-			code = http.StatusGatewayTimeout
+			status, code = http.StatusGatewayTimeout, codeTimeout
 		}
-		httpError(w, code, err.Error())
+		writeError(w, status, code, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, resultBody(res, req.IncludeZones))
@@ -323,28 +324,26 @@ func (s *server) writeSubmitError(w http.ResponseWriter, err error) {
 			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		httpError(w, http.StatusTooManyRequests, "query queue full; retry later")
+		writeError(w, http.StatusTooManyRequests, codeQueueFull, "query queue full; retry later")
 	case errors.Is(err, serve.ErrShutdown):
-		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		writeError(w, http.StatusServiceUnavailable, codeShuttingDown, "server shutting down")
 	default:
-		httpError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 	}
 }
 
-// handleJob serves GET /jobs/{id}: job state, and the result once done.
+// handleJob serves GET /v1/jobs/{id}: job state, the stage-latency
+// breakdown of the run, and the result once done.
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id = strings.TrimPrefix(id, "/jobs/") // deprecated unversioned alias
 	if id == "" || strings.Contains(id, "/") {
-		httpError(w, http.StatusBadRequest, "want /jobs/{id}")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "want /v1/jobs/{id}")
 		return
 	}
 	job, err := s.mgr.Get(id)
 	if err != nil {
-		httpError(w, http.StatusNotFound, "unknown job "+id)
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown job "+id)
 		return
 	}
 	snap := job.Snapshot()
@@ -353,6 +352,9 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		"state":     snap.State,
 		"cache_hit": snap.CacheHit,
 		"created":   snap.Created,
+	}
+	if len(snap.Stages) > 0 {
+		body["stages"] = snap.Stages
 	}
 	if snap.Error != "" {
 		body["error"] = snap.Error
@@ -396,16 +398,4 @@ func resultBody(res *core.Result, includeZones bool) map[string]interface{} {
 		body["zones"] = zones
 	}
 	return body
-}
-
-func writeJSON(w http.ResponseWriter, code int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encoding response: %v", err)
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
 }

@@ -54,10 +54,28 @@ func testServer(t *testing.T) *server {
 	return s
 }
 
+// do routes a request through the full handler stack (method enforcement,
+// content-type checks, metrics, deprecation aliases), as a client would.
+func do(s *server, method, target, body string) *httptest.ResponseRecorder {
+	var req *http.Request
+	if body != "" {
+		req = httptest.NewRequest(method, target, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+	} else {
+		req = httptest.NewRequest(method, target, nil)
+	}
+	rec := httptest.NewRecorder()
+	s.routes().ServeHTTP(rec, req)
+	return rec
+}
+
+func postQuery(s *server, target, body string) *httptest.ResponseRecorder {
+	return do(s, http.MethodPost, target, body)
+}
+
 func TestHandleHealth(t *testing.T) {
 	s := testServer(t)
-	rec := httptest.NewRecorder()
-	s.handleHealth(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	rec := do(s, http.MethodGet, "/healthz", "")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
@@ -72,8 +90,7 @@ func TestHandleHealth(t *testing.T) {
 
 func TestHandleCity(t *testing.T) {
 	s := testServer(t)
-	rec := httptest.NewRecorder()
-	s.handleCity(rec, httptest.NewRequest(http.MethodGet, "/city", nil))
+	rec := do(s, http.MethodGet, "/v1/city", "")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
@@ -91,8 +108,7 @@ func TestHandleCity(t *testing.T) {
 
 func TestHandleZones(t *testing.T) {
 	s := testServer(t)
-	rec := httptest.NewRecorder()
-	s.handleZones(rec, httptest.NewRequest(http.MethodGet, "/zones", nil))
+	rec := do(s, http.MethodGet, "/v1/zones", "")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
@@ -107,8 +123,7 @@ func TestHandleZones(t *testing.T) {
 
 func TestHandleJourney(t *testing.T) {
 	s := testServer(t)
-	rec := httptest.NewRecorder()
-	s.handleJourney(rec, httptest.NewRequest(http.MethodGet, "/journey?from=0&to=5&depart=08:00:00", nil))
+	rec := do(s, http.MethodGet, "/v1/journey?from=0&to=5&depart=08:00:00", "")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
@@ -134,33 +149,29 @@ func TestHandleJourney(t *testing.T) {
 func TestHandleJourneyErrors(t *testing.T) {
 	s := testServer(t)
 	cases := []string{
-		"/journey?from=abc&to=1",    // malformed from
-		"/journey?to=1",             // missing from
-		"/journey?from=0&to=xyz",    // malformed to
-		"/journey?from=-1&to=1",     // negative zone index
-		"/journey?from=0&to=999999", // zone index out of range
-		"/journey?from=0&to=1&depart=notatime",
-		"/journey?from=0&to=1&depart=25:99",
+		"/v1/journey?from=abc&to=1",    // malformed from
+		"/v1/journey?to=1",             // missing from
+		"/v1/journey?from=0&to=xyz",    // malformed to
+		"/v1/journey?from=-1&to=1",     // negative zone index
+		"/v1/journey?from=0&to=999999", // zone index out of range
+		"/v1/journey?from=0&to=1&depart=notatime",
+		"/v1/journey?from=0&to=1&depart=25:99",
 	}
 	for _, url := range cases {
-		rec := httptest.NewRecorder()
-		s.handleJourney(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		rec := do(s, http.MethodGet, url, "")
 		if rec.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", url, rec.Code)
 		}
+		if env := decodeError(t, rec); env.Error.Code != "bad_request" {
+			t.Errorf("%s: error code %q, want bad_request", url, env.Error.Code)
+		}
 	}
-}
-
-func postQuery(s *server, target, body string) *httptest.ResponseRecorder {
-	rec := httptest.NewRecorder()
-	s.handleQuery(rec, httptest.NewRequest(http.MethodPost, target, strings.NewReader(body)))
-	return rec
 }
 
 func TestHandleQuery(t *testing.T) {
 	s := testServer(t)
 	body := `{"category": "school", "cost": "JT", "budget": 0.2, "model": "OLS", "include_zones": true}`
-	rec := postQuery(s, "/query", body)
+	rec := postQuery(s, "/v1/query", body)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
@@ -180,7 +191,7 @@ func TestHandleQuery(t *testing.T) {
 	}
 
 	// An identical repeat is served from the cache: same answer, one run.
-	rec = postQuery(s, "/query", body)
+	rec = postQuery(s, "/v1/query", body)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("repeat status %d: %s", rec.Code, rec.Body.String())
 	}
@@ -192,12 +203,6 @@ func TestHandleQuery(t *testing.T) {
 
 func TestHandleQueryErrors(t *testing.T) {
 	s := testServer(t)
-	// GET not allowed.
-	rec := httptest.NewRecorder()
-	s.handleQuery(rec, httptest.NewRequest(http.MethodGet, "/query", nil))
-	if rec.Code != http.StatusMethodNotAllowed {
-		t.Errorf("GET status %d", rec.Code)
-	}
 	badBodies := []struct {
 		name, body, wantMsg string
 	}{
@@ -210,19 +215,23 @@ func TestHandleQueryErrors(t *testing.T) {
 		{"unknown cost", `{"category": "school", "cost": "MILES"}`, "cost"},
 	}
 	for _, c := range badBodies {
-		rec := postQuery(s, "/query", c.body)
+		rec := postQuery(s, "/v1/query", c.body)
 		if rec.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400 (%s)", c.name, rec.Code, rec.Body.String())
 		}
-		if !strings.Contains(rec.Body.String(), c.wantMsg) {
-			t.Errorf("%s: body %q does not mention %q", c.name, rec.Body.String(), c.wantMsg)
+		env := decodeError(t, rec)
+		if env.Error.Code != "bad_request" {
+			t.Errorf("%s: error code %q", c.name, env.Error.Code)
+		}
+		if !strings.Contains(env.Error.Message, c.wantMsg) {
+			t.Errorf("%s: message %q does not mention %q", c.name, env.Error.Message, c.wantMsg)
 		}
 	}
 }
 
 func TestHandleQueryAsync(t *testing.T) {
 	s := testServer(t)
-	rec := postQuery(s, "/query?async=1", `{"category": "school", "budget": 0.2, "model": "OLS", "seed": 42}`)
+	rec := postQuery(s, "/v1/query?async=1", `{"category": "school", "budget": 0.2, "model": "OLS", "seed": 42}`)
 	if rec.Code != http.StatusAccepted {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
@@ -233,15 +242,14 @@ func TestHandleQueryAsync(t *testing.T) {
 	if err := json.NewDecoder(rec.Body).Decode(&accepted); err != nil {
 		t.Fatal(err)
 	}
-	if accepted.JobID == "" || accepted.StatusURL != "/jobs/"+accepted.JobID {
+	if accepted.JobID == "" || accepted.StatusURL != "/v1/jobs/"+accepted.JobID {
 		t.Fatalf("accepted body: %+v", accepted)
 	}
 
 	// Poll until the job completes, as a client would.
 	deadline := time.Now().Add(60 * time.Second)
 	for {
-		rec := httptest.NewRecorder()
-		s.handleJob(rec, httptest.NewRequest(http.MethodGet, accepted.StatusURL+"?include_zones=1", nil))
+		rec := do(s, http.MethodGet, accepted.StatusURL+"?include_zones=1", "")
 		if rec.Code != http.StatusOK {
 			t.Fatalf("poll status %d: %s", rec.Code, rec.Body.String())
 		}
@@ -249,6 +257,10 @@ func TestHandleQueryAsync(t *testing.T) {
 			State  string                 `json:"state"`
 			Error  string                 `json:"error"`
 			Result map[string]interface{} `json:"result"`
+			Stages []struct {
+				Name    string  `json:"name"`
+				Seconds float64 `json:"seconds"`
+			} `json:"stages"`
 		}
 		if err := json.NewDecoder(rec.Body).Decode(&status); err != nil {
 			t.Fatal(err)
@@ -260,6 +272,17 @@ func TestHandleQueryAsync(t *testing.T) {
 			}
 			if _, ok := status.Result["zones"]; !ok {
 				t.Error("include_zones=1 poll did not return zones")
+			}
+			// The run's stage breakdown (queue wait + the Table II stages)
+			// rides along with the finished job.
+			names := map[string]bool{}
+			for _, st := range status.Stages {
+				names[st.Name] = true
+			}
+			for _, want := range []string{"queue_wait", "matrix", "labeling", "features", "training"} {
+				if !names[want] {
+					t.Errorf("job stages missing %q: %+v", want, status.Stages)
+				}
 			}
 			return
 		case "failed":
@@ -275,20 +298,20 @@ func TestHandleQueryAsync(t *testing.T) {
 func TestHandleJobErrors(t *testing.T) {
 	s := testServer(t)
 	// Unknown job.
-	rec := httptest.NewRecorder()
-	s.handleJob(rec, httptest.NewRequest(http.MethodGet, "/jobs/j99999999", nil))
+	rec := do(s, http.MethodGet, "/v1/jobs/j99999999", "")
 	if rec.Code != http.StatusNotFound {
 		t.Errorf("unknown job status %d", rec.Code)
 	}
+	if env := decodeError(t, rec); env.Error.Code != "not_found" {
+		t.Errorf("unknown job error code %q", env.Error.Code)
+	}
 	// Missing ID.
-	rec = httptest.NewRecorder()
-	s.handleJob(rec, httptest.NewRequest(http.MethodGet, "/jobs/", nil))
+	rec = do(s, http.MethodGet, "/v1/jobs/", "")
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("missing id status %d", rec.Code)
 	}
 	// POST not allowed.
-	rec = httptest.NewRecorder()
-	s.handleJob(rec, httptest.NewRequest(http.MethodPost, "/jobs/j00000001", nil))
+	rec = do(s, http.MethodPost, "/v1/jobs/j00000001", "")
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("POST status %d", rec.Code)
 	}
@@ -322,7 +345,7 @@ func TestHandleQueryQueueFull(t *testing.T) {
 	})
 
 	for i := 0; i < 2; i++ {
-		rec := postQuery(s, "/query?async=1", fmt.Sprintf(`{"category": "school", "seed": %d}`, i))
+		rec := postQuery(s, "/v1/query?async=1", fmt.Sprintf(`{"category": "school", "seed": %d}`, i))
 		if rec.Code != http.StatusAccepted {
 			t.Fatalf("fill %d: status %d: %s", i, rec.Code, rec.Body.String())
 		}
@@ -330,19 +353,21 @@ func TestHandleQueryQueueFull(t *testing.T) {
 			<-started // ensure the worker, not the queue, holds job 0
 		}
 	}
-	rec := postQuery(s, "/query?async=1", `{"category": "school", "seed": 2}`)
+	rec := postQuery(s, "/v1/query?async=1", `{"category": "school", "seed": 2}`)
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("overflow status %d: %s", rec.Code, rec.Body.String())
 	}
 	if ra := rec.Header().Get("Retry-After"); ra == "" {
 		t.Error("429 without Retry-After header")
 	}
+	if env := decodeError(t, rec); env.Error.Code != "queue_full" {
+		t.Errorf("429 error code %q, want queue_full", env.Error.Code)
+	}
 }
 
 func TestHandleStats(t *testing.T) {
 	s := testServer(t)
-	rec := httptest.NewRecorder()
-	s.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	rec := do(s, http.MethodGet, "/v1/stats", "")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
@@ -353,7 +378,7 @@ func TestHandleStats(t *testing.T) {
 }
 
 // TestRoutes checks the mux wiring end to end over httptest, including the
-// /jobs/{id} path pattern.
+// /v1/jobs/{id} path pattern.
 func TestRoutes(t *testing.T) {
 	s := testServer(t)
 	ts := httptest.NewServer(s.routes())
@@ -366,12 +391,12 @@ func TestRoutes(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("/healthz status %d", resp.StatusCode)
 	}
-	resp, err = http.Get(ts.URL + "/jobs/j00000042")
+	resp, err = http.Get(ts.URL + "/v1/jobs/j00000042")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("/jobs/{unknown} status %d", resp.StatusCode)
+		t.Errorf("/v1/jobs/{unknown} status %d", resp.StatusCode)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"accessquery/internal/isochrone"
 	"accessquery/internal/mat"
 	"accessquery/internal/ml"
+	"accessquery/internal/obs"
 	"accessquery/internal/router"
 	"accessquery/internal/spatial"
 	"accessquery/internal/synth"
@@ -270,7 +271,25 @@ func (e *Engine) Run(q Query) (*Result, error) {
 // RunContext answers a dynamic access query, aborting between zone batches
 // when ctx is cancelled so a timed-out or abandoned query stops burning CPU
 // mid-SPQ-loop. On cancellation it returns ctx.Err() (possibly wrapped).
+//
+// Every run feeds the process-wide observability registry: per-stage
+// latency histograms, the end-to-end query histogram, and SPQ counters.
+// When ctx carries an obs.Trace (see obs.WithTrace), the stage durations
+// are also appended to it for per-request reporting.
 func (e *Engine) RunContext(ctx context.Context, q Query) (*Result, error) {
+	mQueries.Inc()
+	endQuery := obs.StartSpan(ctx, mQuerySeconds, "query")
+	res, err := e.runContext(ctx, q)
+	endQuery()
+	if err != nil {
+		mQueryErrors.Inc()
+	} else {
+		mSPQs.Add(res.Timing.SPQs)
+	}
+	return res, err
+}
+
+func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 	q = q.withDefaults()
 	if len(q.POIs) == 0 {
 		return nil, fmt.Errorf("core: query has no POIs")
@@ -290,15 +309,16 @@ func (e *Engine) RunContext(ctx context.Context, q Query) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
+	endStage := obs.StartSpan(ctx, stageMatrix, "matrix")
 	m, poiNodes, poiZones, err := e.buildMatrix(q)
 	if err != nil {
 		return nil, err
 	}
 	res.Matrix = m
-	res.Timing.Matrix = time.Since(t0)
+	res.Timing.Matrix = endStage()
 
 	// 2. Sample L by budget and strategy.
+	endStage = obs.StartSpan(ctx, stageSampling, "sampling")
 	nl := int(float64(nz)*q.Budget + 0.5)
 	if nl < 2 {
 		nl = 2
@@ -310,9 +330,10 @@ func (e *Engine) RunContext(ctx context.Context, q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	endStage()
 
 	// 3. Label L.
-	t0 = time.Now()
+	endStage = obs.StartSpan(ctx, stageLabeling, "labeling")
 	measures, spqs, err := e.labelZones(ctx, q, m, poiNodes, labeledSet)
 	if err != nil {
 		return nil, err
@@ -333,7 +354,7 @@ func (e *Engine) RunContext(ctx context.Context, q Query) (*Result, error) {
 		labeledOK = append(labeledOK, zone)
 		yRows = append(yRows, []float64{zm.MAC, zm.ACSD})
 	}
-	res.Timing.Labeling = time.Since(t0)
+	res.Timing.Labeling = endStage()
 	res.Timing.SPQs = spqs
 	if len(labeledOK) < 2 {
 		return nil, fmt.Errorf("core: only %d labelable zones at budget %.3f; raise the budget", len(labeledOK), q.Budget)
@@ -341,7 +362,7 @@ func (e *Engine) RunContext(ctx context.Context, q Query) (*Result, error) {
 	res.WalkOnlyShare = walkShareSum / float64(len(labeledOK))
 
 	// 4. Features for every zone at the origin level.
-	t0 = time.Now()
+	endStage = obs.StartSpan(ctx, stageFeatures, "features")
 	isLabeled := make([]bool, nz)
 	for _, z := range labeledOK {
 		isLabeled[z] = true
@@ -365,13 +386,13 @@ func (e *Engine) RunContext(ctx context.Context, q Query) (*Result, error) {
 			xuRows = append(xuRows, v)
 		}
 	}
-	res.Timing.Features = time.Since(t0)
+	res.Timing.Features = endStage()
 
 	// 5. Train and infer.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	t0 = time.Now()
+	endStage = obs.StartSpan(ctx, stageTraining, "training")
 	preds, err := e.trainPredict(q, labeledOK, unlabeled, xRows, yRows, xuRows)
 	if err != nil {
 		return nil, err
@@ -389,7 +410,7 @@ func (e *Engine) RunContext(ctx context.Context, q Query) (*Result, error) {
 		res.ACSD[zone] = acsd
 		res.Valid[zone] = true
 	}
-	res.Timing.Training = time.Since(t0)
+	res.Timing.Training = endStage()
 
 	e.finishMeasures(res)
 	return res, nil

@@ -1,0 +1,28 @@
+package core
+
+import "accessquery/internal/obs"
+
+// Engine metrics, registered once in the process-wide registry. The stage
+// histograms mirror the paper's Table II cost decomposition as live
+// latency distributions; aq_engine_spqs_total makes the SPQ workload — the
+// quantity the budgeted labeling exists to reduce — directly scrapeable.
+var (
+	mQueries      = obs.Counter("aq_engine_queries_total")
+	mQueryErrors  = obs.Counter("aq_engine_query_errors_total")
+	mSPQs         = obs.Counter("aq_engine_spqs_total")
+	mQuerySeconds = obs.Histogram("aq_engine_query_seconds")
+
+	stageMatrix   = obs.Histogram(`aq_engine_stage_seconds{stage="matrix"}`)
+	stageSampling = obs.Histogram(`aq_engine_stage_seconds{stage="sampling"}`)
+	stageLabeling = obs.Histogram(`aq_engine_stage_seconds{stage="labeling"}`)
+	stageFeatures = obs.Histogram(`aq_engine_stage_seconds{stage="features"}`)
+	stageTraining = obs.Histogram(`aq_engine_stage_seconds{stage="training"}`)
+)
+
+func init() {
+	obs.Default.SetHelp("aq_engine_queries_total", "Access queries started (RunContext).")
+	obs.Default.SetHelp("aq_engine_query_errors_total", "Access queries that returned an error.")
+	obs.Default.SetHelp("aq_engine_spqs_total", "Shortest-path-query equivalents priced during labeling.")
+	obs.Default.SetHelp("aq_engine_query_seconds", "End-to-end online query latency.")
+	obs.Default.SetHelp("aq_engine_stage_seconds", "Online query latency by pipeline stage (Table II decomposition).")
+}

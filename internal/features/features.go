@@ -114,6 +114,7 @@ func (e *Extractor) PairVector(origin int, dest geo.Point, destZone int) ([]floa
 	if destZone < 0 || destZone >= len(e.zones) {
 		return nil, fmt.Errorf("features: destination zone %d out of range", destZone)
 	}
+	mPairVectors.Inc()
 	v := make([]float64, Dim)
 	op := e.zones[origin]
 	odDist := geo.DistanceMeters(op, dest)
@@ -186,8 +187,10 @@ func (e *Extractor) hopsFor(origin int) map[int]int {
 	m, ok := e.hopsTo[origin]
 	e.mu.RUnlock()
 	if ok {
+		mCacheHits.Inc()
 		return m
 	}
+	mCacheMisses.Inc()
 	m = e.forest.ReachableWithin(origin, e.Hops)
 	e.mu.Lock()
 	if prev, ok := e.hopsTo[origin]; ok {
@@ -204,8 +207,10 @@ func (e *Extractor) reachFraction(origin int) float64 {
 	f, ok := e.reachFrac[origin]
 	e.mu.RUnlock()
 	if ok {
+		mCacheHits.Inc()
 		return f
 	}
+	mCacheMisses.Inc()
 	f = float64(len(e.hopsFor(origin))) / float64(len(e.zones))
 	e.mu.Lock()
 	e.reachFrac[origin] = f
@@ -262,8 +267,10 @@ func (e *Extractor) ibTreeFor(destZone int) *spatial.KDTree {
 	t, ok := e.ibTrees[destZone]
 	e.mu.RUnlock()
 	if ok {
+		mCacheHits.Inc()
 		return t
 	}
+	mCacheMisses.Inc()
 	ib := e.forest.Inbound(destZone)
 	items := make([]spatial.Item, 0, ib.Size())
 	for zone := range ib.Leaves {

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Stage is one timed pipeline stage inside a request, shaped for JSON
+// status responses (e.g. a /v1/jobs poll showing where a query spent its
+// time).
+type Stage struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Trace accumulates the named stage durations of a single request. A
+// serving layer attaches one to the request context; instrumented stages
+// along the pipeline append to it. Safe for concurrent use.
+type Trace struct {
+	mu     sync.Mutex
+	stages []Stage
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Record appends a completed stage.
+func (t *Trace) Record(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stages = append(t.stages, Stage{Name: name, Seconds: d.Seconds()})
+	t.mu.Unlock()
+}
+
+// Stages returns a copy of the recorded stages in record order.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Stage(nil), t.stages...)
+}
+
+type traceKey struct{}
+
+// WithTrace returns a context carrying t.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// StartSpan begins a named stage. The returned stop function records the
+// elapsed time into h (when non-nil) and into the context's trace (when
+// present), and returns the duration so callers can also keep it in their
+// own timing structs. Cost when nothing listens: one time.Now pair.
+func StartSpan(ctx context.Context, h *HistogramMetric, name string) func() time.Duration {
+	start := time.Now()
+	tr := TraceFrom(ctx)
+	return func() time.Duration {
+		d := time.Since(start)
+		if h != nil {
+			h.ObserveDuration(d)
+		}
+		tr.Record(name, d)
+		return d
+	}
+}

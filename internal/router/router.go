@@ -198,6 +198,14 @@ func (r *Router) ProfileFrom(origin graph.NodeID, depart gtfs.Seconds) (*Profile
 	if origin < 0 || int(origin) >= r.road.NumNodes() {
 		return nil, fmt.Errorf("router: invalid origin node %d", origin)
 	}
+	// Relaxation work is tallied locally and flushed to the process-wide
+	// counters once per search.
+	var relaxed, improved int64
+	defer func() {
+		mProfiles.Inc()
+		mRelaxations.Add(relaxed)
+		mImprovements.Add(improved)
+	}()
 	n := r.road.NumNodes()
 	labels := make([]label, n)
 	labels[origin] = label{arrive: depart, reached: true}
@@ -229,21 +237,25 @@ func (r *Router) ProfileFrom(origin graph.NodeID, depart gtfs.Seconds) (*Profile
 			} else {
 				nl.egressWalk += float32(wsec)
 			}
-			improve(labels, to, nl, &q)
+			relaxed++
+			if improve(labels, to, nl, &q) {
+				improved++
+			}
 		})
 
 		// Transit relaxations: board upcoming departures at stops welded to
 		// this node.
 		for _, sid := range r.stopsAtNode[cur.node] {
-			r.relaxBoardings(labels, &q, sid, curLabel, deadline)
+			r.relaxBoardings(labels, &q, sid, curLabel, deadline, &relaxed, &improved)
 		}
 	}
 	return &Profile{depart: depart, labels: labels}, nil
 }
 
 // relaxBoardings boards the next departures from stop and rides them
-// forward.
-func (r *Router) relaxBoardings(labels []label, q *pq, sid gtfs.StopID, from label, deadline gtfs.Seconds) {
+// forward, tallying relaxation attempts and improvements into the caller's
+// counters.
+func (r *Router) relaxBoardings(labels []label, q *pq, sid gtfs.StopID, from label, deadline gtfs.Seconds, relaxed, improved *int64) {
 	earliest := from.arrive + r.opts.BoardSlack
 	deps := r.index.NextDepartures(sid, earliest, r.opts.MaxDeparturesPerStop)
 	for _, dep := range deps {
@@ -277,20 +289,25 @@ func (r *Router) relaxBoardings(labels []label, q *pq, sid gtfs.StopID, from lab
 			nl.arrive = st.Arrival
 			nl.inVehicle += float32(st.Arrival - boardDep)
 			nl.settled = false
-			improve(labels, node, nl, q)
+			*relaxed++
+			if improve(labels, node, nl, q) {
+				*improved++
+			}
 		}
 	}
 }
 
-// improve updates the label for node when nl arrives earlier.
-func improve(labels []label, node graph.NodeID, nl label, q *pq) {
+// improve updates the label for node when nl arrives earlier, reporting
+// whether the label changed.
+func improve(labels []label, node graph.NodeID, nl label, q *pq) bool {
 	cur := &labels[node]
 	if cur.reached && nl.arrive >= cur.arrive {
-		return
+		return false
 	}
 	nl.reached = true
 	*cur = nl
 	heap.Push(q, pqItem{node: node, arrive: nl.arrive})
+	return true
 }
 
 // Route answers a single (origin, destination, depart) query. ok is false

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"accessquery/internal/core"
+	"accessquery/internal/obs"
 )
 
 // RunFunc executes one validated, canonical request against the engine.
@@ -100,12 +101,15 @@ type Job struct {
 	dedup    bool
 	created  time.Time
 	finished time.Time
+	stages   []obs.Stage
 
 	done chan struct{}
 }
 
 // Snapshot is a point-in-time view of a job, shaped for JSON status
-// responses.
+// responses. Stages holds the per-stage latency breakdown of the run that
+// answered the job (queue wait, the engine's Table II stages, and the
+// end-to-end query span); it is empty for cache hits, which ran nothing.
 type Snapshot struct {
 	ID           string       `json:"id"`
 	Fingerprint  string       `json:"fingerprint"`
@@ -114,6 +118,7 @@ type Snapshot struct {
 	Deduplicated bool         `json:"deduplicated"`
 	Created      time.Time    `json:"created"`
 	Error        string       `json:"error,omitempty"`
+	Stages       []obs.Stage  `json:"stages,omitempty"`
 	Result       *core.Result `json:"-"`
 }
 
@@ -131,6 +136,7 @@ func (j *Job) Snapshot() Snapshot {
 		CacheHit:     j.cacheHit,
 		Deduplicated: j.dedup,
 		Created:      j.created,
+		Stages:       j.stages,
 		Result:       j.res,
 	}
 	if j.err != nil {
@@ -139,7 +145,7 @@ func (j *Job) Snapshot() Snapshot {
 	return s
 }
 
-func (j *Job) complete(res *core.Result, err error, at time.Time) {
+func (j *Job) complete(res *core.Result, err error, at time.Time, stages []obs.Stage) {
 	j.mu.Lock()
 	if err != nil {
 		j.state = StateFailed
@@ -149,6 +155,7 @@ func (j *Job) complete(res *core.Result, err error, at time.Time) {
 		j.res = res
 	}
 	j.finished = at
+	j.stages = stages
 	j.mu.Unlock()
 	close(j.done)
 }
@@ -162,10 +169,11 @@ func (j *Job) setState(s State) {
 // flight is one in-progress engine run; all jobs sharing its fingerprint
 // attach to it and complete together (singleflight).
 type flight struct {
-	fp      string
-	req     Request
-	jobs    []*Job // guarded by Manager.mu
-	started bool   // guarded by Manager.mu: a worker has begun the run
+	fp       string
+	req      Request
+	enqueued time.Time // admission time, for the queue-wait histogram
+	jobs     []*Job    // guarded by Manager.mu
+	started  bool      // guarded by Manager.mu: a worker has begun the run
 }
 
 // Stats counts serving-layer events since startup.
@@ -220,6 +228,7 @@ func NewManager(run RunFunc, cfg Config) *Manager {
 		rootCtx:  ctx,
 		rootStop: stop,
 	}
+	mWorkers.Add(float64(cfg.Workers))
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -252,9 +261,11 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		job.cacheHit = true
 		m.jobs[job.ID] = job
 		m.cacheHits.Add(1)
-		job.complete(res, nil, now)
+		mCacheHits.Inc()
+		job.complete(res, nil, now, nil)
 		return job, nil
 	}
+	mCacheMisses.Inc()
 	if fl, ok := m.flights[fp]; ok {
 		job := m.newJobLocked(fp, now)
 		job.dedup = true
@@ -266,16 +277,19 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		fl.jobs = append(fl.jobs, job)
 		m.jobs[job.ID] = job
 		m.dedups.Add(1)
+		mDedups.Inc()
 		return job, nil
 	}
 	// Admission decision before consuming a job ID or counting the
 	// submission, so rejected queries are counted once (rejected only) and
 	// job IDs stay gapless.
-	fl := &flight{fp: fp, req: req}
+	fl := &flight{fp: fp, req: req, enqueued: now}
 	select {
 	case m.queue <- fl:
+		mQueueDepth.Inc()
 	default:
 		m.rejected.Add(1)
+		mRejected.Inc()
 		return nil, ErrQueueFull
 	}
 	// A worker may already have dequeued fl, but it blocks on m.mu before
@@ -291,6 +305,7 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 // hold m.mu and must only call it once admission has succeeded.
 func (m *Manager) newJobLocked(fp string, now time.Time) *Job {
 	m.submitted.Add(1)
+	mSubmitted.Inc()
 	m.nextID++
 	return &Job{
 		ID:          fmt.Sprintf("j%08d", m.nextID),
@@ -384,6 +399,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.closed = true
 	close(m.queue)
 	m.mu.Unlock()
+	mWorkers.Add(-float64(m.cfg.Workers))
 
 	drained := make(chan struct{})
 	go func() {
@@ -410,6 +426,9 @@ func (m *Manager) worker() {
 // runFlight executes one deduplicated engine run and completes every job
 // attached to it.
 func (m *Manager) runFlight(fl *flight) {
+	mQueueDepth.Dec()
+	mWorkersBusy.Inc()
+	defer mWorkersBusy.Dec()
 	m.mu.Lock()
 	fl.started = true
 	for _, j := range fl.jobs {
@@ -418,9 +437,17 @@ func (m *Manager) runFlight(fl *flight) {
 	m.mu.Unlock()
 
 	start := m.cfg.now()
-	res, err := m.safeRun(fl.req)
+	wait := start.Sub(fl.enqueued)
+	mQueueWait.ObserveDuration(wait)
+	// The trace rides the run context so the engine's stage spans land in
+	// it; every job attached to this flight shares the breakdown.
+	tr := obs.NewTrace()
+	tr.Record("queue_wait", wait)
+	res, err := m.safeRun(fl.req, tr)
 	elapsed := m.cfg.now().Sub(start)
 	m.observeRun(elapsed)
+	mRunSeconds.ObserveDuration(elapsed)
+	stages := tr.Stages()
 
 	m.mu.Lock()
 	// Remove the flight before completing its jobs: once the lock drops,
@@ -438,18 +465,21 @@ func (m *Manager) runFlight(fl *flight) {
 	for _, j := range jobs {
 		if err != nil {
 			m.failed.Add(1)
+			mFailed.Inc()
 		} else {
 			m.completed.Add(1)
+			mCompleted.Inc()
 		}
-		j.complete(res, err, now)
+		j.complete(res, err, now, stages)
 	}
 }
 
 // safeRun applies the per-job timeout and converts a panicking query into
 // an error, so one bad query cannot kill the server.
-func (m *Manager) safeRun(req Request) (res *core.Result, err error) {
+func (m *Manager) safeRun(req Request, tr *obs.Trace) (res *core.Result, err error) {
 	ctx, cancel := context.WithTimeout(m.rootCtx, m.cfg.JobTimeout)
 	defer cancel()
+	ctx = obs.WithTrace(ctx, tr)
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("serve: query panicked: %v", r)

@@ -1,0 +1,40 @@
+package serve
+
+import "accessquery/internal/obs"
+
+// Serving-layer metrics in the process-wide registry. They deliberately
+// parallel the per-manager Stats counters: Stats answers "what has this
+// manager done since startup" over JSON, while these feed time-series
+// scrapes (rates, saturation, queue-wait distributions) across however
+// many managers the process runs.
+var (
+	mSubmitted   = obs.Counter("aq_serve_submitted_total")
+	mCacheHits   = obs.Counter("aq_serve_cache_hits_total")
+	mCacheMisses = obs.Counter("aq_serve_cache_misses_total")
+	mDedups      = obs.Counter("aq_serve_deduplicated_total")
+	mRejected    = obs.Counter("aq_serve_rejected_total")
+	mCompleted   = obs.Counter("aq_serve_completed_total")
+	mFailed      = obs.Counter("aq_serve_failed_total")
+
+	mQueueWait  = obs.Histogram("aq_serve_queue_wait_seconds")
+	mRunSeconds = obs.Histogram("aq_serve_run_seconds")
+
+	mQueueDepth  = obs.Gauge("aq_serve_queue_depth")
+	mWorkersBusy = obs.Gauge("aq_serve_workers_busy")
+	mWorkers     = obs.Gauge("aq_serve_workers")
+)
+
+func init() {
+	obs.Default.SetHelp("aq_serve_submitted_total", "Admitted query submissions (cache hits and dedups included).")
+	obs.Default.SetHelp("aq_serve_cache_hits_total", "Submissions answered from the result cache.")
+	obs.Default.SetHelp("aq_serve_cache_misses_total", "Submissions that missed the result cache.")
+	obs.Default.SetHelp("aq_serve_deduplicated_total", "Submissions attached to an in-flight identical run.")
+	obs.Default.SetHelp("aq_serve_rejected_total", "Submissions rejected by admission control (queue full).")
+	obs.Default.SetHelp("aq_serve_completed_total", "Jobs completed successfully.")
+	obs.Default.SetHelp("aq_serve_failed_total", "Jobs that finished with an error.")
+	obs.Default.SetHelp("aq_serve_queue_wait_seconds", "Time a distinct query waited between admission and a worker picking it up.")
+	obs.Default.SetHelp("aq_serve_run_seconds", "Engine run duration per deduplicated flight.")
+	obs.Default.SetHelp("aq_serve_queue_depth", "Distinct queries currently waiting in the admission queue.")
+	obs.Default.SetHelp("aq_serve_workers_busy", "Workers currently executing an engine run.")
+	obs.Default.SetHelp("aq_serve_workers", "Configured serving workers across live managers.")
+}

@@ -1,0 +1,75 @@
+package accessquery
+
+import (
+	"io"
+
+	"accessquery/internal/obs"
+	"accessquery/internal/serve"
+)
+
+// The serving layer (internal/serve) turns an Engine into a multi-tenant
+// query service: a bounded worker pool with admission control, an LRU
+// result cache with TTL, and in-flight deduplication. These aliases expose
+// it through the facade so programs embedding the engine can reuse the
+// same machinery cmd/aqserver runs on.
+
+// ServeRequest is a normalized, cache-keyed access-query request.
+type ServeRequest = serve.Request
+
+// ServeConfig sizes the serving layer: workers, queue depth, cache, and
+// per-job timeout.
+type ServeConfig = serve.Config
+
+// ServeManager owns the worker pool, queue, cache, and job table.
+type ServeManager = serve.Manager
+
+// ServeRunFunc executes one request; typically a closure over
+// Engine.RunContext.
+type ServeRunFunc = serve.RunFunc
+
+// ServeJob is a submitted query's handle.
+type ServeJob = serve.Job
+
+// ServeJobSnapshot is a point-in-time view of a job, including the
+// per-stage latency breakdown once the run finishes.
+type ServeJobSnapshot = serve.Snapshot
+
+// ServeState is a job's lifecycle state.
+type ServeState = serve.State
+
+// Job lifecycle states.
+const (
+	ServeStateQueued  = serve.StateQueued
+	ServeStateRunning = serve.StateRunning
+	ServeStateDone    = serve.StateDone
+	ServeStateFailed  = serve.StateFailed
+)
+
+// ServeStats are a manager's cumulative counters.
+type ServeStats = serve.Stats
+
+// Serving-layer sentinel errors.
+var (
+	// ErrQueueFull reports that admission control rejected a submission.
+	ErrQueueFull = serve.ErrQueueFull
+	// ErrShutdown reports a submission to a draining manager.
+	ErrShutdown = serve.ErrShutdown
+	// ErrUnknownJob reports a lookup of an expired or never-issued job ID.
+	ErrUnknownJob = serve.ErrUnknownJob
+)
+
+// NewServeManager starts a serving layer around run.
+func NewServeManager(run ServeRunFunc, cfg ServeConfig) *ServeManager {
+	return serve.NewManager(run, cfg)
+}
+
+// Stage is one named, timed step of a query run (e.g. "matrix",
+// "training"), as recorded in job snapshots.
+type Stage = obs.Stage
+
+// WriteMetrics renders the process-wide metrics registry — engine stage
+// latencies, SPQ and relaxation counters, serving-layer counters — in
+// Prometheus text exposition format.
+func WriteMetrics(w io.Writer) error {
+	return obs.WritePrometheus(w)
+}

@@ -1,0 +1,77 @@
+package accessquery
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServingFacade drives the serving layer entirely through the root
+// package aliases, the way an embedding program would.
+func TestServingFacade(t *testing.T) {
+	runs := 0
+	run := func(ctx context.Context, req ServeRequest) (*Result, error) {
+		runs++
+		if req.Category == "hospital" {
+			return nil, errors.New("boom")
+		}
+		return &Result{Fairness: 0.9}, nil
+	}
+	mgr := NewServeManager(run, ServeConfig{Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	}()
+
+	req, err := ServeRequest{Category: "school", Budget: 0.2, Model: "OLS"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := mgr.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := mgr.Wait(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fairness != 0.9 {
+		t.Errorf("fairness = %f", res.Fairness)
+	}
+	var snap ServeJobSnapshot = job.Snapshot()
+	var state ServeState = snap.State
+	if state != ServeStateDone {
+		t.Errorf("state = %q", state)
+	}
+
+	// Identical resubmission is a cache hit: no second engine run.
+	if _, err := mgr.Submit(req); err != nil {
+		t.Fatal(err)
+	}
+	var st ServeStats = mgr.Stats()
+	if st.CacheHits != 1 || runs != 1 {
+		t.Errorf("cache hits = %d, runs = %d", st.CacheHits, runs)
+	}
+
+	// Sentinel errors are reachable through the facade.
+	if _, err := mgr.Get("j99999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Get(unknown) = %v, want ErrUnknownJob", err)
+	}
+}
+
+// TestWriteMetrics checks the facade exposes the process-wide registry.
+func TestWriteMetrics(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// The serve counters registered above must appear.
+	if !strings.Contains(sb.String(), "aq_serve_submitted_total") {
+		t.Errorf("exposition missing serve counters:\n%.400s", sb.String())
+	}
+}
