@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"accessquery/internal/core"
@@ -34,6 +35,7 @@ func main() {
 		models  = flag.String("models", "", "comma-separated model subset (default: all five)")
 		csvOut  = flag.Bool("csv", false, "emit fig3/fig4/fig5 as CSV instead of formatted tables")
 		csvFig5 = flag.Bool("fig5csv", false, "emit fig5 as CSV instead of ASCII maps")
+		par     = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool for engine pre-processing and feature stages (results identical; timings change)")
 		debug   = flag.String("debug-addr", "", "optional loopback listener for /metrics and /debug/pprof while experiments run")
 	)
 	flag.Parse()
@@ -47,6 +49,7 @@ func main() {
 	}
 	s := experiments.NewSuite(*scale)
 	s.SamplesPerHour = *samples
+	s.Parallelism = *par
 	if *models != "" {
 		s.Models = nil
 		for _, m := range strings.Split(*models, ",") {

@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -37,6 +38,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "override the preset's seed (0 keeps it)")
 		out      = flag.String("out", "", "output directory (required)")
 		forest   = flag.Bool("forest", false, "also pre-compute and save the transit-hop forest for the weekday AM peak")
+		par      = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool for isochrone and forest pre-computation (output identical at any setting)")
 		debug    = flag.String("debug-addr", "", "optional loopback listener for /metrics and /debug/pprof during generation")
 	)
 	flag.Parse()
@@ -56,7 +58,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := run(cfg, *out, *forest, os.Stdout); err != nil {
+	if err := run(cfg, *out, *forest, *par, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -82,8 +84,9 @@ func presetConfig(name string, scale float64, seed int64) (synth.Config, error) 
 	return cfg, nil
 }
 
-// run generates the city and writes all artifacts to out.
-func run(cfg synth.Config, out string, withForest bool, w io.Writer) error {
+// run generates the city and writes all artifacts to out. workers sizes the
+// pre-computation pool when -forest is set.
+func run(cfg synth.Config, out string, withForest bool, workers int, w io.Writer) error {
 	city, err := synth.Generate(cfg)
 	if err != nil {
 		return err
@@ -128,7 +131,7 @@ func run(cfg synth.Config, out string, withForest bool, w io.Writer) error {
 		zonePts[i] = z.Centroid
 		zoneNodes[i] = city.ZoneNode[i]
 	}
-	isos, err := isochrone.ComputeSet(city.Road, zonePts, zoneNodes, isochrone.DefaultTauSeconds)
+	isos, err := isochrone.ComputeSetParallel(city.Road, zonePts, zoneNodes, isochrone.DefaultTauSeconds, workers)
 	if err != nil {
 		return err
 	}
@@ -137,7 +140,7 @@ func run(cfg synth.Config, out string, withForest bool, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	f, err := hoptree.BuildForest(builder)
+	f, err := hoptree.BuildForestParallel(builder, workers)
 	if err != nil {
 		return err
 	}

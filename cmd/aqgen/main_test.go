@@ -39,7 +39,7 @@ func TestRunWritesArtifacts(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run(cfg, dir, true, &out); err != nil {
+	if err := run(cfg, dir, true, 2, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"config.json", "zones.json", "pois.json", "forest_am_peak.gob"} {
@@ -79,7 +79,7 @@ func TestRunWithoutForest(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run(cfg, dir, false, &out); err != nil {
+	if err := run(cfg, dir, false, 1, &out); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "forest_am_peak.gob")); err == nil {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -37,12 +38,13 @@ func main() {
 		model    = flag.String("model", "MLP", "SSR model: OLS|MLP|MT|COREG|GNN")
 		sampling = flag.String("sampling", "random", "labeled-set sampling: random|coverage|stratified")
 		workers  = flag.Int("workers", 1, "parallel labeling workers")
+		par      = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool for pre-processing and the feature stage (results identical at any setting)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		od       = flag.Bool("od", false, "learn at OD granularity instead of origin level")
 		metrics  = flag.Bool("metrics", false, "dump process metrics (stage latencies, SPQs) to stderr after the run")
 	)
 	flag.Parse()
-	engine, err := buildEngine(*load, *cityName, *scale)
+	engine, err := buildEngine(*load, *cityName, *scale, *par)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,13 +64,14 @@ func main() {
 		costKind = access.Generalized
 	}
 	q := core.Query{
-		POIs:     pois,
-		Cost:     costKind,
-		Budget:   *budget,
-		Model:    core.ModelKind(strings.ToUpper(*model)),
-		Sampling: core.SamplingStrategy(strings.ToLower(*sampling)),
-		Workers:  *workers,
-		Seed:     *seed,
+		POIs:        pois,
+		Cost:        costKind,
+		Budget:      *budget,
+		Model:       core.ModelKind(strings.ToUpper(*model)),
+		Sampling:    core.SamplingStrategy(strings.ToLower(*sampling)),
+		Workers:     *workers,
+		Parallelism: *par,
+		Seed:        *seed,
 	}
 	var res *core.Result
 	if *od {
@@ -96,8 +99,9 @@ func main() {
 	}
 }
 
-// buildEngine loads a snapshot or generates and pre-processes a city.
-func buildEngine(load, cityName string, scale float64) (*core.Engine, error) {
+// buildEngine loads a snapshot or generates and pre-processes a city with
+// the given worker-pool size.
+func buildEngine(load, cityName string, scale float64, parallelism int) (*core.Engine, error) {
 	if load != "" {
 		return core.LoadEngine(load)
 	}
@@ -116,6 +120,7 @@ func buildEngine(load, cityName string, scale float64) (*core.Engine, error) {
 		return nil, err
 	}
 	return core.NewEngine(city, core.EngineOptions{
-		Interval: gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday, Label: "weekday AM peak"},
+		Interval:    gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday, Label: "weekday AM peak"},
+		Parallelism: parallelism,
 	})
 }

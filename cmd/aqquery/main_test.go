@@ -6,7 +6,7 @@ import (
 )
 
 func TestBuildEngineFromPreset(t *testing.T) {
-	e, err := buildEngine("", "coventry", 0.05)
+	e, err := buildEngine("", "coventry", 0.05, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -16,13 +16,13 @@ func TestBuildEngineFromPreset(t *testing.T) {
 }
 
 func TestBuildEngineUnknownCity(t *testing.T) {
-	if _, err := buildEngine("", "narnia", 0.1); err == nil {
+	if _, err := buildEngine("", "narnia", 0.1, 1); err == nil {
 		t.Error("unknown city should fail")
 	}
 }
 
 func TestBuildEngineSnapshotRoundTrip(t *testing.T) {
-	e, err := buildEngine("", "coventry", 0.05)
+	e, err := buildEngine("", "coventry", 0.05, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestBuildEngineSnapshotRoundTrip(t *testing.T) {
 	if err := e.SaveSnapshot(path); err != nil {
 		t.Fatal(err)
 	}
-	restored, err := buildEngine(path, "ignored", 0)
+	restored, err := buildEngine(path, "ignored", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestBuildEngineSnapshotRoundTrip(t *testing.T) {
 }
 
 func TestBuildEngineMissingSnapshot(t *testing.T) {
-	if _, err := buildEngine(filepath.Join(t.TempDir(), "none.gob"), "", 0); err == nil {
+	if _, err := buildEngine(filepath.Join(t.TempDir(), "none.gob"), "", 0, 0); err == nil {
 		t.Error("missing snapshot should fail")
 	}
 }

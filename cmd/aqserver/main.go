@@ -37,12 +37,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
-	"accessquery/internal/access"
 	"accessquery/internal/core"
 	"accessquery/internal/gtfs"
 	"accessquery/internal/obs"
@@ -70,6 +70,7 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-query engine deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 		labelWorkers = flag.Int("label-workers", 0, "goroutines labeling zones inside one engine run (0 = serial)")
+		parallelism  = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool for offline pre-processing and each query's feature stage (results identical at any setting)")
 	)
 	flag.Parse()
 	var cfg synth.Config
@@ -87,20 +88,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("pre-processing (isochrones, hop trees)...")
+	log.Printf("pre-processing (isochrones, hop trees) with %d workers...", *parallelism)
 	engine, err := core.NewEngine(city, core.EngineOptions{
-		Interval: gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday, Label: "weekday AM peak"},
+		Interval:    gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday, Label: "weekday AM peak"},
+		Parallelism: *parallelism,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Warm the feature-extractor caches before accepting traffic so the
+	// first query doesn't pay the cold-cache cost.
+	engine.WarmFeatureCaches(*parallelism)
 	s := newServer(engine, serve.Config{
 		Workers:    *workers,
 		QueueDepth: *queueDepth,
 		CacheSize:  *cacheSize,
 		CacheTTL:   *cacheTTL,
 		JobTimeout: *jobTimeout,
-	}, *labelWorkers)
+	}, serve.RunnerConfig{LabelWorkers: *labelWorkers, Parallelism: *parallelism})
 
 	if *debugAddr != "" {
 		dbg, bound, err := obs.StartDebugServer(*debugAddr)
@@ -144,29 +149,10 @@ func main() {
 	log.Printf("bye")
 }
 
-// newServer wires a serve.Manager to the engine. labelWorkers controls the
-// intra-query labeling parallelism of each engine run.
-func newServer(engine *core.Engine, cfg serve.Config, labelWorkers int) *server {
-	run := func(ctx context.Context, req serve.Request) (*core.Result, error) {
-		pois := core.POIsOf(engine.City, synth.POICategory(req.Category))
-		if len(pois) == 0 {
-			return nil, fmt.Errorf("unknown or empty POI category %q", req.Category)
-		}
-		cost := access.JourneyTime
-		if req.Cost == "GAC" {
-			cost = access.Generalized
-		}
-		return engine.RunContext(ctx, core.Query{
-			POIs:           pois,
-			Cost:           cost,
-			Budget:         req.Budget,
-			Model:          core.ModelKind(req.Model),
-			SamplesPerHour: req.SamplesPerHour,
-			Workers:        labelWorkers,
-			Seed:           req.Seed,
-		})
-	}
-	return &server{engine: engine, mgr: serve.NewManager(run, cfg)}
+// newServer wires a serve.Manager to the engine through the serving layer's
+// EngineRunner, which owns the per-run parallelism defaults.
+func newServer(engine *core.Engine, cfg serve.Config, rc serve.RunnerConfig) *server {
+	return &server{engine: engine, mgr: serve.NewManager(serve.EngineRunner(engine, rc), cfg)}
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {

@@ -45,7 +45,7 @@ func sharedEngine(t *testing.T) *core.Engine {
 
 func testServer(t *testing.T) *server {
 	t.Helper()
-	s := newServer(sharedEngine(t), serve.Config{Workers: 2}, 0)
+	s := newServer(sharedEngine(t), serve.Config{Workers: 2}, serve.RunnerConfig{})
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()

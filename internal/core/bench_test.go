@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"accessquery/internal/gtfs"
+	"accessquery/internal/synth"
+)
+
+// benchCity is larger than the equality-test city so the per-zone Dijkstra
+// and tree builds dominate over pool bookkeeping and the speedup at 4
+// workers is visible.
+func benchCity(b *testing.B) *synth.City {
+	b.Helper()
+	c, err := synth.Generate(synth.Scaled(synth.Coventry(), 0.2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func benchInterval() gtfs.Interval {
+	return gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday, Label: "AM peak"}
+}
+
+// BenchmarkNewEngine measures the offline prep phase (zone isochrones,
+// hop-tree forest, spatial indexes) at different pool sizes. The acceptance
+// target for this PR is >=2x at workers=4 vs workers=1.
+func BenchmarkNewEngine(b *testing.B) {
+	city := benchCity(b)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewEngine(city, EngineOptions{Interval: benchInterval(), Parallelism: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRun measures the online query path. Allocations per op are
+// part of the acceptance criteria: hoisting the road/zone KD-trees out of
+// buildMatrix must show up as a drop versus rebuilding them per query.
+func BenchmarkEngineRun(b *testing.B) {
+	city := benchCity(b)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e, err := NewEngine(city, EngineOptions{Interval: benchInterval(), Parallelism: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := Query{
+				POIs:           POIsOf(city, synth.POISchool),
+				Budget:         0.1,
+				Model:          ModelOLS,
+				SamplesPerHour: 6,
+				Workers:        workers,
+				Parallelism:    workers,
+				Seed:           1,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"accessquery/internal/mat"
 	"accessquery/internal/ml"
 	"accessquery/internal/obs"
+	"accessquery/internal/par"
 	"accessquery/internal/router"
 	"accessquery/internal/spatial"
 	"accessquery/internal/synth"
@@ -66,6 +67,13 @@ type EngineOptions struct {
 	Hops int
 	// RouterOptions tune the labeling SPQs.
 	RouterOptions router.Options
+	// Parallelism fans the embarrassingly-parallel per-zone pre-processing
+	// stages (isochrone Dijkstras, hop-tree generation, feature-cache
+	// warming) across a worker pool, and is the default worker count for a
+	// query's feature stage when Query.Parallelism is unset. Values <= 1
+	// run serially. Outputs are bit-identical at any setting; servers and
+	// CLIs default it to runtime.GOMAXPROCS(0).
+	Parallelism int
 }
 
 // Engine holds the pre-processed structures for one city and time interval.
@@ -78,6 +86,17 @@ type Engine struct {
 	forest    *hoptree.Forest
 	extractor *features.Extractor
 	router    *router.Router
+
+	// zoneTree and roadTree index the zone centroids and road nodes. They
+	// are built once here so buildMatrix stops paying an O(road nodes)
+	// KD-tree construction on every query (the road tree dominates: a city
+	// has orders of magnitude more road nodes than zones or POIs).
+	zoneTree *spatial.KDTree
+	roadTree *spatial.KDTree
+
+	// parallelism is the engine-level worker knob, the fallback for queries
+	// that leave Query.Parallelism unset.
+	parallelism int
 
 	// PrepDuration records offline pre-processing time (not part of the
 	// online query cost in Table II).
@@ -107,6 +126,8 @@ func NewEngine(city *synth.City, opts EngineOptions) (*Engine, error) {
 	if hops <= 0 {
 		hops = 2
 	}
+	workers := par.Workers(opts.Parallelism)
+	mParallelism.Set(float64(workers))
 	start := time.Now()
 	zonePts := make([]geo.Point, len(city.Zones))
 	nodes := make([]graph.NodeID, len(city.Zones))
@@ -114,18 +135,22 @@ func NewEngine(city *synth.City, opts EngineOptions) (*Engine, error) {
 		zonePts[i] = z.Centroid
 		nodes[i] = city.ZoneNode[i]
 	}
-	isos, err := isochrone.ComputeSet(city.Road, zonePts, nodes, tau)
+	t0 := time.Now()
+	isos, err := isochrone.ComputeSetParallel(city.Road, zonePts, nodes, tau, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: isochrones: %w", err)
 	}
+	prepIsochrones.ObserveDuration(time.Since(t0))
 	builder, err := hoptree.NewBuilder(city.Feed, opts.Interval, zonePts, isos)
 	if err != nil {
 		return nil, fmt.Errorf("core: hop trees: %w", err)
 	}
-	forest, err := hoptree.BuildForest(builder)
+	t0 = time.Now()
+	forest, err := hoptree.BuildForestParallel(builder, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: hop trees: %w", err)
 	}
+	prepHopTrees.ObserveDuration(time.Since(t0))
 	extractor, err := features.NewExtractor(forest, zonePts, isos, hops)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -135,16 +160,40 @@ func NewEngine(city *synth.City, opts EngineOptions) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Engine{
-		City:         city,
-		Interval:     opts.Interval,
-		zonePts:      zonePts,
-		isos:         isos,
-		forest:       forest,
-		extractor:    extractor,
-		router:       rt,
-		PrepDuration: time.Since(start),
-	}, nil
+	t0 = time.Now()
+	zoneTree, roadTree := buildSpatialIndexes(city, zonePts)
+	prepIndexes.ObserveDuration(time.Since(t0))
+	e := &Engine{
+		City:        city,
+		Interval:    opts.Interval,
+		zonePts:     zonePts,
+		isos:        isos,
+		forest:      forest,
+		extractor:   extractor,
+		router:      rt,
+		zoneTree:    zoneTree,
+		roadTree:    roadTree,
+		parallelism: workers,
+	}
+	e.PrepDuration = time.Since(start)
+	prepTotal.ObserveDuration(e.PrepDuration)
+	return e, nil
+}
+
+// buildSpatialIndexes constructs the zone-centroid and road-node KD-trees
+// that buildMatrix previously rebuilt on every query.
+func buildSpatialIndexes(city *synth.City, zonePts []geo.Point) (zoneTree, roadTree *spatial.KDTree) {
+	items := make([]spatial.Item, len(zonePts))
+	for i, p := range zonePts {
+		items[i] = spatial.Item{ID: i, Point: p}
+	}
+	zoneTree = spatial.NewKDTree(items)
+	roadItems := make([]spatial.Item, city.Road.NumNodes())
+	for i := range roadItems {
+		roadItems[i] = spatial.Item{ID: i, Point: city.Road.Point(graph.NodeID(i))}
+	}
+	roadTree = spatial.NewKDTree(roadItems)
+	return zoneTree, roadTree
 }
 
 // zonePointsOf extracts zone centroids in index order.
@@ -158,6 +207,14 @@ func zonePointsOf(city *synth.City) []geo.Point {
 
 // Forest exposes the transit-hop forest (for persistence and inspection).
 func (e *Engine) Forest() *hoptree.Forest { return e.forest }
+
+// WarmFeatureCaches populates the extractor's lazy caches (per-origin hop
+// maps and reach fractions, per-destination inbound KD-trees) for every
+// zone across a worker pool, moving first-query cache misses into startup.
+// Cached values are deterministic, so warming never changes query results.
+func (e *Engine) WarmFeatureCaches(workers int) {
+	e.extractor.Warm(par.Workers(workers))
+}
 
 // Router exposes the multimodal router (for example applications that need
 // raw journeys).
@@ -189,6 +246,12 @@ type Query struct {
 	// Workers parallelizes labeling across goroutines; 0 or 1 labels
 	// serially. Results are identical regardless of worker count.
 	Workers int
+	// Parallelism fans the per-zone feature stage (step 4) across a worker
+	// pool. 0 inherits the engine's Parallelism; values <= 1 after that
+	// fallback run serially. Results are identical regardless of the
+	// setting, so it deliberately does not participate in serving-layer
+	// fingerprints.
+	Parallelism int
 	// Seed drives sampling and model initialization.
 	Seed int64
 }
@@ -336,6 +399,10 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 	endStage = obs.StartSpan(ctx, stageLabeling, "labeling")
 	measures, spqs, err := e.labelZones(ctx, q, m, poiNodes, labeledSet)
 	if err != nil {
+		// The SPQs priced before the failure were real router work; count
+		// them so aq_engine_spqs_total reflects errored runs too. (The
+		// success path is counted once in RunContext.)
+		mSPQs.Add(spqs)
 		return nil, err
 	}
 	var xRows, yRows [][]float64
@@ -361,29 +428,40 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 	}
 	res.WalkOnlyShare = walkShareSum / float64(len(labeledOK))
 
-	// 4. Features for every zone at the origin level.
+	// 4. Features for every zone at the origin level, fanned across the
+	// query's worker pool. Vectors land in an index-addressed slice and are
+	// partitioned into labeled/unlabeled rows in ascending zone order
+	// afterwards, so the matrices are bit-identical to the serial loop's
+	// regardless of worker scheduling. (labeledSet is sorted, so yRows —
+	// appended in labeledSet order above — stay row-aligned with xRows.)
 	endStage = obs.StartSpan(ctx, stageFeatures, "features")
 	isLabeled := make([]bool, nz)
 	for _, z := range labeledOK {
 		isLabeled[z] = true
 	}
+	vecs := make([][]float64, nz)
+	fw := q.Parallelism
+	if fw == 0 {
+		fw = e.parallelism
+	}
+	if err := par.ForContext(ctx, fw, nz, func(zone int) error {
+		v, err := e.extractor.OriginVector(zone, m.Row(zone), q.POIs, poiZones)
+		if err != nil {
+			return err
+		}
+		vecs[zone] = v
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	var unlabeled []int
 	var xuRows [][]float64
 	for zone := 0; zone < nz; zone++ {
-		if zone%64 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		v, err := e.extractor.OriginVector(zone, m.Row(zone), q.POIs, poiZones)
-		if err != nil {
-			return nil, err
-		}
 		if isLabeled[zone] {
-			xRows = append(xRows, v)
+			xRows = append(xRows, vecs[zone])
 		} else {
 			unlabeled = append(unlabeled, zone)
-			xuRows = append(xuRows, v)
+			xuRows = append(xuRows, vecs[zone])
 		}
 	}
 	res.Timing.Features = endStage()
@@ -421,6 +499,10 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 // total SPQ count. Output is deterministic regardless of worker count.
 // Labeling dominates online query cost, so ctx is checked between zones:
 // a cancelled query stops within one zone's worth of SPQs.
+//
+// The SPQ count is reported even on the error paths: the queries priced
+// before a failure or cancellation were real router work, and callers feed
+// the count into aq_engine_spqs_total either way.
 func (e *Engine) labelZones(ctx context.Context, q Query, m *todam.Matrix, poiNodes []graph.NodeID, zones []int) ([]*access.ZoneMeasure, int64, error) {
 	workers := q.Workers
 	if workers <= 1 {
@@ -431,11 +513,11 @@ func (e *Engine) labelZones(ctx context.Context, q Query, m *todam.Matrix, poiNo
 		out := make([]*access.ZoneMeasure, len(zones))
 		for i, zone := range zones {
 			if err := ctx.Err(); err != nil {
-				return nil, 0, err
+				return nil, labeler.SPQs, err
 			}
 			zm, ok, err := labeler.LabelZone(zone)
 			if err != nil {
-				return nil, 0, err
+				return nil, labeler.SPQs, err
 			}
 			if ok {
 				measure := zm
@@ -458,6 +540,14 @@ func (e *Engine) labelZones(ctx context.Context, q Query, m *todam.Matrix, poiNo
 				Router: e.router, Matrix: m, ZoneNode: e.City.ZoneNode,
 				POINode: poiNodes, Cost: q.Cost, Params: q.CostParams,
 			}
+			// Fold this worker's SPQs in even when it exits on an error, so
+			// the error paths below still see the accumulated count after
+			// wg.Wait.
+			defer func() {
+				mu.Lock()
+				spqs += labeler.SPQs
+				mu.Unlock()
+			}()
 			for i := range jobs {
 				zm, ok, err := labeler.LabelZone(zones[i])
 				if err != nil {
@@ -469,9 +559,6 @@ func (e *Engine) labelZones(ctx context.Context, q Query, m *todam.Matrix, poiNo
 					out[i] = &measure
 				}
 			}
-			mu.Lock()
-			spqs += labeler.SPQs
-			mu.Unlock()
 		}()
 	}
 	for i := range zones {
@@ -479,11 +566,11 @@ func (e *Engine) labelZones(ctx context.Context, q Query, m *todam.Matrix, poiNo
 		case err := <-errs:
 			close(jobs)
 			wg.Wait()
-			return nil, 0, err
+			return nil, spqs, err
 		case <-ctx.Done():
 			close(jobs)
 			wg.Wait()
-			return nil, 0, ctx.Err()
+			return nil, spqs, ctx.Err()
 		case jobs <- i:
 		}
 	}
@@ -491,7 +578,7 @@ func (e *Engine) labelZones(ctx context.Context, q Query, m *todam.Matrix, poiNo
 	wg.Wait()
 	select {
 	case err := <-errs:
-		return nil, 0, err
+		return nil, spqs, err
 	default:
 	}
 	return out, spqs, nil
@@ -625,9 +712,20 @@ func (e *Engine) finishMeasures(res *Result) {
 // GroundTruth labels every zone — the naive full-TODAM approach — and is
 // both the Table II baseline and the evaluation reference for Figs. 3-4.
 func (e *Engine) GroundTruth(q Query) (*Result, error) {
+	return e.GroundTruthContext(context.Background(), q)
+}
+
+// GroundTruthContext is GroundTruth with cooperative cancellation: the
+// labeling loop — a full-TODAM baseline prices every zone, so it dominates
+// by far — aborts between zones when ctx is cancelled, so a timed-out or
+// abandoned baseline run stops burning CPU instead of finishing anyway.
+func (e *Engine) GroundTruthContext(ctx context.Context, q Query) (*Result, error) {
 	q = q.withDefaults()
 	if len(q.POIs) == 0 {
 		return nil, fmt.Errorf("core: query has no POIs")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	nz := len(e.zonePts)
 	res := &Result{
@@ -648,8 +746,9 @@ func (e *Engine) GroundTruth(q Query) (*Result, error) {
 	for i := range all {
 		all[i] = i
 	}
-	measures, spqs, err := e.labelZones(context.Background(), q, m, poiNodes, all)
+	measures, spqs, err := e.labelZones(ctx, q, m, poiNodes, all)
 	if err != nil {
+		mSPQs.Add(spqs)
 		return nil, err
 	}
 	var walkShareSum float64
@@ -723,26 +822,18 @@ func (e *Engine) buildMatrix(q Query) (*todam.Matrix, []graph.NodeID, []int, err
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	// Weld POIs to road nodes and associate them with zones.
+	// Weld POIs to road nodes and associate them with zones, using the
+	// KD-trees hoisted into NewEngine: the per-query cost here is now
+	// O(POIs · log n) lookups instead of an O(road nodes) tree build.
 	nodes := make([]graph.NodeID, len(q.POIs))
 	zones := make([]int, len(q.POIs))
-	items := make([]spatial.Item, len(e.zonePts))
-	for i, p := range e.zonePts {
-		items[i] = spatial.Item{ID: i, Point: p}
-	}
-	zoneTree := spatial.NewKDTree(items)
-	roadItems := make([]spatial.Item, e.City.Road.NumNodes())
-	for i := range roadItems {
-		roadItems[i] = spatial.Item{ID: i, Point: e.City.Road.Point(graph.NodeID(i))}
-	}
-	roadTree := spatial.NewKDTree(roadItems)
 	for j, p := range q.POIs {
-		if nb, ok := roadTree.Nearest(p); ok {
+		if nb, ok := e.roadTree.Nearest(p); ok {
 			nodes[j] = graph.NodeID(nb.Item.ID)
 		} else {
 			nodes[j] = graph.InvalidNode
 		}
-		if nb, ok := zoneTree.Nearest(p); ok {
+		if nb, ok := e.zoneTree.Nearest(p); ok {
 			zones[j] = nb.Item.ID
 		}
 	}

@@ -17,6 +17,20 @@ var (
 	stageLabeling = obs.Histogram(`aq_engine_stage_seconds{stage="labeling"}`)
 	stageFeatures = obs.Histogram(`aq_engine_stage_seconds{stage="features"}`)
 	stageTraining = obs.Histogram(`aq_engine_stage_seconds{stage="training"}`)
+
+	// mParallelism reports the worker count of the most recently built
+	// engine, so a speedup observed in the prep histograms can be correlated
+	// with the knob that produced it.
+	mParallelism = obs.Gauge("aq_engine_parallelism")
+
+	// Offline pre-processing decomposed by stage, the Fig. 1 (left) costs.
+	// These are the stages the Parallelism knob fans out (plus the one-off
+	// spatial-index build the KD-tree hoisting moved here from the per-query
+	// path).
+	prepIsochrones = obs.Histogram(`aq_engine_prep_seconds{stage="isochrones"}`)
+	prepHopTrees   = obs.Histogram(`aq_engine_prep_seconds{stage="hoptrees"}`)
+	prepIndexes    = obs.Histogram(`aq_engine_prep_seconds{stage="spatial_index"}`)
+	prepTotal      = obs.Histogram(`aq_engine_prep_seconds{stage="total"}`)
 )
 
 func init() {
@@ -25,4 +39,6 @@ func init() {
 	obs.Default.SetHelp("aq_engine_spqs_total", "Shortest-path-query equivalents priced during labeling.")
 	obs.Default.SetHelp("aq_engine_query_seconds", "End-to-end online query latency.")
 	obs.Default.SetHelp("aq_engine_stage_seconds", "Online query latency by pipeline stage (Table II decomposition).")
+	obs.Default.SetHelp("aq_engine_parallelism", "Worker count of the most recently built engine (EngineOptions.Parallelism).")
+	obs.Default.SetHelp("aq_engine_prep_seconds", "Offline pre-processing latency by stage (isochrones, hop trees, spatial indexes).")
 }

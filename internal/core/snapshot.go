@@ -89,14 +89,20 @@ func LoadEngine(path string) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	zoneTree, roadTree := buildSpatialIndexes(city, pts)
 	return &Engine{
-		City:         city,
-		Interval:     snap.Interval,
-		zonePts:      pts,
-		isos:         snap.Isochrones,
-		forest:       snap.Forest,
-		extractor:    extractor,
-		router:       rt,
+		City:      city,
+		Interval:  snap.Interval,
+		zonePts:   pts,
+		isos:      snap.Isochrones,
+		forest:    snap.Forest,
+		extractor: extractor,
+		router:    rt,
+		zoneTree:  zoneTree,
+		roadTree:  roadTree,
+		// A snapshot stores no knob; restored engines run queries serially
+		// unless the query sets its own Parallelism.
+		parallelism:  1,
 		PrepDuration: time.Since(start),
 	}, nil
 }

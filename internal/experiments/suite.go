@@ -30,6 +30,11 @@ type Suite struct {
 	Models []core.ModelKind
 	// Seed drives all sampling.
 	Seed int64
+	// Parallelism sizes the worker pool for engine pre-processing and the
+	// per-query feature stage. Results are identical at any setting; only
+	// the measured wall-clock changes, so keep it fixed (or serial) when
+	// comparing timing columns across runs.
+	Parallelism int
 
 	cities  map[string]*synth.City
 	engines map[string]*core.Engine
@@ -84,7 +89,7 @@ func (s *Suite) Engine(cfg synth.Config) (*core.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := core.NewEngine(c, core.EngineOptions{Interval: s.Interval()})
+	e, err := core.NewEngine(c, core.EngineOptions{Interval: s.Interval(), Parallelism: s.Parallelism})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: engine for %s: %w", cfg.Name, err)
 	}

@@ -75,7 +75,7 @@ func (s *Suite) temporalWithCube() ([]TemporalCell, *todam.Cube, error) {
 	}
 	var cells []TemporalCell
 	for _, iv := range Intervals() {
-		engine, err := core.NewEngine(city, core.EngineOptions{Interval: iv})
+		engine, err := core.NewEngine(city, core.EngineOptions{Interval: iv, Parallelism: s.Parallelism})
 		if err != nil {
 			return nil, nil, err
 		}

@@ -17,6 +17,7 @@ import (
 	"accessquery/internal/geo"
 	"accessquery/internal/hoptree"
 	"accessquery/internal/isochrone"
+	"accessquery/internal/par"
 	"accessquery/internal/spatial"
 	"accessquery/internal/todam"
 )
@@ -96,6 +97,23 @@ func NewExtractor(forest *hoptree.Forest, zones []geo.Point, isos *isochrone.Set
 		reachFrac: make(map[int]float64),
 		hopsTo:    make(map[int]map[int]int),
 	}, nil
+}
+
+// Warm populates every lazy cache — per-origin hop maps and reach
+// fractions, per-destination inbound KD-trees — across a worker pool,
+// shifting the first query's cache-miss cost into the offline phase. The
+// cached values are deterministic, so warming never changes any feature
+// vector; it only moves when the work happens. Safe to call concurrently
+// with queries.
+func (e *Extractor) Warm(workers int) {
+	// Each cache accessor takes the write lock only for its own key, so
+	// warming in parallel contends briefly per entry rather than serializing
+	// the whole pass.
+	_ = par.For(workers, len(e.zones), func(zone int) error {
+		e.reachFraction(zone) // also fills hopsTo[zone]
+		e.ibTreeFor(zone)
+		return nil
+	})
 }
 
 // walkRadiusMeters is the direct-walk feasibility radius used by the

@@ -19,6 +19,7 @@ import (
 	"accessquery/internal/geo"
 	"accessquery/internal/gtfs"
 	"accessquery/internal/isochrone"
+	"accessquery/internal/par"
 	"accessquery/internal/spatial"
 )
 
@@ -319,23 +320,36 @@ type Forest struct {
 
 // BuildForest generates outbound and inbound trees for every zone.
 func BuildForest(b *Builder) (*Forest, error) {
+	return BuildForestParallel(b, 1)
+}
+
+// BuildForestParallel is BuildForest with per-zone tree generation fanned
+// across a worker pool. The builder's lookup structures (visit index, stop
+// KD-tree, isochrones) are read-only after NewBuilder and each zone's trees
+// are written only to that zone's slots, so the forest is identical to the
+// serial build for any workers value; workers <= 1 runs serially.
+func BuildForestParallel(b *Builder, workers int) (*Forest, error) {
 	n := len(b.zonePts)
 	f := &Forest{
 		Interval: b.interval,
 		Out:      make([]*Tree, n),
 		In:       make([]*Tree, n),
 	}
-	for z := 0; z < n; z++ {
+	err := par.For(workers, n, func(z int) error {
 		out, err := b.Outbound(z)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		in, err := b.Inbound(z)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		f.Out[z] = out
 		f.In[z] = in
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return f, nil
 }

@@ -2,6 +2,7 @@ package hoptree
 
 import (
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
@@ -404,5 +405,50 @@ func BenchmarkBuildTree(b *testing.B) {
 		if _, err := builder.Outbound(i % len(c.Zones)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestBuildForestParallelMatchesSerial(t *testing.T) {
+	c, err := synth.Generate(synth.Scaled(synth.Coventry(), 0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zonePts := make([]geo.Point, len(c.Zones))
+	zoneNodes := make([]graph.NodeID, len(c.Zones))
+	for i, z := range c.Zones {
+		zonePts[i] = z.Centroid
+		zoneNodes[i] = c.ZoneNode[i]
+	}
+	isos, err := isochrone.ComputeSet(c.Road, zonePts, zoneNodes, isochrone.DefaultTauSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialBuilder, err := NewBuilder(c.Feed, amPeak(), zonePts, isos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := BuildForestParallel(serialBuilder, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		b, err := NewBuilder(c.Feed, amPeak(), zonePts, isos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := BuildForestParallel(b, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("workers=%d: parallel forest differs from serial", workers)
+		}
+	}
+	plain, err := BuildForest(serialBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, plain) {
+		t.Error("BuildForest differs from BuildForestParallel(b, 1)")
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"accessquery/internal/geo"
 	"accessquery/internal/graph"
+	"accessquery/internal/par"
 )
 
 // DefaultTauSeconds is the acceptable walking time from the paper's
@@ -98,16 +99,29 @@ type Set struct {
 // ComputeSet builds isochrones for each (origin, originNode) pair, typically
 // zone centroids and their welded road nodes.
 func ComputeSet(g *graph.Graph, origins []geo.Point, originNodes []graph.NodeID, tau float64) (*Set, error) {
+	return ComputeSetParallel(g, origins, originNodes, tau, 1)
+}
+
+// ComputeSetParallel is ComputeSet with the per-zone Dijkstras fanned across
+// a worker pool. Each zone's isochrone depends only on the (read-only) road
+// graph and its own origin, and every worker writes only its zone's slot, so
+// the result is identical to the serial computation for any workers value;
+// workers <= 1 runs serially.
+func ComputeSetParallel(g *graph.Graph, origins []geo.Point, originNodes []graph.NodeID, tau float64, workers int) (*Set, error) {
 	if len(origins) != len(originNodes) {
 		return nil, fmt.Errorf("isochrone: %d origins but %d nodes", len(origins), len(originNodes))
 	}
 	s := &Set{Tau: tau, Isochrones: make([]*Isochrone, len(origins))}
-	for i := range origins {
+	err := par.For(workers, len(origins), func(i int) error {
 		iso, err := Compute(g, origins[i], originNodes[i], tau)
 		if err != nil {
-			return nil, fmt.Errorf("isochrone: zone %d: %w", i, err)
+			return fmt.Errorf("isochrone: zone %d: %w", i, err)
 		}
 		s.Isochrones[i] = iso
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }

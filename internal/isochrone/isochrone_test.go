@@ -1,6 +1,7 @@
 package isochrone
 
 import (
+	"reflect"
 	"testing"
 
 	"accessquery/internal/geo"
@@ -196,5 +197,47 @@ func BenchmarkCompute(b *testing.B) {
 		if _, err := Compute(g, base, center, 600); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestComputeSetParallelMatchesSerial(t *testing.T) {
+	g, center := gridWorld(t, 6, 100, 80)
+	var origins []geo.Point
+	var nodes []graph.NodeID
+	for _, dx := range []float64{0, 150, 300, -250, 480, -90, 210} {
+		p := geo.Offset(base, dx, dx/3)
+		origins = append(origins, p)
+		nodes = append(nodes, g.NearestNode(p))
+	}
+	nodes[0] = center
+	serial, err := ComputeSetParallel(g, origins, nodes, 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		parallel, err := ComputeSetParallel(g, origins, nodes, 600, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("workers=%d: parallel set differs from serial", workers)
+		}
+	}
+	// ComputeSet is the serial entry point and must agree too.
+	plain, err := ComputeSet(g, origins, nodes, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, plain) {
+		t.Error("ComputeSet differs from ComputeSetParallel(..., 1)")
+	}
+}
+
+func TestComputeSetParallelPropagatesError(t *testing.T) {
+	g, center := gridWorld(t, 2, 100, 80)
+	origins := []geo.Point{base, base}
+	nodes := []graph.NodeID{center, graph.NodeID(10_000)} // invalid node
+	if _, err := ComputeSetParallel(g, origins, nodes, 600, 4); err == nil {
+		t.Error("invalid origin node should fail in parallel mode")
 	}
 }

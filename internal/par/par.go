@@ -1,0 +1,97 @@
+// Package par is the worker-pool primitive behind every
+// embarrassingly-parallel per-zone stage in the pipeline: offline isochrone
+// computation, transit-hop forest generation, feature-cache warming, and the
+// online origin-feature fan-out. Work is index-addressed — fn(i) writes only
+// to slot i of a caller-owned output slice — so the result is bit-identical
+// regardless of worker count or scheduling order, which is what lets the
+// equality tests pin parallel output to the serial baseline.
+package par
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n), fanning the indices across at most
+// workers goroutines. workers <= 1 degenerates to a plain serial loop with
+// no goroutine or channel overhead. The first error stops the dispatch of
+// further indices (in-flight calls finish) and is returned; outputs written
+// by completed calls remain valid.
+func For(workers, n int, fn func(i int) error) error {
+	return ForContext(context.Background(), workers, n, fn)
+}
+
+// ForContext is For with cooperative cancellation: no new index is
+// dispatched once ctx is done, and ctx.Err() is returned (unless fn already
+// failed, in which case fn's error wins). fn must not retain i-addressed
+// state beyond its own slot.
+func ForContext(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			// The mask keeps the serial fast path cheap: one atomic load
+			// every 32 iterations instead of a ctx.Err() interface call per
+			// index.
+			if i&31 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64 // next index to claim
+		stopped  atomic.Bool  // set on first error or cancellation
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stopped.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Workers resolves a parallelism knob: values <= 0 mean "serial" (1). It
+// exists so every stage interprets the knob identically.
+func Workers(p int) int {
+	if p <= 0 {
+		return 1
+	}
+	return p
+}

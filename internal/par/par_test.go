@@ -1,0 +1,111 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16, 100} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 257
+			hits := make([]atomic.Int32, n)
+			if err := For(workers, n, func(i int) error {
+				hits[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("index %d executed %d times", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestForIndexAddressedOutputMatchesSerial(t *testing.T) {
+	const n = 503
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	got := make([]int, n)
+	if err := For(8, n, func(i int) error {
+		got[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForReturnsFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := For(workers, 100, func(i int) error {
+			if i == 17 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: got %v, want boom", workers, err)
+		}
+	}
+}
+
+func TestForErrorStopsDispatch(t *testing.T) {
+	var calls atomic.Int32
+	boom := errors.New("boom")
+	_ = For(4, 10_000, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if n := calls.Load(); n == 10_000 {
+		t.Fatalf("dispatch did not stop after error (all %d indices ran)", n)
+	}
+}
+
+func TestForContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int32
+		err := ForContext(ctx, workers, 1000, func(i int) error {
+			calls.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if n := calls.Load(); n == 1000 {
+			t.Fatalf("workers=%d: cancelled loop still ran every index", workers)
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	if err := For(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{-3, 1}, {0, 1}, {1, 1}, {7, 7}} {
+		if got := Workers(tc.in); got != tc.want {
+			t.Errorf("Workers(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"accessquery/internal/access"
+	"accessquery/internal/core"
+	"accessquery/internal/synth"
+)
+
+// RunnerConfig tunes how EngineRunner maps requests onto engine runs. The
+// knobs control only resource use — results are identical at any setting,
+// which is why neither participates in request fingerprints.
+type RunnerConfig struct {
+	// LabelWorkers parallelizes the labeling SPQs inside one engine run;
+	// 0 or 1 labels serially.
+	LabelWorkers int
+	// Parallelism fans the per-zone feature stage of each run across a
+	// worker pool; 0 defaults to runtime.GOMAXPROCS(0). Use a negative
+	// value to force the serial path.
+	Parallelism int
+}
+
+func (c RunnerConfig) withDefaults() RunnerConfig {
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// EngineRunner adapts an engine to the manager's RunFunc: it resolves the
+// request's POI category against the engine's city and threads the
+// serving-layer parallelism defaults into the query. It is the production
+// run function cmd/aqserver wires into NewManager.
+func EngineRunner(engine *core.Engine, cfg RunnerConfig) RunFunc {
+	cfg = cfg.withDefaults()
+	return func(ctx context.Context, req Request) (*core.Result, error) {
+		pois := core.POIsOf(engine.City, synth.POICategory(req.Category))
+		if len(pois) == 0 {
+			return nil, fmt.Errorf("unknown or empty POI category %q", req.Category)
+		}
+		cost := access.JourneyTime
+		if req.Cost == "GAC" {
+			cost = access.Generalized
+		}
+		return engine.RunContext(ctx, core.Query{
+			POIs:           pois,
+			Cost:           cost,
+			Budget:         req.Budget,
+			Model:          core.ModelKind(req.Model),
+			SamplesPerHour: req.SamplesPerHour,
+			Workers:        cfg.LabelWorkers,
+			Parallelism:    cfg.Parallelism,
+			Seed:           req.Seed,
+		})
+	}
+}

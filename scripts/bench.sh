@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# bench.sh — run the engine prep/query benchmarks and archive the results.
+#
+# Emits two artifacts in the chosen output directory (default .):
+#   BENCH_<date>.txt   raw `go test -bench` output, benchstat-compatible:
+#                      compare two runs with `benchstat old.txt new.txt`
+#   BENCH_<date>.json  the same measurements parsed into JSON for dashboards
+#
+# Usage:
+#   scripts/bench.sh [-o outdir] [-t benchtime]
+#
+# Environment:
+#   BENCH_DATE  override the date stamp (useful for reproducible CI names)
+set -eu
+
+outdir=.
+benchtime=${BENCHTIME:-1s}
+while getopts o:t: opt; do
+	case $opt in
+	o) outdir=$OPTARG ;;
+	t) benchtime=$OPTARG ;;
+	*) exit 2 ;;
+	esac
+done
+
+date=${BENCH_DATE:-$(date -u +%Y%m%d)}
+txt="$outdir/BENCH_${date}.txt"
+json="$outdir/BENCH_${date}.json"
+mkdir -p "$outdir"
+
+go test -run '^$' -bench 'BenchmarkNewEngine|BenchmarkEngineRun' \
+	-benchmem -benchtime "$benchtime" ./internal/core/ | tee "$txt"
+
+# Parse the standard benchmark lines:
+#   BenchmarkName/sub-8   	 iterations	 ns/op	 B/op	 allocs/op
+awk -v date="$date" '
+/^goos:/ { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1; iters = $2; ns = $3
+	bytes = ""; allocs = ""
+	for (i = 4; i <= NF; i++) {
+		if ($(i) == "B/op") bytes = $(i - 1)
+		if ($(i) == "allocs/op") allocs = $(i - 1)
+	}
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+	if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	printf "}"
+}
+END {
+	printf "\n  ],\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"goos\": \"%s\",\n", goos
+	printf "  \"goarch\": \"%s\",\n", goarch
+	printf "  \"cpu\": \"%s\"\n}\n", cpu
+}
+BEGIN { printf "{\n  \"benchmarks\": [\n" }
+' "$txt" >"$json"
+
+echo "wrote $txt and $json"
