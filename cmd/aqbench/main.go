@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"strings"
 
+	"accessquery/internal/buildinfo"
 	"accessquery/internal/core"
 	"accessquery/internal/experiments"
 	"accessquery/internal/obs"
@@ -37,8 +38,14 @@ func main() {
 		csvFig5 = flag.Bool("fig5csv", false, "emit fig5 as CSV instead of ASCII maps")
 		par     = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool for engine pre-processing and feature stages (results identical; timings change)")
 		debug   = flag.String("debug-addr", "", "optional loopback listener for /metrics and /debug/pprof while experiments run")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "aqbench")
+		return
+	}
+	buildinfo.Register()
 	if *debug != "" {
 		dbg, bound, err := obs.StartDebugServer(*debug)
 		if err != nil {

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"accessquery/internal/buildinfo"
 	"accessquery/internal/geo"
 	"accessquery/internal/graph"
 	"accessquery/internal/gtfs"
@@ -40,8 +41,14 @@ func main() {
 		forest   = flag.Bool("forest", false, "also pre-compute and save the transit-hop forest for the weekday AM peak")
 		par      = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool for isochrone and forest pre-computation (output identical at any setting)")
 		debug    = flag.String("debug-addr", "", "optional loopback listener for /metrics and /debug/pprof during generation")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "aqgen")
+		return
+	}
+	buildinfo.Register()
 	if *out == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"accessquery/internal/access"
+	"accessquery/internal/buildinfo"
 	"accessquery/internal/core"
 	"accessquery/internal/gtfs"
 	"accessquery/internal/obs"
@@ -42,8 +44,15 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		od       = flag.Bool("od", false, "learn at OD granularity instead of origin level")
 		metrics  = flag.Bool("metrics", false, "dump process metrics (stage latencies, SPQs) to stderr after the run")
+		explain  = flag.Bool("explain", false, "print the per-stage execution report (TODAM reduction, SPQs, cache hits, model convergence) to stderr")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "aqquery")
+		return
+	}
+	buildinfo.Register()
 	engine, err := buildEngine(*load, *cityName, *scale, *par)
 	if err != nil {
 		log.Fatal(err)
@@ -74,8 +83,15 @@ func main() {
 		Seed:        *seed,
 	}
 	var res *core.Result
+	var tr *obs.Trace
 	if *od {
+		if *explain {
+			fmt.Fprintln(os.Stderr, "note: -explain traces the origin-level pipeline; -od runs are not traced")
+		}
 		res, err = engine.RunOD(q)
+	} else if *explain {
+		tr = obs.NewTrace()
+		res, err = engine.RunContext(obs.WithTrace(context.Background(), tr), q)
 	} else {
 		res, err = engine.Run(q)
 	}
@@ -91,6 +107,10 @@ func main() {
 		engine.City.Name, *category, costKind, *budget*100,
 		s.ValidZones, s.Zones, s.LabeledZones, costKind, s.MeanMAC/60,
 		s.Fairness, s.Gini, s.SPQs, res.Timing.Total())
+	if tr != nil {
+		fmt.Fprintln(os.Stderr)
+		core.Explain(tr.Summary()).WriteText(os.Stderr)
+	}
 	if *metrics {
 		fmt.Fprintln(os.Stderr)
 		if err := obs.WritePrometheus(os.Stderr); err != nil {

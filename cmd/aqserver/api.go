@@ -19,13 +19,13 @@ package main
 import (
 	"encoding/json"
 	"fmt"
-	"log"
 	"mime"
 	"net/http"
 	"strconv"
 	"time"
 
 	"accessquery/internal/obs"
+	"accessquery/internal/obs/olog"
 )
 
 // Stable machine-readable error codes of the JSON error envelope.
@@ -150,7 +150,7 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encoding response: %v", err)
+		olog.Default.Error("encoding response", olog.Err(err))
 	}
 }
 

@@ -33,7 +33,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,12 +42,18 @@ import (
 	"syscall"
 	"time"
 
+	"accessquery/internal/buildinfo"
 	"accessquery/internal/core"
 	"accessquery/internal/gtfs"
 	"accessquery/internal/obs"
+	"accessquery/internal/obs/olog"
 	"accessquery/internal/serve"
 	"accessquery/internal/synth"
 )
+
+// logger is the process logger: structured JSON lines on stderr, stamped
+// with the component.
+var logger = olog.Default.With(olog.F("component", "aqserver"))
 
 type server struct {
 	engine *core.Engine
@@ -56,13 +61,11 @@ type server struct {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("aqserver: ")
 	var (
 		cityName     = flag.String("city", "coventry", "city preset: birmingham or coventry")
 		scale        = flag.Float64("scale", 0.25, "city scale factor")
 		addr         = flag.String("addr", "127.0.0.1:8321", "listen address")
-		debugAddr    = flag.String("debug-addr", "", "optional loopback listener for /metrics and /debug/pprof (e.g. 127.0.0.1:8322)")
+		debugAddr    = flag.String("debug-addr", "", "optional loopback listener for /metrics, /debug/pprof, and /debug/traces (e.g. 127.0.0.1:8322)")
 		workers      = flag.Int("workers", 2, "concurrent engine runs (serving worker pool)")
 		queueDepth   = flag.Int("queue", 32, "admission queue depth; beyond it queries get 429")
 		cacheSize    = flag.Int("cache-size", 64, "result-cache entries (negative disables)")
@@ -71,8 +74,21 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 		labelWorkers = flag.Int("label-workers", 0, "goroutines labeling zones inside one engine run (0 = serial)")
 		parallelism  = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool for offline pre-processing and each query's feature stage (results identical at any setting)")
+		slowQuery    = flag.Duration("slow-query", 0, "log queries at or above this duration with their stage breakdown (0 disables)")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "aqserver")
+		return
+	}
+	if lvl, err := olog.ParseLevel(*logLevel); err != nil {
+		logger.Fatal("bad -log-level", olog.Err(err))
+	} else {
+		olog.Default.SetLevel(lvl)
+	}
+	buildinfo.Register()
 	var cfg synth.Config
 	switch strings.ToLower(*cityName) {
 	case "birmingham":
@@ -80,40 +96,42 @@ func main() {
 	case "coventry":
 		cfg = synth.Coventry()
 	default:
-		log.Fatalf("unknown city %q", *cityName)
+		logger.Fatal("unknown city", olog.F("city", *cityName))
 	}
 	cfg = synth.Scaled(cfg, *scale)
-	log.Printf("generating %s...", cfg.Name)
+	logger.Info("generating city", olog.F("city", cfg.Name), olog.F("scale", *scale))
 	city, err := synth.Generate(cfg)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("generating city", olog.Err(err))
 	}
-	log.Printf("pre-processing (isochrones, hop trees) with %d workers...", *parallelism)
+	logger.Info("pre-processing", olog.F("workers", *parallelism))
 	engine, err := core.NewEngine(city, core.EngineOptions{
 		Interval:    gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday, Label: "weekday AM peak"},
 		Parallelism: *parallelism,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("building engine", olog.Err(err))
 	}
 	// Warm the feature-extractor caches before accepting traffic so the
 	// first query doesn't pay the cold-cache cost.
 	engine.WarmFeatureCaches(*parallelism)
 	s := newServer(engine, serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		CacheSize:  *cacheSize,
-		CacheTTL:   *cacheTTL,
-		JobTimeout: *jobTimeout,
+		Workers:            *workers,
+		QueueDepth:         *queueDepth,
+		CacheSize:          *cacheSize,
+		CacheTTL:           *cacheTTL,
+		JobTimeout:         *jobTimeout,
+		SlowQueryThreshold: *slowQuery,
+		Logger:             logger,
 	}, serve.RunnerConfig{LabelWorkers: *labelWorkers, Parallelism: *parallelism})
 
 	if *debugAddr != "" {
 		dbg, bound, err := obs.StartDebugServer(*debugAddr)
 		if err != nil {
-			log.Fatalf("debug listener: %v", err)
+			logger.Fatal("debug listener", olog.Err(err))
 		}
 		defer dbg.Close()
-		log.Printf("debug endpoints (pprof, metrics) on http://%s", bound)
+		logger.Info("debug endpoints up", olog.F("addr", bound))
 	}
 
 	srv := &http.Server{
@@ -127,26 +145,29 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("ready: %d zones, prep took %v, listening on %s",
-		len(city.Zones), engine.PrepDuration, *addr)
+	logger.Info("ready",
+		olog.F("zones", len(city.Zones)),
+		olog.F("prep", engine.PrepDuration.String()),
+		olog.F("addr", *addr))
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		logger.Fatal("listen", olog.Err(err))
 	case sig := <-sigCh:
-		log.Printf("%s: draining in-flight jobs (up to %v)...", sig, *drainTimeout)
+		logger.Info("draining in-flight jobs",
+			olog.F("signal", sig.String()), olog.F("timeout", drainTimeout.String()))
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", olog.Err(err))
 	}
 	if err := s.mgr.Shutdown(ctx); err != nil {
-		log.Printf("job drain: %v", err)
+		logger.Warn("job drain", olog.Err(err))
 	}
-	log.Printf("bye")
+	logger.Info("bye")
 }
 
 // newServer wires a serve.Manager to the engine through the serving layer's
@@ -297,7 +318,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, code, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, resultBody(res, req.IncludeZones))
+	body := resultBody(res, req.IncludeZones)
+	if r.URL.Query().Get("explain") == "1" {
+		// The job snapshot carries the run's span tree (or, on a cache
+		// hit, the producing run's); fold its execution report in.
+		if rep := core.Explain(job.Snapshot().Trace); rep != nil {
+			body["explain"] = rep
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // writeSubmitError maps admission failures to HTTP codes: a full queue is
@@ -318,13 +347,16 @@ func (s *server) writeSubmitError(w http.ResponseWriter, err error) {
 	}
 }
 
-// handleJob serves GET /v1/jobs/{id}: job state, the stage-latency
-// breakdown of the run, and the result once done.
+// handleJob serves GET /v1/jobs/{id} — job state, the stage-latency
+// breakdown of the run, and the result once done — and
+// GET /v1/jobs/{id}/trace, the run's full span tree (also available for
+// cache-hit jobs, which carry the producing run's trace).
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	id = strings.TrimPrefix(id, "/jobs/") // deprecated unversioned alias
+	id, wantTrace := strings.CutSuffix(id, "/trace")
 	if id == "" || strings.Contains(id, "/") {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "want /v1/jobs/{id}")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "want /v1/jobs/{id} or /v1/jobs/{id}/trace")
 		return
 	}
 	job, err := s.mgr.Get(id)
@@ -333,6 +365,14 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := job.Snapshot()
+	if wantTrace {
+		if snap.Trace == nil {
+			writeError(w, http.StatusNotFound, codeNotFound, "no trace recorded for job "+id)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap.Trace)
+		return
+	}
 	body := map[string]interface{}{
 		"id":        snap.ID,
 		"state":     snap.State,

@@ -1,0 +1,34 @@
+// Package buildinfo identifies the running build. Version is stamped at
+// link time:
+//
+//	go build -ldflags "-X accessquery/internal/buildinfo.Version=v1.2.3" ./cmd/...
+//
+// and defaults to "dev" for plain builds.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"accessquery/internal/obs"
+)
+
+// Version is the build identifier, overridden via -ldflags -X.
+var Version = "dev"
+
+// Register publishes the aq_build_info gauge: constant 1 with the version
+// and Go runtime as labels, the standard join-target for dashboards.
+// Binaries call it from main (not init) so library importers and tests
+// don't register it as a side effect.
+func Register() {
+	obs.Gauge(fmt.Sprintf(`aq_build_info{version=%q,goversion=%q}`,
+		Version, runtime.Version())).Set(1)
+	obs.Default.SetHelp("aq_build_info",
+		"Constant 1, labeled with the build version and Go runtime.")
+}
+
+// Print writes the one-line -version output for binary.
+func Print(w io.Writer, binary string) {
+	fmt.Fprintf(w, "%s %s (%s)\n", binary, Version, runtime.Version())
+}

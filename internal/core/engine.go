@@ -9,6 +9,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -337,13 +338,24 @@ func (e *Engine) Run(q Query) (*Result, error) {
 //
 // Every run feeds the process-wide observability registry: per-stage
 // latency histograms, the end-to-end query histogram, and SPQ counters.
-// When ctx carries an obs.Trace (see obs.WithTrace), the stage durations
-// are also appended to it for per-request reporting.
+// When ctx carries an obs.Trace (see obs.WithTrace), the run also builds a
+// span tree — a "query" span with one attributed child per pipeline stage —
+// for per-request explain reports. Without a trace the same code path
+// allocates nothing extra.
 func (e *Engine) RunContext(ctx context.Context, q Query) (*Result, error) {
 	mQueries.Inc()
-	endQuery := obs.StartSpan(ctx, mQuerySeconds, "query")
-	res, err := e.runContext(ctx, q)
-	endQuery()
+	qd := q.withDefaults()
+	ctx, sp := obs.Start(ctx, "query", mQuerySeconds)
+	sp.SetString("model", string(qd.Model))
+	sp.SetString("cost", qd.Cost.String())
+	sp.SetInt("zones", int64(len(e.zonePts)))
+	sp.SetInt("pois", int64(len(q.POIs)))
+	sp.SetFloat("budget", qd.Budget)
+	res, err := e.runContext(ctx, qd)
+	if err != nil {
+		sp.SetString("error", err.Error())
+	}
+	sp.End()
 	if err != nil {
 		mQueryErrors.Inc()
 	} else {
@@ -372,16 +384,23 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	endStage := obs.StartSpan(ctx, stageMatrix, "matrix")
+	_, sp := obs.Start(ctx, "matrix", stageMatrix)
 	m, poiNodes, poiZones, err := e.buildMatrix(q)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.SetInt("trips", m.Size())
+	sp.SetInt("full_trips", m.FullSize())
+	sp.SetFloat("reduction_pct", m.Reduction())
+	sp.SetInt("zones", int64(nz))
+	sp.SetInt("pois", int64(len(q.POIs)))
+	sp.SetInt("samples_per_hour", int64(q.SamplesPerHour))
 	res.Matrix = m
-	res.Timing.Matrix = endStage()
+	res.Timing.Matrix = sp.End()
 
 	// 2. Sample L by budget and strategy.
-	endStage = obs.StartSpan(ctx, stageSampling, "sampling")
+	_, sp = obs.Start(ctx, "sampling", stageSampling)
 	nl := int(float64(nz)*q.Budget + 0.5)
 	if nl < 2 {
 		nl = 2
@@ -389,16 +408,28 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 	if nl > nz {
 		nl = nz
 	}
+	strategy := q.Sampling
+	if strategy == "" {
+		strategy = SampleRandom
+	}
+	sp.SetFloat("budget", q.Budget)
+	sp.SetString("strategy", string(strategy))
+	sp.SetInt("requested", int64(nl))
+	sp.SetInt("seed", q.Seed)
 	labeledSet, err := sampleZones(q.Sampling, e.zonePts, nl, q.Seed)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
-	endStage()
+	sp.End()
 
 	// 3. Label L.
-	endStage = obs.StartSpan(ctx, stageLabeling, "labeling")
+	_, sp = obs.Start(ctx, "labeling", stageLabeling)
 	measures, spqs, err := e.labelZones(ctx, q, m, poiNodes, labeledSet)
+	sp.SetInt("spqs", spqs)
+	sp.SetInt("workers", int64(q.Workers))
 	if err != nil {
+		sp.End()
 		// The SPQs priced before the failure were real router work; count
 		// them so aq_engine_spqs_total reflects errored runs too. (The
 		// success path is counted once in RunContext.)
@@ -421,7 +452,11 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 		labeledOK = append(labeledOK, zone)
 		yRows = append(yRows, []float64{zm.MAC, zm.ACSD})
 	}
-	res.Timing.Labeling = endStage()
+	sp.SetInt("labeled_zones", int64(len(labeledOK)))
+	if len(labeledOK) > 0 {
+		sp.SetFloat("walk_only_share", walkShareSum/float64(len(labeledOK)))
+	}
+	res.Timing.Labeling = sp.End()
 	res.Timing.SPQs = spqs
 	if len(labeledOK) < 2 {
 		return nil, fmt.Errorf("core: only %d labelable zones at budget %.3f; raise the budget", len(labeledOK), q.Budget)
@@ -434,7 +469,7 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 	// afterwards, so the matrices are bit-identical to the serial loop's
 	// regardless of worker scheduling. (labeledSet is sorted, so yRows —
 	// appended in labeledSet order above — stay row-aligned with xRows.)
-	endStage = obs.StartSpan(ctx, stageFeatures, "features")
+	_, sp = obs.Start(ctx, "features", stageFeatures)
 	isLabeled := make([]bool, nz)
 	for _, z := range labeledOK {
 		isLabeled[z] = true
@@ -444,6 +479,12 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 	if fw == 0 {
 		fw = e.parallelism
 	}
+	// Snapshot the extractor's lazy-cache counters around the stage so the
+	// span carries this query's hit/miss delta (approximate when other
+	// queries share the extractor concurrently).
+	hits0, misses0 := e.extractor.CacheStats()
+	sp.SetInt("zones", int64(nz))
+	sp.SetInt("parallelism", int64(fw))
 	if err := par.ForContext(ctx, fw, nz, func(zone int) error {
 		v, err := e.extractor.OriginVector(zone, m.Row(zone), q.POIs, poiZones)
 		if err != nil {
@@ -452,8 +493,12 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 		vecs[zone] = v
 		return nil
 	}); err != nil {
+		sp.End()
 		return nil, err
 	}
+	hits1, misses1 := e.extractor.CacheStats()
+	sp.SetInt("cache_hits", hits1-hits0)
+	sp.SetInt("cache_misses", misses1-misses0)
 	var unlabeled []int
 	var xuRows [][]float64
 	for zone := 0; zone < nz; zone++ {
@@ -464,16 +509,36 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 			xuRows = append(xuRows, vecs[zone])
 		}
 	}
-	res.Timing.Features = endStage()
+	res.Timing.Features = sp.End()
 
 	// 5. Train and infer.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	endStage = obs.StartSpan(ctx, stageTraining, "training")
-	preds, err := e.trainPredict(q, labeledOK, unlabeled, xRows, yRows, xuRows)
+	_, sp = obs.Start(ctx, "training", stageTraining)
+	sp.SetString("model", string(q.Model))
+	sp.SetInt("labeled_rows", int64(len(xRows)))
+	sp.SetInt("unlabeled_rows", int64(len(xuRows)))
+	preds, diag, err := e.trainPredict(q, labeledOK, unlabeled, xRows, yRows, xuRows)
 	if err != nil {
+		sp.End()
 		return nil, err
+	}
+	if diag != nil {
+		if diag.hasInfo {
+			sp.SetInt("iterations", int64(diag.info.Iterations))
+			sp.SetBool("converged", diag.info.Converged)
+			if diag.info.InitialLoss != 0 || diag.info.FinalLoss != 0 {
+				sp.SetFloat("initial_loss", diag.info.InitialLoss)
+				sp.SetFloat("final_loss", diag.info.FinalLoss)
+			}
+		}
+		if diag.hasFit {
+			sp.SetFloat("rmse_mac", diag.rmse[0])
+			sp.SetFloat("rmse_acsd", diag.rmse[1])
+			sp.SetFloat("r2_mac", diag.r2[0])
+			sp.SetFloat("r2_acsd", diag.r2[1])
+		}
 	}
 	for r, zone := range unlabeled {
 		mac := preds.At(r, 0)
@@ -488,7 +553,7 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 		res.ACSD[zone] = acsd
 		res.Valid[zone] = true
 	}
-	res.Timing.Training = endStage()
+	res.Timing.Training = sp.End()
 
 	e.finishMeasures(res)
 	return res, nil
@@ -584,23 +649,36 @@ func (e *Engine) labelZones(ctx context.Context, q Query, m *todam.Matrix, poiNo
 	return out, spqs, nil
 }
 
+// trainDiag carries the training-stage diagnostics a trace's "training"
+// span surfaces: the model's own convergence report and the in-sample
+// (labeled-zone) fit quality in original target units.
+type trainDiag struct {
+	info    ml.TrainInfo
+	hasInfo bool
+	// rmse and r2 are per-target-column (MAC, ACSD) in-sample metrics.
+	rmse   [2]float64
+	r2     [2]float64
+	hasFit bool
+}
+
 // trainPredict standardizes, fits the selected model, and returns
-// de-standardized predictions for the unlabeled zones.
-func (e *Engine) trainPredict(q Query, labeled, unlabeled []int, xRows, yRows, xuRows [][]float64) (*mat.Dense, error) {
+// de-standardized predictions for the unlabeled zones plus training
+// diagnostics (never nil on success).
+func (e *Engine) trainPredict(q Query, labeled, unlabeled []int, xRows, yRows, xuRows [][]float64) (*mat.Dense, *trainDiag, error) {
 	x, err := mat.FromRows(xRows)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	y, err := mat.FromRows(yRows)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	xu, err := mat.FromRows(xuRows)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if xu.Rows() == 0 {
-		return mat.New(0, y.Cols()), nil
+		return mat.New(0, y.Cols()), &trainDiag{}, nil
 	}
 	// Standardize features with statistics over L ∪ U: features exist for
 	// every zone, and using only the labeled subset can leave a column
@@ -608,32 +686,32 @@ func (e *Engine) trainPredict(q Query, labeled, unlabeled []int, xRows, yRows, x
 	// unlabeled zones, exploding predictions.
 	stacked, err := mat.FromRows(append(append([][]float64{}, xRows...), xuRows...))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fm, fs := mat.ColumnStats(stacked)
 	xs, err := mat.Standardize(x, fm, fs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	xus, err := mat.Standardize(xu, fm, fs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tm, ts := mat.ColumnStats(y)
 	ys, err := mat.Standardize(y, tm, ts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	model, err := e.newModel(q, labeled, unlabeled)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := model.Fit(xs, ys, xus); err != nil {
-		return nil, fmt.Errorf("core: fitting %s: %w", q.Model, err)
+		return nil, nil, fmt.Errorf("core: fitting %s: %w", q.Model, err)
 	}
 	preds, err := model.Predict(xus)
 	if err != nil {
-		return nil, fmt.Errorf("core: predicting with %s: %w", q.Model, err)
+		return nil, nil, fmt.Errorf("core: predicting with %s: %w", q.Model, err)
 	}
 	// De-standardize targets.
 	out := mat.New(preds.Rows(), preds.Cols())
@@ -642,7 +720,53 @@ func (e *Engine) trainPredict(q Query, labeled, unlabeled []int, xRows, yRows, x
 			out.Set(i, j, preds.At(i, j)*ts[j]+tm[j])
 		}
 	}
-	return out, nil
+	diag := &trainDiag{}
+	if d, ok := model.(ml.Diagnoser); ok {
+		diag.info = d.TrainInfo()
+		diag.hasInfo = true
+	}
+	diag.inSample(model, xs, y, tm, ts)
+	return out, diag, nil
+}
+
+// inSample fills the diagnostic's RMSE/R² by predicting the labeled rows
+// and comparing, in original units, against the true targets. The GNN is
+// transductive — Predict only accepts the unlabeled rows — so its cached
+// labeled-node predictions are used instead. Diagnostics are best-effort:
+// a model that cannot re-predict its training rows simply leaves hasFit
+// false rather than failing the query.
+func (d *trainDiag) inSample(model ml.Model, xs, y *mat.Dense, tm, ts []float64) {
+	var preds *mat.Dense
+	var err error
+	if g, ok := model.(*ml.GNN); ok {
+		preds, err = g.LabeledPredictions()
+	} else {
+		preds, err = model.Predict(xs)
+	}
+	if err != nil || preds == nil || preds.Rows() != y.Rows() || preds.Cols() != y.Cols() || y.Cols() > len(d.rmse) {
+		return
+	}
+	n := float64(y.Rows())
+	for j := 0; j < y.Cols(); j++ {
+		var mean float64
+		for i := 0; i < y.Rows(); i++ {
+			mean += y.At(i, j)
+		}
+		mean /= n
+		var ssRes, ssTot float64
+		for i := 0; i < y.Rows(); i++ {
+			p := preds.At(i, j)*ts[j] + tm[j]
+			r := y.At(i, j) - p
+			ssRes += r * r
+			t := y.At(i, j) - mean
+			ssTot += t * t
+		}
+		d.rmse[j] = math.Sqrt(ssRes / n)
+		if ssTot > 0 {
+			d.r2[j] = 1 - ssRes/ssTot
+		}
+	}
+	d.hasFit = true
 }
 
 func (e *Engine) newModel(q Query, labeled, unlabeled []int) (ml.Model, error) {

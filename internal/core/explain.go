@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"accessquery/internal/obs"
+)
+
+// ExplainStage is one pipeline stage in an execution report: its wall-clock
+// cost and the attributes its span recorded.
+type ExplainStage struct {
+	Name    string         `json:"name"`
+	Seconds float64        `json:"seconds"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// ExplainReport is the per-query execution report assembled from a run's
+// trace: the headline cost-model quantities the paper's Table II
+// decomposes (TODAM reduction, SPQ count, per-stage time) plus model
+// convergence and in-sample fit, with the full span tree attached.
+type ExplainReport struct {
+	TraceID string  `json:"trace_id"`
+	Seconds float64 `json:"seconds"`
+
+	Model        string `json:"model,omitempty"`
+	Zones        int64  `json:"zones,omitempty"`
+	LabeledZones int64  `json:"labeled_zones,omitempty"`
+	SPQs         int64  `json:"spqs,omitempty"`
+
+	// TODAM size: trips priced against the O(|Z||P||R|) full matrix.
+	MatrixTrips        int64   `json:"matrix_trips,omitempty"`
+	MatrixFullTrips    int64   `json:"matrix_full_trips,omitempty"`
+	MatrixReductionPct float64 `json:"matrix_reduction_pct,omitempty"`
+
+	FeatureCacheHits   int64 `json:"feature_cache_hits"`
+	FeatureCacheMisses int64 `json:"feature_cache_misses"`
+
+	TrainingIterations int64   `json:"training_iterations,omitempty"`
+	TrainingConverged  bool    `json:"training_converged"`
+	RMSEMAC            float64 `json:"rmse_mac,omitempty"`
+	RMSEACSD           float64 `json:"rmse_acsd,omitempty"`
+	R2MAC              float64 `json:"r2_mac,omitempty"`
+	R2ACSD             float64 `json:"r2_acsd,omitempty"`
+
+	Stages []ExplainStage    `json:"stages"`
+	Trace  *obs.TraceSummary `json:"trace,omitempty"`
+}
+
+// attrInt reads an integer attribute from a span node's attribute map.
+func attrInt(n *obs.SpanNode, key string) int64 {
+	if n == nil {
+		return 0
+	}
+	v, _ := n.Attrs[key].(int64)
+	return v
+}
+
+func attrFloat(n *obs.SpanNode, key string) float64 {
+	if n == nil {
+		return 0
+	}
+	switch v := n.Attrs[key].(type) {
+	case float64:
+		return v
+	case int64:
+		return float64(v)
+	}
+	return 0
+}
+
+func attrString(n *obs.SpanNode, key string) string {
+	if n == nil {
+		return ""
+	}
+	v, _ := n.Attrs[key].(string)
+	return v
+}
+
+func attrBool(n *obs.SpanNode, key string) bool {
+	if n == nil {
+		return false
+	}
+	v, _ := n.Attrs[key].(bool)
+	return v
+}
+
+// Explain assembles an execution report from a completed run's trace
+// summary. It tolerates partial trees (errored runs, dropped spans):
+// missing stages simply leave their fields zero. Returns nil for a nil
+// summary.
+func Explain(sum *obs.TraceSummary) *ExplainReport {
+	if sum == nil {
+		return nil
+	}
+	r := &ExplainReport{
+		TraceID: sum.TraceID,
+		Seconds: sum.Seconds,
+		Trace:   sum,
+	}
+	query := sum.Find("query")
+	r.Model = attrString(query, "model")
+	r.Zones = attrInt(query, "zones")
+
+	matrix := sum.Find("matrix")
+	r.MatrixTrips = attrInt(matrix, "trips")
+	r.MatrixFullTrips = attrInt(matrix, "full_trips")
+	r.MatrixReductionPct = attrFloat(matrix, "reduction_pct")
+
+	labeling := sum.Find("labeling")
+	r.SPQs = attrInt(labeling, "spqs")
+	r.LabeledZones = attrInt(labeling, "labeled_zones")
+
+	feat := sum.Find("features")
+	r.FeatureCacheHits = attrInt(feat, "cache_hits")
+	r.FeatureCacheMisses = attrInt(feat, "cache_misses")
+
+	training := sum.Find("training")
+	r.TrainingIterations = attrInt(training, "iterations")
+	r.TrainingConverged = attrBool(training, "converged")
+	r.RMSEMAC = attrFloat(training, "rmse_mac")
+	r.RMSEACSD = attrFloat(training, "rmse_acsd")
+	r.R2MAC = attrFloat(training, "r2_mac")
+	r.R2ACSD = attrFloat(training, "r2_acsd")
+	if r.Model == "" {
+		r.Model = attrString(training, "model")
+	}
+
+	// Flatten the query's direct pipeline stages (plus any serving-layer
+	// spans above it, e.g. queue_wait) into report rows, in start order.
+	for _, root := range sum.Spans {
+		root.Walk(func(n *obs.SpanNode) {
+			switch n.Name {
+			case "queue_wait", "matrix", "sampling", "labeling", "features", "training":
+				r.Stages = append(r.Stages, ExplainStage{Name: n.Name, Seconds: n.Seconds, Attrs: n.Attrs})
+			}
+		})
+	}
+	sortStagesByStart(r.Stages, sum)
+	return r
+}
+
+// sortStagesByStart keeps report rows in execution order even when spans
+// from different subtrees interleave.
+func sortStagesByStart(stages []ExplainStage, sum *obs.TraceSummary) {
+	startOf := make(map[string]float64, len(stages))
+	for _, st := range stages {
+		if n := sum.Find(st.Name); n != nil {
+			startOf[st.Name] = n.StartMS
+		}
+	}
+	sort.SliceStable(stages, func(i, j int) bool {
+		return startOf[stages[i].Name] < startOf[stages[j].Name]
+	})
+}
+
+// WriteText renders the report for terminals (the aqquery -explain output).
+func (r *ExplainReport) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	fmt.Fprintf(w, "query %s: %.3fs", r.TraceID, r.Seconds)
+	if r.Model != "" {
+		fmt.Fprintf(w, "  model=%s", r.Model)
+	}
+	fmt.Fprintln(w)
+	if r.MatrixFullTrips > 0 {
+		fmt.Fprintf(w, "  todam: %d trips (full %d, %.1f%% reduction)\n",
+			r.MatrixTrips, r.MatrixFullTrips, r.MatrixReductionPct)
+	}
+	if r.Zones > 0 {
+		fmt.Fprintf(w, "  labeling: %d/%d zones labeled, %d SPQs\n", r.LabeledZones, r.Zones, r.SPQs)
+	}
+	fmt.Fprintf(w, "  feature cache: %d hits, %d misses\n", r.FeatureCacheHits, r.FeatureCacheMisses)
+	if r.TrainingIterations > 0 {
+		fmt.Fprintf(w, "  training: %d iterations, converged=%v, in-sample RMSE mac=%.3f acsd=%.3f, R² mac=%.3f acsd=%.3f\n",
+			r.TrainingIterations, r.TrainingConverged, r.RMSEMAC, r.RMSEACSD, r.R2MAC, r.R2ACSD)
+	}
+	for _, st := range r.Stages {
+		fmt.Fprintf(w, "  %-10s %9.3fms\n", st.Name, st.Seconds*1e3)
+	}
+}

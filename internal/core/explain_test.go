@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"accessquery/internal/obs"
+)
+
+// buildExplainTrace assembles a trace shaped like a served query run —
+// job root, queue wait, query with the five engine stages — with the
+// attribute vocabulary the engine records.
+func buildExplainTrace() *obs.Trace {
+	tr := obs.NewTrace()
+	ctx := obs.WithTrace(context.Background(), tr)
+	ctx, job := obs.Start(ctx, "job", nil)
+	obs.RecordSpan(ctx, "queue_wait", 0)
+	qctx, query := obs.Start(ctx, "query", nil)
+	query.SetString("model", "MLP")
+	query.SetInt("zones", 50)
+
+	_, sp := obs.Start(qctx, "matrix", nil)
+	sp.SetInt("trips", 1200)
+	sp.SetInt("full_trips", 6000)
+	sp.SetFloat("reduction_pct", 80)
+	sp.End()
+	_, sp = obs.Start(qctx, "sampling", nil)
+	sp.End()
+	_, sp = obs.Start(qctx, "labeling", nil)
+	sp.SetInt("spqs", 10)
+	sp.SetInt("labeled_zones", 10)
+	sp.End()
+	_, sp = obs.Start(qctx, "features", nil)
+	sp.SetInt("cache_hits", 40)
+	sp.SetInt("cache_misses", 10)
+	sp.End()
+	_, sp = obs.Start(qctx, "training", nil)
+	sp.SetInt("iterations", 200)
+	sp.SetBool("converged", true)
+	sp.SetFloat("rmse_mac", 123.5)
+	sp.SetFloat("r2_mac", 0.9)
+	sp.End()
+
+	query.End()
+	job.End()
+	return tr
+}
+
+func TestExplainFieldMapping(t *testing.T) {
+	r := Explain(buildExplainTrace().Summary())
+	if r == nil {
+		t.Fatal("Explain returned nil for a populated trace")
+	}
+	if r.Model != "MLP" || r.Zones != 50 {
+		t.Errorf("model/zones = %s/%d", r.Model, r.Zones)
+	}
+	if r.MatrixTrips != 1200 || r.MatrixFullTrips != 6000 || r.MatrixReductionPct != 80 {
+		t.Errorf("matrix fields = %d/%d/%.1f", r.MatrixTrips, r.MatrixFullTrips, r.MatrixReductionPct)
+	}
+	if r.SPQs != 10 || r.LabeledZones != 10 {
+		t.Errorf("labeling fields = %d/%d", r.SPQs, r.LabeledZones)
+	}
+	if r.FeatureCacheHits != 40 || r.FeatureCacheMisses != 10 {
+		t.Errorf("cache fields = %d/%d", r.FeatureCacheHits, r.FeatureCacheMisses)
+	}
+	if r.TrainingIterations != 200 || !r.TrainingConverged {
+		t.Errorf("training fields = %d/%v", r.TrainingIterations, r.TrainingConverged)
+	}
+	if r.RMSEMAC != 123.5 || r.R2MAC != 0.9 {
+		t.Errorf("fit fields = %.1f/%.2f", r.RMSEMAC, r.R2MAC)
+	}
+	if r.Trace == nil || r.TraceID == "" {
+		t.Error("report must carry the trace and its ID")
+	}
+
+	// Stage rows cover the serving wait plus all five engine stages, in
+	// execution order.
+	names := make([]string, len(r.Stages))
+	for i, st := range r.Stages {
+		names[i] = st.Name
+	}
+	want := []string{"queue_wait", "matrix", "sampling", "labeling", "features", "training"}
+	if len(names) != len(want) {
+		t.Fatalf("stages = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("stages = %v, want %v (execution order)", names, want)
+		}
+	}
+}
+
+func TestExplainTolerates(t *testing.T) {
+	if Explain(nil) != nil {
+		t.Error("Explain(nil) should be nil")
+	}
+	// A partial trace (errored run that never reached training) still
+	// yields a report with the stages that did run.
+	tr := obs.NewTrace()
+	ctx := obs.WithTrace(context.Background(), tr)
+	_, sp := obs.Start(ctx, "matrix", nil)
+	sp.SetInt("trips", 5)
+	sp.End()
+	r := Explain(tr.Summary())
+	if r == nil || r.MatrixTrips != 5 {
+		t.Fatalf("partial report = %+v", r)
+	}
+	if len(r.Stages) != 1 || r.Stages[0].Name != "matrix" {
+		t.Errorf("partial stages = %+v", r.Stages)
+	}
+	if r.TrainingConverged {
+		t.Error("missing training should read as not converged")
+	}
+}
+
+func TestExplainWriteText(t *testing.T) {
+	var b strings.Builder
+	Explain(buildExplainTrace().Summary()).WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"model=MLP",
+		"todam: 1200 trips (full 6000, 80.0% reduction)",
+		"labeling: 10/50 zones labeled, 10 SPQs",
+		"feature cache: 40 hits, 10 misses",
+		"training: 200 iterations, converged=true",
+		"queue_wait", "matrix", "sampling", "features",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+	var nilReport *ExplainReport
+	nilReport.WriteText(&b) // must not panic
+}

@@ -124,7 +124,7 @@ func (e *Engine) RunOD(q Query) (*Result, error) {
 	// Train and infer pair costs.
 	t0 = time.Now()
 	if len(xuRows) > 0 {
-		preds, err := e.trainPredict(q, nil, nil, xRows, yRows, xuRows)
+		preds, _, err := e.trainPredict(q, nil, nil, xRows, yRows, xuRows)
 		if err != nil {
 			return nil, err
 		}

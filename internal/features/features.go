@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"accessquery/internal/geo"
 	"accessquery/internal/hoptree"
@@ -71,6 +72,30 @@ type Extractor struct {
 	reachFrac map[int]float64
 	// hopsTo caches per-origin hop counts.
 	hopsTo map[int]map[int]int
+
+	// cacheHits/cacheMisses count lazy-cache outcomes for this extractor,
+	// alongside the process-wide metrics. Engine runs snapshot them around a
+	// query to attribute cache behaviour per stage; the counts are shared by
+	// all concurrent users of the extractor, so per-query deltas are an
+	// approximation under concurrency.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+// CacheStats returns the cumulative lazy-cache hit and miss counts for this
+// extractor.
+func (e *Extractor) CacheStats() (hits, misses int64) {
+	return e.cacheHits.Load(), e.cacheMisses.Load()
+}
+
+func (e *Extractor) cacheHit() {
+	e.cacheHits.Add(1)
+	mCacheHits.Inc()
+}
+
+func (e *Extractor) cacheMiss() {
+	e.cacheMisses.Add(1)
+	mCacheMisses.Inc()
 }
 
 // NewExtractor builds an extractor. zones are zone centroids indexed like
@@ -205,10 +230,10 @@ func (e *Extractor) hopsFor(origin int) map[int]int {
 	m, ok := e.hopsTo[origin]
 	e.mu.RUnlock()
 	if ok {
-		mCacheHits.Inc()
+		e.cacheHit()
 		return m
 	}
-	mCacheMisses.Inc()
+	e.cacheMiss()
 	m = e.forest.ReachableWithin(origin, e.Hops)
 	e.mu.Lock()
 	if prev, ok := e.hopsTo[origin]; ok {
@@ -225,10 +250,10 @@ func (e *Extractor) reachFraction(origin int) float64 {
 	f, ok := e.reachFrac[origin]
 	e.mu.RUnlock()
 	if ok {
-		mCacheHits.Inc()
+		e.cacheHit()
 		return f
 	}
-	mCacheMisses.Inc()
+	e.cacheMiss()
 	f = float64(len(e.hopsFor(origin))) / float64(len(e.zones))
 	e.mu.Lock()
 	e.reachFrac[origin] = f
@@ -285,10 +310,10 @@ func (e *Extractor) ibTreeFor(destZone int) *spatial.KDTree {
 	t, ok := e.ibTrees[destZone]
 	e.mu.RUnlock()
 	if ok {
-		mCacheHits.Inc()
+		e.cacheHit()
 		return t
 	}
-	mCacheMisses.Inc()
+	e.cacheMiss()
 	ib := e.forest.Inbound(destZone)
 	items := make([]spatial.Item, 0, ib.Size())
 	for zone := range ib.Leaves {

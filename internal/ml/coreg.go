@@ -91,6 +91,7 @@ type COREG struct {
 
 	h1, h2 *knnRegressor
 	dim    int
+	info   TrainInfo
 }
 
 // NewCOREG returns a COREG model with the original paper's parameters.
@@ -130,6 +131,8 @@ func (c *COREG) Fit(x, y, xu *mat.Dense) error {
 		c.h2.add(xi, yi)
 	}
 	if xu == nil || xu.Rows() == 0 {
+		// No pseudo-labeling pool: the supervised k-NN pair is the fit.
+		c.info = TrainInfo{Iterations: 0, Converged: true}
 		return nil
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
@@ -138,7 +141,9 @@ func (c *COREG) Fit(x, y, xu *mat.Dense) error {
 		unlabeled[i] = append([]float64(nil), xu.Row(i)...)
 	}
 	used := make([]bool, len(unlabeled))
+	ran, fixedPoint := 0, false
 	for it := 0; it < iters; it++ {
+		ran = it + 1
 		moved := false
 		for _, pair := range []struct{ self, other *knnRegressor }{
 			{c.h1, c.h2}, {c.h2, c.h1},
@@ -152,11 +157,18 @@ func (c *COREG) Fit(x, y, xu *mat.Dense) error {
 			moved = true
 		}
 		if !moved {
+			fixedPoint = true
 			break
 		}
 	}
+	// Converged means the pseudo-labeling loop reached a fixed point (no
+	// confident example left to transfer) before hitting the iteration cap.
+	c.info = TrainInfo{Iterations: ran, Converged: fixedPoint}
 	return nil
 }
+
+// TrainInfo implements Diagnoser.
+func (c *COREG) TrainInfo() TrainInfo { return c.info }
 
 // selectConfident scans a random pool of unused unlabeled examples and
 // returns the index whose inclusion most reduces the regressor's error on

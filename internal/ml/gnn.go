@@ -120,6 +120,7 @@ type GNN struct {
 	w1, w2 *mat.Dense
 	b1, b2 []float64
 	cached *mat.Dense // full-node predictions after Fit
+	info   TrainInfo
 }
 
 // NewGNN returns a GNN with the experiment defaults.
@@ -202,6 +203,7 @@ func (g *GNN) Fit(x, y, xu *mat.Dense) error {
 	}, lr)
 	net := &network{sizes: []int{d, hidden, k}, w: []*mat.Dense{g.w1, g.w2}, b: [][]float64{g.b1, g.b2}}
 
+	var firstLoss, lastLoss float64
 	for e := 0; e < epochs; e++ {
 		z1, err := mat.Mul(p, g.w1)
 		if err != nil {
@@ -222,17 +224,26 @@ func (g *GNN) Fit(x, y, xu *mat.Dense) error {
 		if err := z2.AddRowVector(g.b2); err != nil {
 			return err
 		}
-		// Loss gradient only on labeled rows.
+		// Loss gradient only on labeled rows; the same residuals give the
+		// epoch's training MSE for the convergence diagnostics.
 		dOut := mat.New(g.adj.N(), k)
 		scale := 2 / float64(len(g.labeled)*k)
+		var loss float64
 		for r, node := range g.labeled {
 			drow := dOut.Row(node)
 			zrow := z2.Row(node)
 			yrow := y.Row(r)
 			for j := 0; j < k; j++ {
-				drow[j] = (zrow[j] - yrow[j]) * scale
+				resid := zrow[j] - yrow[j]
+				drow[j] = resid * scale
+				loss += resid * resid
 			}
 		}
+		loss /= float64(len(g.labeled) * k)
+		if e == 0 {
+			firstLoss = loss
+		}
+		lastLoss = loss
 		// Backprop.
 		dW2, err := mat.Mul(q.Transpose(), dOut)
 		if err != nil {
@@ -269,7 +280,31 @@ func (g *GNN) Fit(x, y, xu *mat.Dense) error {
 		return err
 	}
 	g.cached = out
+	g.info = TrainInfo{
+		Iterations:  epochs,
+		Converged:   lossConverged(firstLoss, lastLoss),
+		InitialLoss: firstLoss,
+		FinalLoss:   lastLoss,
+	}
 	return nil
+}
+
+// TrainInfo implements Diagnoser.
+func (g *GNN) TrainInfo() TrainInfo { return g.info }
+
+// LabeledPredictions returns the cached post-Fit predictions for the
+// labeled nodes, row-aligned with the labeled rows given to Fit. Predict
+// is transductive (unlabeled rows only), so in-sample diagnostics need
+// this separate accessor.
+func (g *GNN) LabeledPredictions() (*mat.Dense, error) {
+	if g.cached == nil {
+		return nil, fmt.Errorf("ml/gnn: model not fitted")
+	}
+	out := mat.New(len(g.labeled), g.cached.Cols())
+	for r, node := range g.labeled {
+		copy(out.Row(r), g.cached.Row(node))
+	}
+	return out, nil
 }
 
 func (g *GNN) forwardAll(p *mat.Dense) (*mat.Dense, error) {

@@ -65,6 +65,11 @@ func (k *KRR) Fit(x, y, _ *mat.Dense) error {
 	return nil
 }
 
+// TrainInfo implements Diagnoser for the closed-form solver.
+func (k *KRR) TrainInfo() TrainInfo {
+	return TrainInfo{Iterations: 1, Converged: k.alpha != nil}
+}
+
 // Predict implements Model.
 func (k *KRR) Predict(x *mat.Dense) (*mat.Dense, error) {
 	if k.alpha == nil {
@@ -199,6 +204,11 @@ func (m *LapRLS) Fit(x, y, xu *mat.Dense) error {
 	}
 	m.alpha = alpha
 	return nil
+}
+
+// TrainInfo implements Diagnoser for the closed-form solver.
+func (m *LapRLS) TrainInfo() TrainInfo {
+	return TrainInfo{Iterations: 1, Converged: m.alpha != nil}
 }
 
 // laplacian builds the unnormalized Laplacian of a symmetric k-NN RBF

@@ -31,6 +31,7 @@ type MeanTeacher struct {
 	Seed int64
 
 	teacher *network
+	info    TrainInfo
 }
 
 // NewMeanTeacher returns a Mean Teacher model with the experiment defaults.
@@ -82,16 +83,21 @@ func (m *MeanTeacher) Fit(x, y, xu *mat.Dense) error {
 	teacher := student.clone()
 	opt := newAdam(student, lr)
 	hasU := xu != nil && xu.Rows() > 0
+	var firstLoss, lastLoss float64
 	for e := 0; e < epochs; e++ {
 		// Supervised pass.
 		zs, as, err := student.forward(x)
 		if err != nil {
 			return fmt.Errorf("ml/mt: %w", err)
 		}
-		delta, _, err := mseDelta(as[len(as)-1], y)
+		delta, loss, err := mseDelta(as[len(as)-1], y)
 		if err != nil {
 			return fmt.Errorf("ml/mt: %w", err)
 		}
+		if e == 0 {
+			firstLoss = loss
+		}
+		lastLoss = loss
 		g, err := student.backward(zs, as, delta)
 		if err != nil {
 			return fmt.Errorf("ml/mt: %w", err)
@@ -125,8 +131,18 @@ func (m *MeanTeacher) Fit(x, y, xu *mat.Dense) error {
 		emaUpdate(teacher, student, decay)
 	}
 	m.teacher = teacher
+	m.info = TrainInfo{
+		Iterations:  epochs,
+		Converged:   lossConverged(firstLoss, lastLoss),
+		InitialLoss: firstLoss,
+		FinalLoss:   lastLoss,
+	}
 	return nil
 }
+
+// TrainInfo implements Diagnoser; the loss trajectory tracks the
+// student's supervised term.
+func (m *MeanTeacher) TrainInfo() TrainInfo { return m.info }
 
 // Predict implements Model using the teacher network (the better-averaged
 // model, as in the original paper).

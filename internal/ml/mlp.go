@@ -23,7 +23,8 @@ type MLP struct {
 	// Seed drives weight initialization.
 	Seed int64
 
-	net *network
+	net  *network
+	info TrainInfo
 }
 
 // NewMLP returns an MLP with the experiment defaults.
@@ -57,15 +58,20 @@ func (m *MLP) Fit(x, y, _ *mat.Dense) error {
 	rng := rand.New(rand.NewSource(m.Seed))
 	net := newNetwork(sizes, rng)
 	opt := newAdam(net, lr)
+	var firstLoss, lastLoss float64
 	for e := 0; e < epochs; e++ {
 		zs, as, err := net.forward(x)
 		if err != nil {
 			return fmt.Errorf("ml/mlp: %w", err)
 		}
-		delta, _, err := mseDelta(as[len(as)-1], y)
+		delta, loss, err := mseDelta(as[len(as)-1], y)
 		if err != nil {
 			return fmt.Errorf("ml/mlp: %w", err)
 		}
+		if e == 0 {
+			firstLoss = loss
+		}
+		lastLoss = loss
 		g, err := net.backward(zs, as, delta)
 		if err != nil {
 			return fmt.Errorf("ml/mlp: %w", err)
@@ -74,8 +80,17 @@ func (m *MLP) Fit(x, y, _ *mat.Dense) error {
 		opt.step(net, g)
 	}
 	m.net = net
+	m.info = TrainInfo{
+		Iterations:  epochs,
+		Converged:   lossConverged(firstLoss, lastLoss),
+		InitialLoss: firstLoss,
+		FinalLoss:   lastLoss,
+	}
 	return nil
 }
+
+// TrainInfo implements Diagnoser.
+func (m *MLP) TrainInfo() TrainInfo { return m.info }
 
 // Predict implements Model.
 func (m *MLP) Predict(x *mat.Dense) (*mat.Dense, error) {

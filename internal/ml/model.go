@@ -11,10 +11,45 @@ package ml
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"accessquery/internal/mat"
 )
+
+// TrainInfo summarizes how a model's most recent Fit went, the
+// convergence diagnostics a per-query explain report surfaces.
+type TrainInfo struct {
+	// Iterations is the number of training iterations (epochs for the
+	// network models, pseudo-labeling rounds for COREG) actually run;
+	// 1 for closed-form solvers.
+	Iterations int `json:"iterations"`
+	// Converged reports whether training reached a stable fit: the final
+	// training loss is finite and no worse than the initial one for
+	// iterative models, the loop reached a fixed point for COREG, and
+	// always true for closed-form solvers that produced a solution.
+	Converged bool `json:"converged"`
+	// InitialLoss and FinalLoss bracket the training-loss trajectory on
+	// standardized targets (MSE). Zero for models without a loss curve.
+	InitialLoss float64 `json:"initial_loss,omitempty"`
+	FinalLoss   float64 `json:"final_loss,omitempty"`
+}
+
+// Diagnoser is implemented by models that report training diagnostics.
+// Callers type-assert after Fit; models that don't implement it simply
+// produce no convergence attributes.
+type Diagnoser interface {
+	TrainInfo() TrainInfo
+}
+
+// lossConverged is the shared convergence heuristic for loss-curve
+// models: training must not have diverged.
+func lossConverged(initial, final float64) bool {
+	if math.IsNaN(final) || math.IsInf(final, 0) {
+		return false
+	}
+	return final <= initial || initial == 0
+}
 
 // Model is a trainable multi-output regressor.
 type Model interface {

@@ -52,6 +52,12 @@ func (o *OLS) Fit(x, y, _ *mat.Dense) error {
 	return nil
 }
 
+// TrainInfo implements Diagnoser: the closed-form solve either produced
+// weights or Fit returned an error, so one "iteration", converged.
+func (o *OLS) TrainInfo() TrainInfo {
+	return TrainInfo{Iterations: 1, Converged: o.weights != nil}
+}
+
 // Predict implements Model.
 func (o *OLS) Predict(x *mat.Dense) (*mat.Dense, error) {
 	if o.weights == nil {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -16,12 +17,26 @@ func MetricsHandler(r *Registry) http.Handler {
 	})
 }
 
-// DebugMux returns a mux exposing the Default registry at /metrics and the
-// runtime profiler under /debug/pprof/, the surface a -debug-addr listener
-// serves so a loaded server can be profiled without redeploying.
+// TracesHandler returns an http.Handler that renders r's retained traces
+// as a JSON array, newest first.
+func TracesHandler(r *TraceRing) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// DebugMux returns a mux exposing the Default registry at /metrics, the
+// last completed traces at /debug/traces, and the runtime profiler under
+// /debug/pprof/ — the surface a -debug-addr listener serves so a loaded
+// server can be profiled and its recent queries inspected without
+// redeploying.
 func DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(Default))
+	mux.Handle("/debug/traces", TracesHandler(Traces))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

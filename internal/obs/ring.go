@@ -1,0 +1,79 @@
+package obs
+
+import "sync"
+
+// TraceRing is a bounded ring buffer of the last N completed traces. A
+// serving layer publishes every finished trace into it, giving an
+// operator a flight-recorder view — "what did the last requests actually
+// do" — at /debug/traces without any external tracing infrastructure.
+// Old traces are evicted in completion order.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []*TraceSummary
+	next  int    // slot the next Add writes
+	total uint64 // lifetime adds, for eviction accounting
+}
+
+// DefaultTraceRingSize is the capacity of the package-level Traces ring.
+const DefaultTraceRingSize = 64
+
+// Traces is the process-wide ring the serving layer publishes completed
+// traces into and DebugMux exposes at /debug/traces.
+var Traces = NewTraceRing(DefaultTraceRingSize)
+
+// NewTraceRing returns an empty ring holding at most n traces.
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = DefaultTraceRingSize
+	}
+	return &TraceRing{buf: make([]*TraceSummary, n)}
+}
+
+// Add records a completed trace, evicting the oldest when full. Nil
+// summaries are ignored.
+func (r *TraceRing) Add(s *TraceSummary) {
+	if s == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *TraceRing) Snapshot() []*TraceSummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*TraceSummary, 0, len(r.buf))
+	for i := 1; i <= len(r.buf); i++ {
+		s := r.buf[(r.next-i+len(r.buf))%len(r.buf)]
+		if s == nil {
+			break // ring not yet full; older slots are all empty
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Len reports how many traces are currently retained.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := int(r.total)
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	return n
+}
+
+// Evicted reports how many traces have been pushed out of the ring.
+func (r *TraceRing) Evicted() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.total <= uint64(len(r.buf)) {
+		return 0
+	}
+	return r.total - uint64(len(r.buf))
+}

@@ -2,75 +2,133 @@ package obs
 
 import (
 	"context"
-	"sync"
 	"time"
 )
 
-// Stage is one timed pipeline stage inside a request, shaped for JSON
-// status responses (e.g. a /v1/jobs poll showing where a query spent its
-// time).
-type Stage struct {
-	Name    string  `json:"name"`
-	Seconds float64 `json:"seconds"`
+// spanCtxKey carries the trace and the index of the current span, so a
+// child span started further down the call stack knows its parent.
+type spanCtxKey struct{}
+
+type spanRef struct {
+	tr  *Trace
+	idx int32 // current span slot; -1 at the trace root
 }
 
-// Trace accumulates the named stage durations of a single request. A
-// serving layer attaches one to the request context; instrumented stages
-// along the pipeline append to it. Safe for concurrent use.
-type Trace struct {
-	mu     sync.Mutex
-	stages []Stage
-}
-
-// NewTrace returns an empty trace.
-func NewTrace() *Trace { return &Trace{} }
-
-// Record appends a completed stage.
-func (t *Trace) Record(name string, d time.Duration) {
-	if t == nil {
-		return
-	}
-	t.mu.Lock()
-	t.stages = append(t.stages, Stage{Name: name, Seconds: d.Seconds()})
-	t.mu.Unlock()
-}
-
-// Stages returns a copy of the recorded stages in record order.
-func (t *Trace) Stages() []Stage {
-	if t == nil {
-		return nil
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]Stage(nil), t.stages...)
-}
-
-type traceKey struct{}
-
-// WithTrace returns a context carrying t.
+// WithTrace returns a context carrying t as the trace for the request.
+// Spans started under the returned context become roots of t's tree.
 func WithTrace(ctx context.Context, t *Trace) context.Context {
-	return context.WithValue(ctx, traceKey{}, t)
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, spanRef{tr: t, idx: -1})
 }
 
 // TraceFrom returns the trace carried by ctx, or nil.
 func TraceFrom(ctx context.Context) *Trace {
-	t, _ := ctx.Value(traceKey{}).(*Trace)
-	return t
+	ref, _ := ctx.Value(spanCtxKey{}).(spanRef)
+	return ref.tr
 }
 
-// StartSpan begins a named stage. The returned stop function records the
-// elapsed time into h (when non-nil) and into the context's trace (when
-// present), and returns the duration so callers can also keep it in their
-// own timing structs. Cost when nothing listens: one time.Now pair.
-func StartSpan(ctx context.Context, h *HistogramMetric, name string) func() time.Duration {
-	start := time.Now()
-	tr := TraceFrom(ctx)
-	return func() time.Duration {
-		d := time.Since(start)
-		if h != nil {
-			h.ObserveDuration(d)
-		}
-		tr.Record(name, d)
-		return d
+// Span is a handle to one started span. It is a value type so the
+// disabled path — no trace on the context — allocates nothing: the handle
+// then carries only the start time and the optional histogram, and every
+// recording method is a nil-check away from returning.
+//
+// A span's attribute setters and End must be called by the goroutine that
+// started it (concurrent goroutines each start their own span); End
+// publishes the span and must be called exactly once.
+type Span struct {
+	tr    *Trace
+	idx   int32
+	start time.Time
+	hist  *HistogramMetric
+}
+
+// Start begins a span named name as a child of the context's current
+// span. The elapsed time is recorded into h (when non-nil) at End whether
+// or not a trace is present, so aggregate histograms keep working with
+// tracing disabled. When a trace is active, the returned context carries
+// the new span as the parent for deeper calls; otherwise ctx is returned
+// unchanged and the whole call costs one time.Now.
+func Start(ctx context.Context, name string, h *HistogramMetric) (context.Context, Span) {
+	ref, _ := ctx.Value(spanCtxKey{}).(spanRef)
+	sp := Span{idx: -1, start: time.Now(), hist: h}
+	if ref.tr == nil {
+		return ctx, sp
 	}
+	idx := ref.tr.startSpan(name, ref.idx, sp.start)
+	if idx < 0 { // trace full: keep timing, stop recording
+		return ctx, sp
+	}
+	sp.tr = ref.tr
+	sp.idx = idx
+	return context.WithValue(ctx, spanCtxKey{}, spanRef{tr: ref.tr, idx: idx}), sp
+}
+
+// RecordSpan appends an already-completed span of duration d as a child
+// of the context's current span (e.g. a wait measured before the traced
+// region was entered). No-op without a trace.
+func RecordSpan(ctx context.Context, name string, d time.Duration, attrs ...Attr) {
+	ref, _ := ctx.Value(spanCtxKey{}).(spanRef)
+	if ref.tr == nil {
+		return
+	}
+	ref.tr.record(name, ref.idx, time.Now().Add(-d), d, attrs)
+}
+
+// End finishes the span, observes its duration into the histogram given
+// at Start, publishes it to the trace, and returns the duration.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.hist != nil {
+		s.hist.ObserveDuration(d)
+	}
+	if s.tr != nil {
+		s.tr.spans[s.idx].endNs.Store(clampNanos(d))
+	}
+	return d
+}
+
+// SetInt attaches an integer attribute. Owner-only; no-op when disabled.
+func (s Span) SetInt(key string, v int64) {
+	if s.tr == nil {
+		return
+	}
+	sp := &s.tr.spans[s.idx]
+	sp.attrs = append(sp.attrs, IntAttr(key, v))
+}
+
+// SetFloat attaches a float attribute.
+func (s Span) SetFloat(key string, v float64) {
+	if s.tr == nil {
+		return
+	}
+	sp := &s.tr.spans[s.idx]
+	sp.attrs = append(sp.attrs, FloatAttr(key, v))
+}
+
+// SetString attaches a string attribute.
+func (s Span) SetString(key, v string) {
+	if s.tr == nil {
+		return
+	}
+	sp := &s.tr.spans[s.idx]
+	sp.attrs = append(sp.attrs, StringAttr(key, v))
+}
+
+// SetBool attaches a boolean attribute.
+func (s Span) SetBool(key string, v bool) {
+	if s.tr == nil {
+		return
+	}
+	sp := &s.tr.spans[s.idx]
+	sp.attrs = append(sp.attrs, BoolAttr(key, v))
+}
+
+// StartSpan is the legacy flat-span API: it begins a named stage and
+// returns a stop function recording into h and the context's trace.
+// Superseded by Start, which supports hierarchy and attributes.
+func StartSpan(ctx context.Context, h *HistogramMetric, name string) func() time.Duration {
+	_, sp := Start(ctx, name, h)
+	return sp.End
 }

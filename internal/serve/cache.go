@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"accessquery/internal/core"
+	"accessquery/internal/obs"
 )
 
 // resultCache is an LRU cache of engine results keyed by request
@@ -24,8 +25,11 @@ type resultCache struct {
 }
 
 type cacheEntry struct {
-	key     string
-	res     *core.Result
+	key string
+	res *core.Result
+	// trace is the producing run's span tree, kept with the result so
+	// cache-hit jobs can still answer trace and explain requests.
+	trace   *obs.TraceSummary
 	expires time.Time // zero when ttl <= 0
 }
 
@@ -42,31 +46,32 @@ func newResultCache(capacity int, ttl time.Duration, now func() time.Time) *resu
 	}
 }
 
-// get returns the cached result for key, promoting it to most recently
-// used. Expired entries are evicted on access.
-func (c *resultCache) get(key string) (*core.Result, bool) {
+// get returns the cached result and the producing run's trace for key,
+// promoting the entry to most recently used. Expired entries are evicted
+// on access.
+func (c *resultCache) get(key string) (*core.Result, *obs.TraceSummary, bool) {
 	if c.cap <= 0 {
-		return nil, false
+		return nil, nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	ent := el.Value.(*cacheEntry)
 	if !ent.expires.IsZero() && c.now().After(ent.expires) {
 		c.ll.Remove(el)
 		delete(c.items, key)
-		return nil, false
+		return nil, nil, false
 	}
 	c.ll.MoveToFront(el)
-	return ent.res, true
+	return ent.res, ent.trace, true
 }
 
-// put stores res under key, evicting the least recently used entry when
-// over capacity.
-func (c *resultCache) put(key string, res *core.Result) {
+// put stores res (and the trace of the run that produced it) under key,
+// evicting the least recently used entry when over capacity.
+func (c *resultCache) put(key string, res *core.Result, trace *obs.TraceSummary) {
 	if c.cap <= 0 {
 		return
 	}
@@ -79,11 +84,12 @@ func (c *resultCache) put(key string, res *core.Result) {
 	if el, ok := c.items[key]; ok {
 		ent := el.Value.(*cacheEntry)
 		ent.res = res
+		ent.trace = trace
 		ent.expires = expires
 		c.ll.MoveToFront(el)
 		return
 	}
-	el := c.ll.PushFront(&cacheEntry{key: key, res: res, expires: expires})
+	el := c.ll.PushFront(&cacheEntry{key: key, res: res, trace: trace, expires: expires})
 	c.items[key] = el
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()

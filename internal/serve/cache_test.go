@@ -36,17 +36,17 @@ func resultN(n int) *core.Result { return &core.Result{Fairness: float64(n)} }
 
 func TestCachePutGet(t *testing.T) {
 	c := newResultCache(4, 0, nil)
-	if _, ok := c.get("a"); ok {
+	if _, _, ok := c.get("a"); ok {
 		t.Error("hit on empty cache")
 	}
-	c.put("a", resultN(1))
-	got, ok := c.get("a")
+	c.put("a", resultN(1), nil)
+	got, _, ok := c.get("a")
 	if !ok || got.Fairness != 1 {
 		t.Fatalf("get = %v, %v", got, ok)
 	}
 	// Overwrite keeps one entry.
-	c.put("a", resultN(2))
-	if got, _ := c.get("a"); got.Fairness != 2 {
+	c.put("a", resultN(2), nil)
+	if got, _, _ := c.get("a"); got.Fairness != 2 {
 		t.Errorf("overwrite not visible: %v", got.Fairness)
 	}
 	if c.len() != 1 {
@@ -56,17 +56,17 @@ func TestCachePutGet(t *testing.T) {
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := newResultCache(2, 0, nil)
-	c.put("a", resultN(1))
-	c.put("b", resultN(2))
+	c.put("a", resultN(1), nil)
+	c.put("b", resultN(2), nil)
 	c.get("a") // promote a; b is now least recently used
-	c.put("c", resultN(3))
-	if _, ok := c.get("b"); ok {
+	c.put("c", resultN(3), nil)
+	if _, _, ok := c.get("b"); ok {
 		t.Error("LRU entry b survived eviction")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, _, ok := c.get("a"); !ok {
 		t.Error("recently-used entry a evicted")
 	}
-	if _, ok := c.get("c"); !ok {
+	if _, _, ok := c.get("c"); !ok {
 		t.Error("new entry c missing")
 	}
 }
@@ -74,30 +74,30 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCacheTTL(t *testing.T) {
 	clock := newFakeClock()
 	c := newResultCache(4, time.Minute, clock.now)
-	c.put("a", resultN(1))
+	c.put("a", resultN(1), nil)
 	clock.advance(59 * time.Second)
-	if _, ok := c.get("a"); !ok {
+	if _, _, ok := c.get("a"); !ok {
 		t.Error("entry expired before TTL")
 	}
 	clock.advance(2 * time.Second)
-	if _, ok := c.get("a"); ok {
+	if _, _, ok := c.get("a"); ok {
 		t.Error("entry served after TTL")
 	}
 	if c.len() != 0 {
 		t.Errorf("expired entry not collected: len = %d", c.len())
 	}
 	// Re-put restarts the clock.
-	c.put("a", resultN(2))
+	c.put("a", resultN(2), nil)
 	clock.advance(30 * time.Second)
-	if _, ok := c.get("a"); !ok {
+	if _, _, ok := c.get("a"); !ok {
 		t.Error("refreshed entry expired early")
 	}
 }
 
 func TestCacheDisabled(t *testing.T) {
 	c := newResultCache(-1, 0, nil)
-	c.put("a", resultN(1))
-	if _, ok := c.get("a"); ok {
+	c.put("a", resultN(1), nil)
+	if _, _, ok := c.get("a"); ok {
 		t.Error("disabled cache returned a hit")
 	}
 }
@@ -110,7 +110,7 @@ func TestCacheConcurrent(t *testing.T) {
 			defer func() { done <- struct{}{} }()
 			for i := 0; i < 200; i++ {
 				k := fmt.Sprintf("k%d", i%16)
-				c.put(k, resultN(i))
+				c.put(k, resultN(i), nil)
 				c.get(k)
 			}
 		}(g)

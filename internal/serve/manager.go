@@ -10,6 +10,7 @@ import (
 
 	"accessquery/internal/core"
 	"accessquery/internal/obs"
+	"accessquery/internal/obs/olog"
 )
 
 // RunFunc executes one validated, canonical request against the engine.
@@ -36,6 +37,12 @@ type Config struct {
 	JobTimeout time.Duration
 	// JobRetention keeps finished jobs pollable; default 10m.
 	JobRetention time.Duration
+	// SlowQueryThreshold gates the structured slow-query log: runs at or
+	// above it are logged with their stage breakdown. Zero disables it.
+	SlowQueryThreshold time.Duration
+	// Logger receives the manager's structured log lines (currently the
+	// slow-query log); default olog.Default.
+	Logger *olog.Logger
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -58,6 +65,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobRetention <= 0 {
 		c.JobRetention = 10 * time.Minute
+	}
+	if c.Logger == nil {
+		c.Logger = olog.Default
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -102,6 +112,7 @@ type Job struct {
 	created  time.Time
 	finished time.Time
 	stages   []obs.Stage
+	trace    *obs.TraceSummary
 
 	done chan struct{}
 }
@@ -110,16 +121,19 @@ type Job struct {
 // responses. Stages holds the per-stage latency breakdown of the run that
 // answered the job (queue wait, the engine's Table II stages, and the
 // end-to-end query span); it is empty for cache hits, which ran nothing.
+// Trace is the full span tree of the run that answered the job; a cache
+// hit carries the trace of the run that produced the cached result.
 type Snapshot struct {
-	ID           string       `json:"id"`
-	Fingerprint  string       `json:"fingerprint"`
-	State        State        `json:"state"`
-	CacheHit     bool         `json:"cache_hit"`
-	Deduplicated bool         `json:"deduplicated"`
-	Created      time.Time    `json:"created"`
-	Error        string       `json:"error,omitempty"`
-	Stages       []obs.Stage  `json:"stages,omitempty"`
-	Result       *core.Result `json:"-"`
+	ID           string            `json:"id"`
+	Fingerprint  string            `json:"fingerprint"`
+	State        State             `json:"state"`
+	CacheHit     bool              `json:"cache_hit"`
+	Deduplicated bool              `json:"deduplicated"`
+	Created      time.Time         `json:"created"`
+	Error        string            `json:"error,omitempty"`
+	Stages       []obs.Stage       `json:"stages,omitempty"`
+	Trace        *obs.TraceSummary `json:"-"`
+	Result       *core.Result      `json:"-"`
 }
 
 // Done is closed when the job reaches a terminal state.
@@ -137,6 +151,7 @@ func (j *Job) Snapshot() Snapshot {
 		Deduplicated: j.dedup,
 		Created:      j.created,
 		Stages:       j.stages,
+		Trace:        j.trace,
 		Result:       j.res,
 	}
 	if j.err != nil {
@@ -145,7 +160,7 @@ func (j *Job) Snapshot() Snapshot {
 	return s
 }
 
-func (j *Job) complete(res *core.Result, err error, at time.Time, stages []obs.Stage) {
+func (j *Job) complete(res *core.Result, err error, at time.Time, stages []obs.Stage, trace *obs.TraceSummary) {
 	j.mu.Lock()
 	if err != nil {
 		j.state = StateFailed
@@ -156,6 +171,7 @@ func (j *Job) complete(res *core.Result, err error, at time.Time, stages []obs.S
 	}
 	j.finished = at
 	j.stages = stages
+	j.trace = trace
 	j.mu.Unlock()
 	close(j.done)
 }
@@ -256,13 +272,15 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	}
 	m.pruneLocked(now)
 
-	if res, ok := m.cache.get(fp); ok {
+	if res, trace, ok := m.cache.get(fp); ok {
 		job := m.newJobLocked(fp, now)
 		job.cacheHit = true
 		m.jobs[job.ID] = job
 		m.cacheHits.Add(1)
 		mCacheHits.Inc()
-		job.complete(res, nil, now, nil)
+		// The cached entry carries the producing run's trace, so a
+		// cache-hit job still answers trace and explain requests.
+		job.complete(res, nil, now, nil, trace)
 		return job, nil
 	}
 	mCacheMisses.Inc()
@@ -442,12 +460,14 @@ func (m *Manager) runFlight(fl *flight) {
 	// The trace rides the run context so the engine's stage spans land in
 	// it; every job attached to this flight shares the breakdown.
 	tr := obs.NewTrace()
-	tr.Record("queue_wait", wait)
-	res, err := m.safeRun(fl.req, tr)
+	res, err := m.safeRun(fl.req, tr, wait)
 	elapsed := m.cfg.now().Sub(start)
 	m.observeRun(elapsed)
 	mRunSeconds.ObserveDuration(elapsed)
 	stages := tr.Stages()
+	sum := tr.Summary()
+	obs.Traces.Add(sum)
+	m.maybeLogSlow(fl.fp, elapsed, sum, stages, err)
 
 	m.mu.Lock()
 	// Remove the flight before completing its jobs: once the lock drops,
@@ -455,7 +475,7 @@ func (m *Manager) runFlight(fl *flight) {
 	// instead of attaching to a finished one.
 	delete(m.flights, fl.fp)
 	if err == nil {
-		m.cache.put(fl.fp, res)
+		m.cache.put(fl.fp, res, sum)
 	}
 	jobs := fl.jobs
 	fl.jobs = nil
@@ -470,20 +490,47 @@ func (m *Manager) runFlight(fl *flight) {
 			m.completed.Add(1)
 			mCompleted.Inc()
 		}
-		j.complete(res, err, now, stages)
+		j.complete(res, err, now, stages, sum)
 	}
 }
 
+// maybeLogSlow emits the threshold-gated structured slow-query log line:
+// trace ID, fingerprint, total time, and the per-stage breakdown.
+func (m *Manager) maybeLogSlow(fp string, elapsed time.Duration, sum *obs.TraceSummary, stages []obs.Stage, err error) {
+	if m.cfg.SlowQueryThreshold <= 0 || elapsed < m.cfg.SlowQueryThreshold {
+		return
+	}
+	fields := []olog.Field{
+		olog.F("trace_id", sum.TraceID),
+		olog.F("fingerprint", fp),
+		olog.F("seconds", elapsed.Seconds()),
+		olog.F("threshold_seconds", m.cfg.SlowQueryThreshold.Seconds()),
+	}
+	for _, st := range stages {
+		fields = append(fields, olog.F("stage_"+st.Name+"_seconds", st.Seconds))
+	}
+	if err != nil {
+		fields = append(fields, olog.Err(err))
+	}
+	m.cfg.Logger.Warn("slow query", fields...)
+}
+
 // safeRun applies the per-job timeout and converts a panicking query into
-// an error, so one bad query cannot kill the server.
-func (m *Manager) safeRun(req Request, tr *obs.Trace) (res *core.Result, err error) {
+// an error, so one bad query cannot kill the server. It roots the trace's
+// span tree: a "job" span owning the queue wait and the engine's "query"
+// subtree.
+func (m *Manager) safeRun(req Request, tr *obs.Trace, wait time.Duration) (res *core.Result, err error) {
 	ctx, cancel := context.WithTimeout(m.rootCtx, m.cfg.JobTimeout)
 	defer cancel()
 	ctx = obs.WithTrace(ctx, tr)
+	ctx, sp := obs.Start(ctx, "job", nil)
+	sp.SetString("fingerprint", req.Fingerprint())
+	obs.RecordSpan(ctx, "queue_wait", wait)
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("serve: query panicked: %v", r)
 		}
+		sp.End()
 	}()
 	res, err = m.run(ctx, req)
 	if err == nil && ctx.Err() != nil {

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"accessquery/internal/obs"
+	"accessquery/internal/obs/olog"
+)
+
+// TestJobCarriesTrace verifies every executed job ends with a span tree:
+// a "job" root carrying the fingerprint and a queue_wait child, published
+// to the process-wide trace ring.
+func TestJobCarriesTrace(t *testing.T) {
+	stub := &stubEngine{}
+	m := newTestManager(t, stub, Config{Workers: 1})
+
+	job, err := m.Submit(schoolReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := m.Wait(ctx, job); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := job.Snapshot().Trace
+	if tr == nil {
+		t.Fatal("completed job has no trace")
+	}
+	if tr.TraceID == "" {
+		t.Error("trace ID empty")
+	}
+	root := tr.Find("job")
+	if root == nil {
+		t.Fatalf("no job root span; roots = %+v", tr.Spans)
+	}
+	if got := root.Attrs["fingerprint"]; got != schoolReq().Fingerprint() {
+		t.Errorf("fingerprint attr = %v, want %s", got, schoolReq().Fingerprint())
+	}
+	if tr.Find("queue_wait") == nil {
+		t.Error("no queue_wait span recorded")
+	}
+
+	var published bool
+	for _, s := range obs.Traces.Snapshot() {
+		if s.TraceID == tr.TraceID {
+			published = true
+			break
+		}
+	}
+	if !published {
+		t.Error("trace not published to the obs.Traces ring")
+	}
+}
+
+// TestCacheHitRetainsTrace is the satellite-3 regression test: a job
+// served from the result cache must still expose the producing run's
+// trace, so GET /v1/jobs/{id}/trace works for cache hits.
+func TestCacheHitRetainsTrace(t *testing.T) {
+	stub := &stubEngine{}
+	m := newTestManager(t, stub, Config{Workers: 1})
+	ctx := context.Background()
+
+	if _, err := m.Do(ctx, schoolReq()); err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.Submit(schoolReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := first.Snapshot()
+	if !snap.CacheHit {
+		t.Fatalf("second identical query not a cache hit: %+v", snap)
+	}
+	if snap.Trace == nil {
+		t.Fatal("cache-hit job lost the producing run's trace")
+	}
+	if snap.Trace.Find("job") == nil {
+		t.Error("cache-hit trace missing the job span")
+	}
+	if n := stub.runs.Load(); n != 1 {
+		t.Errorf("engine ran %d times", n)
+	}
+}
+
+// TestFailedRunKeepsTrace checks error paths still publish their partial
+// trace, which is exactly when an operator wants it.
+func TestFailedRunKeepsTrace(t *testing.T) {
+	stub := &stubEngine{err: context.DeadlineExceeded}
+	m := newTestManager(t, stub, Config{Workers: 1})
+
+	job, err := m.Submit(schoolReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := m.Wait(ctx, job); err == nil {
+		t.Fatal("expected engine error")
+	}
+	if job.Snapshot().Trace == nil {
+		t.Error("failed job has no trace")
+	}
+}
+
+// TestSlowQueryLog verifies the threshold-gated structured slow-query
+// log: any run over the threshold emits one JSON warn line with the
+// trace ID and timings.
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	logMu := &syncBuffer{buf: &buf}
+	stub := &stubEngine{delay: 5 * time.Millisecond}
+	m := newTestManager(t, stub, Config{
+		Workers:            1,
+		SlowQueryThreshold: time.Nanosecond,
+		Logger:             olog.New(logMu, olog.LevelInfo),
+	})
+	if _, err := m.Do(context.Background(), schoolReq()); err != nil {
+		t.Fatal(err)
+	}
+
+	line := logMu.line(t, "slow query")
+	var m1 map[string]any
+	if err := json.Unmarshal([]byte(line), &m1); err != nil {
+		t.Fatalf("slow-query line is not JSON: %q: %v", line, err)
+	}
+	if m1["level"] != "warn" {
+		t.Errorf("level = %v, want warn", m1["level"])
+	}
+	for _, key := range []string{"trace_id", "fingerprint", "seconds", "threshold_seconds"} {
+		if _, ok := m1[key]; !ok {
+			t.Errorf("slow-query line missing %q: %v", key, m1)
+		}
+	}
+}
+
+// TestFastQueryNotLoggedSlow checks the gate: runs under the threshold
+// stay silent.
+func TestFastQueryNotLoggedSlow(t *testing.T) {
+	var buf bytes.Buffer
+	logMu := &syncBuffer{buf: &buf}
+	stub := &stubEngine{}
+	m := newTestManager(t, stub, Config{
+		Workers:            1,
+		SlowQueryThreshold: time.Hour,
+		Logger:             olog.New(logMu, olog.LevelInfo),
+	})
+	if _, err := m.Do(context.Background(), schoolReq()); err != nil {
+		t.Fatal(err)
+	}
+	if s := logMu.String(); strings.Contains(s, "slow query") {
+		t.Errorf("fast run logged as slow: %q", s)
+	}
+}
+
+// syncBuffer guards a bytes.Buffer: the manager's worker goroutine writes
+// log lines while the test goroutine reads them.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// line returns the first logged line containing substr, failing the test
+// if none exists.
+func (b *syncBuffer) line(t *testing.T, substr string) string {
+	t.Helper()
+	for _, l := range strings.Split(b.String(), "\n") {
+		if strings.Contains(l, substr) {
+			return l
+		}
+	}
+	t.Fatalf("no log line containing %q in %q", substr, b.String())
+	return ""
+}

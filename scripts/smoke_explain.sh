@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# smoke_explain.sh — end-to-end smoke test of the tracing/explain surface.
+#
+# Builds aqserver, starts it on a tiny synthetic city, runs one query with
+# ?explain=1, and asserts the execution report and the async job's span
+# tree are populated. Exercises the same path an operator debugging a
+# slow query would take. Used by CI; runnable locally with no arguments.
+set -euo pipefail
+
+ADDR="127.0.0.1:18321"
+DEBUG_ADDR="127.0.0.1:18322"
+BASE="http://$ADDR"
+WORKDIR="$(mktemp -d)"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+cd "$(dirname "$0")/.."
+go build -o "$WORKDIR/aqserver" ./cmd/aqserver
+
+"$WORKDIR/aqserver" -city coventry -scale 0.08 -addr "$ADDR" \
+    -debug-addr "$DEBUG_ADDR" -slow-query 1ms >"$WORKDIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for readiness: pre-processing the tiny city takes a few seconds.
+for i in $(seq 1 120); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "FAIL: server exited during startup" >&2
+        cat "$WORKDIR/server.log" >&2
+        exit 1
+    fi
+    sleep 1
+done
+curl -sf "$BASE/healthz" >/dev/null || {
+    echo "FAIL: server never became healthy" >&2
+    cat "$WORKDIR/server.log" >&2
+    exit 1
+}
+
+QUERY='{"category": "school", "budget": 0.2, "model": "OLS", "seed": 11}'
+
+# 1. Sync query with ?explain=1 must return a populated execution report.
+curl -sf -X POST -H 'Content-Type: application/json' -d "$QUERY" \
+    "$BASE/v1/query?explain=1" >"$WORKDIR/explain.json"
+python3 - "$WORKDIR/explain.json" <<'EOF'
+import json, sys
+resp = json.load(open(sys.argv[1]))
+ex = resp.get("explain")
+assert ex, "no explain object in ?explain=1 response"
+assert ex.get("trace_id"), "explain has no trace_id"
+assert ex.get("spqs", 0) > 0, f"spqs = {ex.get('spqs')}"
+assert ex.get("labeled_zones", 0) > 0, "no labeled_zones"
+assert ex.get("matrix_full_trips", 0) > ex.get("matrix_trips", 0) > 0, "TODAM sizes missing"
+stages = {s["name"] for s in ex.get("stages", [])}
+want = {"matrix", "sampling", "labeling", "features", "training"}
+assert want <= stages, f"stages missing {want - stages}"
+assert ex.get("trace", {}).get("spans"), "explain carries no span tree"
+print(f"explain ok: {len(stages)} stages, {ex['spqs']} SPQs, "
+      f"{ex.get('matrix_reduction_pct', 0):.1f}% TODAM reduction")
+EOF
+
+# 2. Async job: the trace endpoint must serve a non-empty span tree.
+curl -sf -X POST -H 'Content-Type: application/json' \
+    -d '{"category": "school", "budget": 0.2, "model": "OLS", "seed": 12}' \
+    "$BASE/v1/query?async=1" >"$WORKDIR/accepted.json"
+JOB_URL="$BASE$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["status_url"])' "$WORKDIR/accepted.json")"
+
+for i in $(seq 1 120); do
+    STATE=$(curl -sf "$JOB_URL" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')
+    [ "$STATE" = "done" ] && break
+    if [ "$STATE" = "failed" ]; then
+        echo "FAIL: async job failed" >&2
+        exit 1
+    fi
+    sleep 1
+done
+
+curl -sf "$JOB_URL/trace" >"$WORKDIR/trace.json"
+python3 - "$WORKDIR/trace.json" <<'EOF'
+import json, sys
+tr = json.load(open(sys.argv[1]))
+assert tr.get("trace_id"), "trace has no trace_id"
+spans = tr.get("spans") or []
+assert spans, "trace endpoint returned an empty span tree"
+names = set()
+def walk(nodes):
+    for n in nodes:
+        names.add(n["name"])
+        walk(n.get("children") or [])
+walk(spans)
+want = {"job", "query", "matrix", "sampling", "labeling", "features", "training"}
+assert want <= names, f"span tree missing {want - names}"
+print(f"trace ok: {len(names)} distinct spans, root {spans[0]['name']!r}")
+EOF
+
+# 3. The debug listener's flight recorder must have retained the traces.
+curl -sf "http://$DEBUG_ADDR/debug/traces" | python3 -c '
+import json, sys
+traces = json.load(sys.stdin)
+assert traces, "/debug/traces is empty after two completed runs"
+print(f"flight recorder ok: {len(traces)} trace(s) retained")
+'
+
+# 4. The 1ms slow-query threshold must have produced a structured log line.
+grep -q '"msg":"slow query"' "$WORKDIR/server.log" || {
+    echo "FAIL: no slow-query log line in server output" >&2
+    cat "$WORKDIR/server.log" >&2
+    exit 1
+}
+echo "slow-query log ok"
+echo "PASS: explain/trace smoke test"

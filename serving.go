@@ -1,8 +1,10 @@
 package accessquery
 
 import (
+	"context"
 	"io"
 
+	"accessquery/internal/core"
 	"accessquery/internal/obs"
 	"accessquery/internal/serve"
 )
@@ -66,6 +68,35 @@ func NewServeManager(run ServeRunFunc, cfg ServeConfig) *ServeManager {
 // Stage is one named, timed step of a query run (e.g. "matrix",
 // "training"), as recorded in job snapshots.
 type Stage = obs.Stage
+
+// Trace collects a hierarchical span tree for one query run; attach it to
+// a context with WithTrace and pass that to Engine.RunContext.
+type Trace = obs.Trace
+
+// TraceSummary is a completed trace's immutable span tree, as served by
+// GET /v1/jobs/{id}/trace and stored in the recent-traces ring.
+type TraceSummary = obs.TraceSummary
+
+// SpanNode is one node of a TraceSummary: name, wall-clock bounds, typed
+// attributes, and children.
+type SpanNode = obs.SpanNode
+
+// ExplainReport is the per-query execution report assembled from a trace:
+// TODAM reduction, SPQ count, cache hits, model convergence, in-sample
+// fit, and the stage breakdown.
+type ExplainReport = core.ExplainReport
+
+// NewTrace creates an empty trace for one query run.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// WithTrace attaches a trace to ctx so spans started below it are
+// recorded.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return obs.WithTrace(ctx, t)
+}
+
+// Explain assembles an ExplainReport from a completed trace's summary.
+func Explain(sum *TraceSummary) *ExplainReport { return core.Explain(sum) }
 
 // WriteMetrics renders the process-wide metrics registry — engine stage
 // latencies, SPQ and relaxation counters, serving-layer counters — in
