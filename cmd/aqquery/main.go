@@ -21,6 +21,7 @@ import (
 	"accessquery/internal/access"
 	"accessquery/internal/buildinfo"
 	"accessquery/internal/core"
+	"accessquery/internal/fault"
 	"accessquery/internal/gtfs"
 	"accessquery/internal/obs"
 	"accessquery/internal/synth"
@@ -30,22 +31,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aqquery: ")
 	var (
-		cityName = flag.String("city", "coventry", "city preset (ignored with -load)")
-		scale    = flag.Float64("scale", 0.2, "city scale factor (ignored with -load)")
-		load     = flag.String("load", "", "load a saved engine snapshot instead of generating")
-		save     = flag.String("save", "", "save the engine snapshot after pre-processing and exit")
-		category = flag.String("category", "school", "POI category: school|hospital|vax_center|job_center")
-		cost     = flag.String("cost", "JT", "access cost: JT or GAC")
-		budget   = flag.Float64("budget", 0.05, "labeling budget in (0, 1]")
-		model    = flag.String("model", "MLP", "SSR model: OLS|MLP|MT|COREG|GNN")
-		sampling = flag.String("sampling", "random", "labeled-set sampling: random|coverage|stratified")
-		workers  = flag.Int("workers", 1, "parallel labeling workers")
-		par      = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool for pre-processing and the feature stage (results identical at any setting)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		od       = flag.Bool("od", false, "learn at OD granularity instead of origin level")
-		metrics  = flag.Bool("metrics", false, "dump process metrics (stage latencies, SPQs) to stderr after the run")
-		explain  = flag.Bool("explain", false, "print the per-stage execution report (TODAM reduction, SPQs, cache hits, model convergence) to stderr")
-		version  = flag.Bool("version", false, "print version and exit")
+		cityName  = flag.String("city", "coventry", "city preset (ignored with -load)")
+		scale     = flag.Float64("scale", 0.2, "city scale factor (ignored with -load)")
+		load      = flag.String("load", "", "load a saved engine snapshot instead of generating")
+		save      = flag.String("save", "", "save the engine snapshot after pre-processing and exit")
+		category  = flag.String("category", "school", "POI category: school|hospital|vax_center|job_center")
+		cost      = flag.String("cost", "JT", "access cost: JT or GAC")
+		budget    = flag.Float64("budget", 0.05, "labeling budget in (0, 1]")
+		model     = flag.String("model", "MLP", "SSR model: OLS|MLP|MT|COREG|GNN")
+		sampling  = flag.String("sampling", "random", "labeled-set sampling: random|coverage|stratified")
+		workers   = flag.Int("workers", 1, "parallel labeling workers")
+		par       = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool for pre-processing and the feature stage (results identical at any setting)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		od        = flag.Bool("od", false, "learn at OD granularity instead of origin level")
+		deadline  = flag.Duration("deadline", 0, "overall query deadline; under pressure the run degrades (smaller budget, OLS fallback, partial result) instead of failing (0 = none)")
+		faultSpec = flag.String("fault-spec", "", "deterministic fault injection for chaos runs, e.g. \"seed=42;spq:fail=0.05\"")
+		metrics   = flag.Bool("metrics", false, "dump process metrics (stage latencies, SPQs) to stderr after the run")
+		explain   = flag.Bool("explain", false, "print the per-stage execution report (TODAM reduction, SPQs, cache hits, model convergence) to stderr")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -53,6 +56,14 @@ func main() {
 		return
 	}
 	buildinfo.Register()
+	if *faultSpec != "" {
+		spec, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			log.Fatalf("bad -fault-spec: %v", err)
+		}
+		fault.Enable(fault.New(spec))
+		fmt.Fprintf(os.Stderr, "fault injection enabled: %s\n", *faultSpec)
+	}
 	engine, err := buildEngine(*load, *cityName, *scale, *par)
 	if err != nil {
 		log.Fatal(err)
@@ -88,15 +99,29 @@ func main() {
 		if *explain {
 			fmt.Fprintln(os.Stderr, "note: -explain traces the origin-level pipeline; -od runs are not traced")
 		}
+		if *deadline > 0 {
+			fmt.Fprintln(os.Stderr, "note: -deadline applies to origin-level runs; -od runs ignore it")
+		}
 		res, err = engine.RunOD(q)
-	} else if *explain {
-		tr = obs.NewTrace()
-		res, err = engine.RunContext(obs.WithTrace(context.Background(), tr), q)
 	} else {
-		res, err = engine.Run(q)
+		ctx := context.Background()
+		if *deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *deadline)
+			defer cancel()
+		}
+		if *explain {
+			tr = obs.NewTrace()
+			ctx = obs.WithTrace(ctx, tr)
+		}
+		res, err = engine.RunContext(ctx, q)
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if res.Degraded != nil {
+		fmt.Fprintf(os.Stderr, "warning: degraded answer (%s): %s\n",
+			res.Degraded, strings.Join(res.Degraded.Reasons, "; "))
 	}
 	if err := res.WriteCSV(os.Stdout, engine); err != nil {
 		log.Fatal(err)

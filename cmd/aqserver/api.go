@@ -11,9 +11,12 @@
 // unless application/json), per-route request counters and latency
 // histograms, and one JSON error envelope
 //
-//	{"error": {"code": "queue_full", "message": "query queue full; retry later"}}
+//	{"error": {"code": "queue_full", "message": "query queue full; retry later", "retryable": true}}
 //
-// emitted by a single helper for every failure path.
+// emitted by a single helper for every failure path. The retryable flag
+// tells clients mechanically whether backing off and resending the same
+// request can succeed (full queue, open breaker, timeout, draining server)
+// or whether the request itself is at fault.
 package main
 
 import (
@@ -21,7 +24,9 @@ import (
 	"fmt"
 	"mime"
 	"net/http"
+	"slices"
 	"strconv"
+	"strings"
 	"time"
 
 	"accessquery/internal/obs"
@@ -38,7 +43,19 @@ const (
 	codeShuttingDown     = "shutting_down"
 	codeTimeout          = "timeout"
 	codeInternal         = "internal"
+	codeBreakerOpen      = "breaker_open"
+	codeCancelled        = "cancelled"
+	codeNotCancellable   = "not_cancellable"
 )
+
+// retryableCodes marks the errors a client can cure by waiting and
+// resending the identical request.
+var retryableCodes = map[string]bool{
+	codeQueueFull:    true,
+	codeShuttingDown: true,
+	codeTimeout:      true,
+	codeBreakerOpen:  true,
+}
 
 // routes wires the versioned API, its deprecated unversioned aliases, and
 // the operational endpoints onto one mux.
@@ -49,30 +66,34 @@ func (s *server) routes() http.Handler {
 	mux.Handle("/healthz", handle("/healthz", s.handleHealth, http.MethodGet))
 
 	type route struct {
-		v1, old string
+		v1, old string // old == "" means no deprecated alias exists
 		fn      http.HandlerFunc
-		method  string
+		methods []string
 	}
 	for _, rt := range []route{
-		{"/v1/metrics", "/metrics", s.handleMetrics, http.MethodGet},
-		{"/v1/stats", "/stats", s.handleStats, http.MethodGet},
-		{"/v1/city", "/city", s.handleCity, http.MethodGet},
-		{"/v1/zones", "/zones", s.handleZones, http.MethodGet},
-		{"/v1/journey", "/journey", s.handleJourney, http.MethodGet},
-		{"/v1/query", "/query", s.handleQuery, http.MethodPost},
-		{"/v1/jobs/", "/jobs/", s.handleJob, http.MethodGet},
+		{"/v1/metrics", "/metrics", s.handleMetrics, []string{http.MethodGet}},
+		{"/v1/stats", "/stats", s.handleStats, []string{http.MethodGet}},
+		{"/v1/city", "/city", s.handleCity, []string{http.MethodGet}},
+		{"/v1/zones", "/zones", s.handleZones, []string{http.MethodGet}},
+		{"/v1/journey", "/journey", s.handleJourney, []string{http.MethodGet}},
+		{"/v1/query", "/query", s.handleQuery, []string{http.MethodPost}},
+		{"/v1/jobs", "", s.handleJobs, []string{http.MethodGet}},
+		{"/v1/jobs/", "/jobs/", s.handleJob, []string{http.MethodGet, http.MethodDelete}},
 	} {
-		h := handle(rt.v1, rt.fn, rt.method)
+		h := handle(rt.v1, rt.fn, rt.methods...)
 		mux.Handle(rt.v1, h)
-		mux.Handle(rt.old, deprecated(rt.v1, rt.old, h))
+		if rt.old != "" {
+			mux.Handle(rt.old, deprecated(rt.v1, rt.old, h))
+		}
 	}
 	return mux
 }
 
 // handle wraps an endpoint with method enforcement, Content-Type checks,
 // and per-route metrics under the canonical route label.
-func handle(route string, fn http.HandlerFunc, method string) http.Handler {
+func handle(route string, fn http.HandlerFunc, methods ...string) http.Handler {
 	durations := obs.Histogram(fmt.Sprintf("aq_http_request_seconds{route=%q}", route))
+	allow := strings.Join(methods, ", ")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
@@ -81,12 +102,12 @@ func handle(route string, fn http.HandlerFunc, method string) http.Handler {
 			obs.Counter(fmt.Sprintf("aq_http_requests_total{route=%q,code=%q}",
 				route, strconv.Itoa(sw.status()))).Inc()
 		}()
-		if r.Method != method {
-			sw.Header().Set("Allow", method)
-			writeError(sw, http.StatusMethodNotAllowed, codeMethodNotAllowed, method+" only")
+		if !slices.Contains(methods, r.Method) {
+			sw.Header().Set("Allow", allow)
+			writeError(sw, http.StatusMethodNotAllowed, codeMethodNotAllowed, allow+" only")
 			return
 		}
-		if method == http.MethodPost && !jsonBody(r) {
+		if r.Method == http.MethodPost && !jsonBody(r) {
 			writeError(sw, http.StatusUnsupportedMediaType, codeUnsupportedMedia,
 				"request body must be Content-Type: application/json")
 			return
@@ -157,17 +178,20 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 // errorBody is the single JSON error envelope every handler emits.
 type errorBody struct {
 	Error struct {
-		Code    string `json:"code"`
-		Message string `json:"message"`
+		Code      string `json:"code"`
+		Message   string `json:"message"`
+		Retryable bool   `json:"retryable"`
 	} `json:"error"`
 }
 
 // writeError emits the error envelope. All failure paths in this package
-// must go through it so clients can rely on one shape.
+// must go through it so clients can rely on one shape; the retryable flag
+// is derived from the code, never set ad hoc.
 func writeError(w http.ResponseWriter, status int, code, msg string) {
 	var body errorBody
 	body.Error.Code = code
 	body.Error.Message = msg
+	body.Error.Retryable = retryableCodes[code]
 	writeJSON(w, status, body)
 }
 

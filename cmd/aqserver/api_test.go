@@ -39,7 +39,7 @@ func TestMethodNotAllowed(t *testing.T) {
 		{"/v1/zones", http.MethodPut, http.MethodGet},
 		{"/v1/journey", http.MethodPost, http.MethodGet},
 		{"/v1/query", http.MethodGet, http.MethodPost},
-		{"/v1/jobs/j00000001", http.MethodPost, http.MethodGet},
+		{"/v1/jobs/j00000001", http.MethodPost, "GET, DELETE"},
 	}
 	for _, c := range cases {
 		rec := do(s, c.method, c.target, "")

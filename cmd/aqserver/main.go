@@ -17,7 +17,15 @@
 //	                                    one multimodal journey between zones
 //	POST /v1/query                      JSON access query -> per-zone measures
 //	POST /v1/query?async=1              enqueue; returns {"job_id": ...} (202)
+//	GET  /v1/jobs                       list jobs (?state=, ?limit=, ?cursor=)
 //	GET  /v1/jobs/{id}                  job status; includes the result when done
+//	DELETE /v1/jobs/{id}                cancel a queued or running job
+//
+// Robustness: per-request deadlines (deadline_ms in the body or query
+// string) degrade answers instead of failing them, a circuit breaker trips
+// after consecutive engine failures and serves stale cache entries while
+// open, and -fault-spec enables deterministic fault injection for chaos
+// testing.
 //
 // With -debug-addr set, a second loopback listener serves /metrics and
 // /debug/pprof/ so a loaded server can be profiled without redeploying.
@@ -29,7 +37,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,6 +51,7 @@ import (
 
 	"accessquery/internal/buildinfo"
 	"accessquery/internal/core"
+	"accessquery/internal/fault"
 	"accessquery/internal/gtfs"
 	"accessquery/internal/obs"
 	"accessquery/internal/obs/olog"
@@ -71,6 +79,10 @@ func main() {
 		cacheSize    = flag.Int("cache-size", 64, "result-cache entries (negative disables)")
 		cacheTTL     = flag.Duration("cache-ttl", 10*time.Minute, "result-cache entry lifetime")
 		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-query engine deadline")
+		defaultDL    = flag.Duration("default-deadline", 0, "default engine deadline for requests without deadline_ms (0 = job timeout only)")
+		breakerN     = flag.Int("breaker-threshold", 5, "consecutive engine failures that trip the circuit breaker (negative disables)")
+		breakerCD    = flag.Duration("breaker-cooldown", 15*time.Second, "how long a tripped breaker stays open before probing the engine again")
+		faultSpec    = flag.String("fault-spec", "", "deterministic fault injection for chaos runs, e.g. \"seed=42;spq:fail=0.05\" (never set in production)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 		labelWorkers = flag.Int("label-workers", 0, "goroutines labeling zones inside one engine run (0 = serial)")
 		parallelism  = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool for offline pre-processing and each query's feature stage (results identical at any setting)")
@@ -89,6 +101,14 @@ func main() {
 		olog.Default.SetLevel(lvl)
 	}
 	buildinfo.Register()
+	if *faultSpec != "" {
+		spec, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			logger.Fatal("bad -fault-spec", olog.Err(err))
+		}
+		fault.Enable(fault.New(spec))
+		logger.Warn("fault injection enabled", olog.F("spec", *faultSpec))
+	}
 	var cfg synth.Config
 	switch strings.ToLower(*cityName) {
 	case "birmingham":
@@ -121,6 +141,9 @@ func main() {
 		CacheSize:          *cacheSize,
 		CacheTTL:           *cacheTTL,
 		JobTimeout:         *jobTimeout,
+		DefaultDeadline:    *defaultDL,
+		BreakerThreshold:   *breakerN,
+		BreakerCooldown:    *breakerCD,
 		SlowQueryThreshold: *slowQuery,
 		Logger:             logger,
 	}, serve.RunnerConfig{LabelWorkers: *labelWorkers, Parallelism: *parallelism})
@@ -271,36 +294,42 @@ func (s *server) handleJourney(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// queryRequest is the POST /v1/query body: the serving-layer request plus
-// presentation options that don't affect caching.
-type queryRequest struct {
-	serve.Request
-	// IncludeZones returns the per-zone measures (can be large).
-	IncludeZones bool `json:"include_zones"`
-}
-
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "bad JSON: "+err.Error())
-		return
-	}
-	norm, err := req.Request.Normalize()
+	// serve.DecodeRequest is the one wire decode+validate path: the body is
+	// the canonical serve.Request, presentation and deadline options
+	// included.
+	req, err := serve.DecodeRequest(r.Body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
-	if len(core.POIsOf(s.engine.City, synth.POICategory(norm.Category))) == 0 {
+	// ?deadline_ms= overrides the body field, for clients that template the
+	// body but set deadlines per call site.
+	if ds := r.URL.Query().Get("deadline_ms"); ds != "" {
+		ms, err := strconv.ParseInt(ds, 10, 64)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, codeBadRequest, "deadline_ms must be a non-negative integer")
+			return
+		}
+		req.DeadlineMS = ms
+	}
+	if len(core.POIsOf(s.engine.City, synth.POICategory(req.Category))) == 0 {
 		writeError(w, http.StatusBadRequest, codeBadRequest,
-			fmt.Sprintf("unknown or empty POI category %q", norm.Category))
+			fmt.Sprintf("unknown or empty POI category %q", req.Category))
 		return
 	}
-	job, err := s.mgr.Submit(norm)
+	async := r.URL.Query().Get("async") == "1"
+	var job *serve.Job
+	if async {
+		job, err = s.mgr.SubmitAsync(req)
+	} else {
+		job, err = s.mgr.Submit(req)
+	}
 	if err != nil {
 		s.writeSubmitError(w, err)
 		return
 	}
-	if r.URL.Query().Get("async") == "1" {
+	if async {
 		writeJSON(w, http.StatusAccepted, map[string]interface{}{
 			"job_id":     job.ID,
 			"state":      job.Snapshot().State,
@@ -311,18 +340,24 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	res, err := s.mgr.Wait(r.Context(), job)
 	if err != nil {
 		status, code := http.StatusInternalServerError, codeInternal
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
-			strings.Contains(err.Error(), context.DeadlineExceeded.Error()) {
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			status, code = http.StatusGatewayTimeout, codeTimeout
+		case errors.Is(err, serve.ErrShutdown):
+			status, code = http.StatusServiceUnavailable, codeShuttingDown
+		case errors.Is(err, serve.ErrCancelled):
+			status, code = http.StatusConflict, codeCancelled
 		}
 		writeError(w, status, code, err.Error())
 		return
 	}
+	snap := job.Snapshot()
 	body := resultBody(res, req.IncludeZones)
+	addRobustness(body, res, snap)
 	if r.URL.Query().Get("explain") == "1" {
 		// The job snapshot carries the run's span tree (or, on a cache
 		// hit, the producing run's); fold its execution report in.
-		if rep := core.Explain(job.Snapshot().Trace); rep != nil {
+		if rep := core.Explain(snap.Trace); rep != nil {
 			body["explain"] = rep
 		}
 	}
@@ -330,7 +365,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeSubmitError maps admission failures to HTTP codes: a full queue is
-// 429 with a Retry-After hint, a draining server is 503.
+// 429 with a Retry-After hint, a draining server is 503, an open circuit
+// breaker is 503 with the breaker_open code.
 func (s *server) writeSubmitError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, serve.ErrQueueFull):
@@ -340,6 +376,9 @@ func (s *server) writeSubmitError(w http.ResponseWriter, err error) {
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusTooManyRequests, codeQueueFull, "query queue full; retry later")
+	case errors.Is(err, serve.ErrBreakerOpen):
+		writeError(w, http.StatusServiceUnavailable, codeBreakerOpen,
+			"circuit breaker open after repeated engine failures; retry later")
 	case errors.Is(err, serve.ErrShutdown):
 		writeError(w, http.StatusServiceUnavailable, codeShuttingDown, "server shutting down")
 	default:
@@ -347,16 +386,93 @@ func (s *server) writeSubmitError(w http.ResponseWriter, err error) {
 	}
 }
 
+// addRobustness folds the degradation and staleness metadata into a query
+// or job response, so reduced fidelity is always visible to the client.
+func addRobustness(body map[string]interface{}, res *core.Result, snap serve.Snapshot) {
+	if res != nil && res.Degraded != nil {
+		body["degraded"] = res.Degraded
+	}
+	if snap.Stale {
+		body["stale"] = map[string]interface{}{
+			"served_from_expired_cache": true,
+			"age_seconds":               snap.StaleFor.Seconds(),
+		}
+	}
+}
+
+// handleJobs serves GET /v1/jobs: the job listing with optional ?state=
+// filter and ?limit=/?cursor= pagination.
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	state := serve.State(q.Get("state"))
+	if state != "" && !serve.ValidState(state) {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("unknown state %q (want queued, running, done, failed, or cancelled)", state))
+		return
+	}
+	limit := 0
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, codeBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	snaps, next := s.mgr.List(state, limit, q.Get("cursor"))
+	jobs := make([]map[string]interface{}, 0, len(snaps))
+	for _, snap := range snaps {
+		j := map[string]interface{}{
+			"id":        snap.ID,
+			"state":     snap.State,
+			"cache_hit": snap.CacheHit,
+			"created":   snap.Created,
+		}
+		if snap.Stale {
+			j["stale"] = true
+		}
+		if snap.Error != "" {
+			j["error"] = snap.Error
+		}
+		jobs = append(jobs, j)
+	}
+	body := map[string]interface{}{"jobs": jobs}
+	if next != "" {
+		body["next_cursor"] = next
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
 // handleJob serves GET /v1/jobs/{id} — job state, the stage-latency
-// breakdown of the run, and the result once done — and
-// GET /v1/jobs/{id}/trace, the run's full span tree (also available for
-// cache-hit jobs, which carry the producing run's trace).
+// breakdown of the run, and the result once done — GET
+// /v1/jobs/{id}/trace, the run's full span tree (also available for
+// cache-hit jobs, which carry the producing run's trace), and DELETE
+// /v1/jobs/{id}, which cancels a queued or running job.
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	id = strings.TrimPrefix(id, "/jobs/") // deprecated unversioned alias
 	id, wantTrace := strings.CutSuffix(id, "/trace")
 	if id == "" || strings.Contains(id, "/") {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "want /v1/jobs/{id} or /v1/jobs/{id}/trace")
+		return
+	}
+	if r.Method == http.MethodDelete {
+		if wantTrace {
+			writeError(w, http.StatusBadRequest, codeBadRequest, "only /v1/jobs/{id} can be cancelled")
+			return
+		}
+		switch err := s.mgr.Cancel(id); {
+		case err == nil:
+			writeJSON(w, http.StatusOK, map[string]interface{}{
+				"id": id, "state": serve.StateCancelled,
+			})
+		case errors.Is(err, serve.ErrUnknownJob):
+			writeError(w, http.StatusNotFound, codeNotFound, "unknown job "+id)
+		case errors.Is(err, serve.ErrNotCancellable):
+			writeError(w, http.StatusConflict, codeNotCancellable, "job "+id+" already finished")
+		default:
+			writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
+		}
 		return
 	}
 	job, err := s.mgr.Get(id)
@@ -387,6 +503,7 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	if snap.State == serve.StateDone && snap.Result != nil {
 		body["result"] = resultBody(snap.Result, r.URL.Query().Get("include_zones") == "1")
+		addRobustness(body, snap.Result, snap)
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -399,9 +516,11 @@ func resultBody(res *core.Result, includeZones bool) map[string]interface{} {
 		"walk_only_share": res.WalkOnlyShare,
 		"spqs":            res.Timing.SPQs,
 		"elapsed_ms":      res.Timing.Total().Milliseconds(),
-		"matrix_trips":    res.Matrix.Size(),
-		"matrix_full":     res.Matrix.FullSize(),
-		"reduction_pct":   res.Matrix.Reduction(),
+	}
+	if res.Matrix != nil {
+		body["matrix_trips"] = res.Matrix.Size()
+		body["matrix_full"] = res.Matrix.FullSize()
+		body["reduction_pct"] = res.Matrix.Reduction()
 	}
 	if includeZones {
 		type zoneOut struct {

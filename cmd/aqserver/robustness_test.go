@@ -1,0 +1,240 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"accessquery/internal/core"
+	"accessquery/internal/serve"
+)
+
+// stubServer builds a server whose engine runs are the given RunFunc,
+// keeping HTTP tests independent of real engine latency.
+func stubServer(t *testing.T, run serve.RunFunc, cfg serve.Config) *server {
+	t.Helper()
+	s := &server{engine: sharedEngine(t), mgr: serve.NewManager(run, cfg)}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.mgr.Shutdown(ctx)
+	})
+	return s
+}
+
+func instantRun(ctx context.Context, req serve.Request) (*core.Result, error) {
+	return &core.Result{Fairness: req.Budget}, nil
+}
+
+// TestJobsListEndpoint covers GET /v1/jobs: listing, the state filter,
+// limit validation, and cursor pagination.
+func TestJobsListEndpoint(t *testing.T) {
+	s := stubServer(t, instantRun, serve.Config{Workers: 1})
+	for i := 0; i < 5; i++ {
+		rec := postQuery(s, "/v1/query", fmt.Sprintf(`{"category": "school", "seed": %d}`, i))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("seed %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	var body struct {
+		Jobs []struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		} `json:"jobs"`
+		NextCursor string `json:"next_cursor"`
+	}
+	rec := do(s, http.MethodGet, "/v1/jobs?limit=3", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Jobs) != 3 || body.NextCursor == "" {
+		t.Fatalf("page 1: %d jobs, cursor %q", len(body.Jobs), body.NextCursor)
+	}
+	rec = do(s, http.MethodGet, "/v1/jobs?limit=3&cursor="+body.NextCursor, "")
+	page1Last := body.Jobs[2].ID
+	body.Jobs, body.NextCursor = nil, ""
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Jobs) != 2 || body.NextCursor != "" {
+		t.Fatalf("page 2: %d jobs, cursor %q", len(body.Jobs), body.NextCursor)
+	}
+	if body.Jobs[0].ID <= page1Last {
+		t.Error("cursor page overlaps the first page")
+	}
+
+	rec = do(s, http.MethodGet, "/v1/jobs?state=done", "")
+	body.Jobs = nil
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Jobs) != 5 {
+		t.Errorf("state=done: %d jobs, want 5", len(body.Jobs))
+	}
+	if rec := do(s, http.MethodGet, "/v1/jobs?state=exploded", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad state filter: status %d", rec.Code)
+	}
+	if rec := do(s, http.MethodGet, "/v1/jobs?limit=bogus", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad limit: status %d", rec.Code)
+	}
+}
+
+// TestJobCancelEndpoint covers DELETE /v1/jobs/{id}: cancelling a queued
+// job, the conflict on re-cancel, and 404 for unknown IDs.
+func TestJobCancelEndpoint(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{}, 8)
+	run := func(ctx context.Context, req serve.Request) (*core.Result, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return &core.Result{}, nil
+	}
+	s := stubServer(t, run, serve.Config{Workers: 1, QueueDepth: 4})
+
+	rec := postQuery(s, "/v1/query?async=1", `{"category": "school", "seed": 0}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("lead: status %d", rec.Code)
+	}
+	<-started // worker busy; the next submission stays queued
+	rec = postQuery(s, "/v1/query?async=1", `{"category": "school", "seed": 1}`)
+	var accepted struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+
+	rec = do(s, http.MethodDelete, "/v1/jobs/"+accepted.JobID, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cancel: status %d: %s", rec.Code, rec.Body.String())
+	}
+	rec = do(s, http.MethodGet, "/v1/jobs/"+accepted.JobID, "")
+	var job struct {
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	if job.State != "cancelled" || job.Error == "" {
+		t.Errorf("cancelled job = %+v", job)
+	}
+
+	rec = do(s, http.MethodDelete, "/v1/jobs/"+accepted.JobID, "")
+	if rec.Code != http.StatusConflict {
+		t.Errorf("re-cancel: status %d, want 409", rec.Code)
+	}
+	if env := decodeError(t, rec); env.Error.Code != codeNotCancellable || env.Error.Retryable {
+		t.Errorf("re-cancel envelope = %+v", env)
+	}
+	if rec := do(s, http.MethodDelete, "/v1/jobs/j99999999", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", rec.Code)
+	}
+}
+
+// TestRetryableFlag pins the error-envelope contract: load and breaker
+// errors are retryable, caller mistakes are not.
+func TestRetryableFlag(t *testing.T) {
+	s := stubServer(t, instantRun, serve.Config{Workers: 1})
+	rec := postQuery(s, "/v1/query", `{"category": "school", "budget": 7}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if env := decodeError(t, rec); env.Error.Retryable {
+		t.Errorf("bad_request marked retryable: %+v", env)
+	}
+	if !retryableCodes[codeQueueFull] || !retryableCodes[codeBreakerOpen] ||
+		!retryableCodes[codeTimeout] || !retryableCodes[codeShuttingDown] {
+		t.Error("load-induced codes must be retryable")
+	}
+	if retryableCodes[codeCancelled] || retryableCodes[codeNotCancellable] || retryableCodes[codeInternal] {
+		t.Error("terminal codes must not be retryable")
+	}
+}
+
+// TestQueryDeadlineParam: ?deadline_ms bounds the run and maps the expiry
+// to a retryable 504.
+func TestQueryDeadlineParam(t *testing.T) {
+	run := func(ctx context.Context, req serve.Request) (*core.Result, error) {
+		<-ctx.Done() // engine that never meets any deadline
+		return nil, ctx.Err()
+	}
+	s := stubServer(t, run, serve.Config{Workers: 1, JobTimeout: time.Hour})
+	rec := postQuery(s, "/v1/query?deadline_ms=25", `{"category": "school"}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if env := decodeError(t, rec); env.Error.Code != codeTimeout || !env.Error.Retryable {
+		t.Errorf("envelope = %+v", env)
+	}
+	if rec := postQuery(s, "/v1/query?deadline_ms=-3", `{"category": "school"}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("negative deadline: status %d", rec.Code)
+	}
+}
+
+// TestDegradedBlockInResponses: a degraded engine answer surfaces its
+// report in both the sync query response and the job status body.
+func TestDegradedBlockInResponses(t *testing.T) {
+	run := func(ctx context.Context, req serve.Request) (*core.Result, error) {
+		return &core.Result{
+			Degraded: &core.DegradedReport{
+				Rungs:   []core.DegradationRung{core.RungBudget},
+				Reasons: []string{"spq faults ate the labeling budget"},
+			},
+		}, nil
+	}
+	s := stubServer(t, run, serve.Config{Workers: 1})
+	rec := postQuery(s, "/v1/query", `{"category": "school"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Degraded *core.DegradedReport `json:"degraded"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Degraded == nil || !body.Degraded.Has(core.RungBudget) {
+		t.Fatalf("sync response degraded block = %+v", body.Degraded)
+	}
+
+	rec = postQuery(s, "/v1/query?async=1", `{"category": "school", "seed": 1}`)
+	var accepted struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		rec = do(s, http.MethodGet, "/v1/jobs/"+accepted.JobID, "")
+		var job struct {
+			State    string               `json:"state"`
+			Degraded *core.DegradedReport `json:"degraded"`
+		}
+		if err := json.NewDecoder(rec.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		if job.State == "done" {
+			if job.Degraded == nil {
+				t.Fatal("job body missing degraded block")
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("job stuck in %s", job.State)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

@@ -6,10 +6,13 @@
 package access
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
+	"accessquery/internal/fault"
 	"accessquery/internal/graph"
 	"accessquery/internal/gtfs"
 	"accessquery/internal/router"
@@ -174,9 +177,63 @@ type Labeler struct {
 	Cost CostKind
 	// Params prices GAC journeys.
 	Params router.CostParams
+	// MaxAttempts bounds how many times a transient profile failure (see
+	// fault.IsTransient) is attempted before the zone is given up;  <= 1
+	// disables retries. Retries back off exponentially from 1ms, capped at
+	// 50ms.
+	MaxAttempts int
+	// Deadline, when non-zero, is checked between start-time groups; once
+	// passed, labeling returns context.DeadlineExceeded so overshoot is
+	// bounded by roughly one profile search.
+	Deadline time.Time
 	// SPQs counts shortest-path-query-equivalents performed (one per priced
 	// trip), for the Table II accounting.
 	SPQs int64
+	// Retries counts profile searches re-attempted after a transient
+	// failure; Abandoned counts searches given up after MaxAttempts. Every
+	// transient failure lands in exactly one of the two, so
+	// injected faults == Retries + Abandoned under fault injection.
+	Retries   int64
+	Abandoned int64
+	// sleep is swapped by tests to avoid real backoff waits.
+	sleep func(time.Duration)
+}
+
+const (
+	retryBaseBackoff = time.Millisecond
+	retryMaxBackoff  = 50 * time.Millisecond
+)
+
+// profile runs one profile search with the labeler's retry policy:
+// transient failures are re-attempted up to MaxAttempts with capped
+// exponential backoff; anything else fails immediately.
+func (l *Labeler) profile(origin graph.NodeID, start gtfs.Seconds) (*router.Profile, error) {
+	backoff := retryBaseBackoff
+	for attempt := 1; ; attempt++ {
+		prof, err := l.Router.ProfileFrom(origin, start)
+		if err == nil || !fault.IsTransient(err) {
+			return prof, err
+		}
+		if attempt >= l.MaxAttempts {
+			l.Abandoned++
+			return nil, err
+		}
+		l.Retries++
+		sleep := l.sleep
+		if sleep == nil {
+			sleep = time.Sleep
+		}
+		sleep(backoff)
+		backoff *= 2
+		if backoff > retryMaxBackoff {
+			backoff = retryMaxBackoff
+		}
+	}
+}
+
+// expired reports whether the labeler's deadline (if any) has passed.
+func (l *Labeler) expired() bool {
+	return !l.Deadline.IsZero() && time.Now().After(l.Deadline)
 }
 
 // LabelZone prices every sampled trip of the zone and aggregates to the
@@ -205,8 +262,11 @@ func (l *Labeler) LabelZone(zone int) (ZoneMeasure, bool, error) {
 	var costs []float64
 	var walkOnly int
 	for _, start := range starts {
+		if l.expired() {
+			return ZoneMeasure{}, false, fmt.Errorf("access: zone %d: %w", zone, context.DeadlineExceeded)
+		}
 		trips := byStart[start]
-		prof, err := l.Router.ProfileFrom(origin, start)
+		prof, err := l.profile(origin, start)
 		if err != nil {
 			return ZoneMeasure{}, false, fmt.Errorf("access: zone %d: %w", zone, err)
 		}
@@ -273,7 +333,10 @@ func (l *Labeler) LabelZonePairs(zone int) ([]PairMeasure, error) {
 	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
 	agg := make(map[int]*PairMeasure)
 	for _, start := range starts {
-		prof, err := l.Router.ProfileFrom(origin, start)
+		if l.expired() {
+			return nil, fmt.Errorf("access: zone %d: %w", zone, context.DeadlineExceeded)
+		}
+		prof, err := l.profile(origin, start)
 		if err != nil {
 			return nil, fmt.Errorf("access: zone %d: %w", zone, err)
 		}

@@ -8,12 +8,15 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"accessquery/internal/access"
+	"accessquery/internal/fault"
 	"accessquery/internal/features"
 	"accessquery/internal/geo"
 	"accessquery/internal/graph"
@@ -144,6 +147,10 @@ func NewEngine(city *synth.City, opts EngineOptions) (*Engine, error) {
 	prepIsochrones.ObserveDuration(time.Since(t0))
 	builder, err := hoptree.NewBuilder(city.Feed, opts.Interval, zonePts, isos)
 	if err != nil {
+		return nil, fmt.Errorf("core: hop trees: %w", err)
+	}
+	// Chaos-test injection site for the offline hop-tree build.
+	if err := fault.Check(fault.SiteHopTree); err != nil {
 		return nil, fmt.Errorf("core: hop trees: %w", err)
 	}
 	t0 = time.Now()
@@ -304,6 +311,11 @@ type Timing struct {
 	Training time.Duration
 	// SPQs counts priced trips (shortest-path-query equivalents).
 	SPQs int64
+	// SPQRetries counts profile searches re-attempted after transient
+	// failures; SPQAbandoned counts those given up after the retry cap.
+	// Together they account for every transient SPQ failure the run saw.
+	SPQRetries   int64
+	SPQAbandoned int64
 }
 
 // Total returns the end-to-end online time.
@@ -325,6 +337,11 @@ type Result struct {
 	Fairness float64
 	Timing   Timing
 	Matrix   *todam.Matrix
+	// Degraded is non-nil when the run climbed the degradation ladder
+	// instead of failing under deadline or fault pressure; it reports which
+	// rungs fired and why. Successful retries alone do not mark a result
+	// degraded — only lost fidelity does.
+	Degraded *DegradedReport
 }
 
 // Run answers a dynamic access query with semi-supervised regression.
@@ -355,6 +372,13 @@ func (e *Engine) RunContext(ctx context.Context, q Query) (*Result, error) {
 	if err != nil {
 		sp.SetString("error", err.Error())
 	}
+	if res != nil && res.Degraded != nil {
+		sp.SetBool("degraded", true)
+		sp.SetString("degraded_rungs", res.Degraded.String())
+	}
+	if res != nil && res.Timing.SPQRetries > 0 {
+		sp.SetInt("spq_retries", res.Timing.SPQRetries)
+	}
 	sp.End()
 	if err != nil {
 		mQueryErrors.Inc()
@@ -364,6 +388,20 @@ func (e *Engine) RunContext(ctx context.Context, q Query) (*Result, error) {
 	return res, err
 }
 
+// Degradation-ladder tuning.
+const (
+	// spqMaxAttempts bounds transient-failure retries per profile search.
+	spqMaxAttempts = 3
+	// labelingDeadlineShare is the percentage of the deadline budget
+	// labeling may consume before being truncated, reserving the tail for
+	// feature generation and training.
+	labelingDeadlineShare = 65
+	// trainingMinSharePct is the minimum percentage of the deadline that
+	// must remain when training starts for an iterative model to be worth
+	// fitting; below it the run falls back to OLS.
+	trainingMinSharePct = 25
+)
+
 func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 	q = q.withDefaults()
 	if len(q.POIs) == 0 {
@@ -372,12 +410,48 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 	if q.Budget <= 0 || q.Budget > 1 {
 		return nil, fmt.Errorf("core: budget %f outside (0, 1]", q.Budget)
 	}
+	// An unknown model is a caller mistake, not infrastructure trouble; it
+	// must fail fast here rather than be absorbed by the OLS fallback rung.
+	switch q.Model {
+	case ModelOLS, ModelMLP, ModelMT, ModelCOREG, ModelGNN, ModelKRR, ModelLapRLS:
+	default:
+		return nil, fmt.Errorf("core: unknown model %q", q.Model)
+	}
 	nz := len(e.zonePts)
 	res := &Result{
 		MAC:     make([]float64, nz),
 		ACSD:    make([]float64, nz),
 		Valid:   make([]bool, nz),
 		Labeled: make([]bool, nz),
+	}
+
+	// Deadline pressure: labeling — the dominant cost — gets the head of
+	// the budget and is truncated at stopBy; the tail is reserved for
+	// features and training. With no deadline both times stay zero and the
+	// ladder never fires.
+	var deadline, stopBy time.Time
+	var dlTotal time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		deadline = dl
+		dlTotal = time.Until(dl)
+		stopBy = time.Now().Add(dlTotal * labelingDeadlineShare / 100)
+	}
+	var deg *DegradedReport
+	degrade := func(r DegradationRung, reason string) {
+		if deg == nil {
+			deg = &DegradedReport{BudgetRequested: q.Budget, ModelRequested: string(q.Model)}
+		}
+		if !deg.Has(r) {
+			switch r {
+			case RungBudget:
+				mDegradedBudget.Inc()
+			case RungModelFallback:
+				mDegradedModel.Inc()
+			case RungPartial:
+				mDegradedPartial.Inc()
+			}
+		}
+		deg.fire(r, reason)
 	}
 
 	// 1. Gravity TODAM.
@@ -425,22 +499,32 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 
 	// 3. Label L.
 	_, sp = obs.Start(ctx, "labeling", stageLabeling)
-	measures, spqs, err := e.labelZones(ctx, q, m, poiNodes, labeledSet)
-	sp.SetInt("spqs", spqs)
+	lo, err := e.labelZones(ctx, q, m, poiNodes, labeledSet, stopBy)
+	sp.SetInt("spqs", lo.spqs)
 	sp.SetInt("workers", int64(q.Workers))
+	if lo.retries > 0 {
+		sp.SetInt("spq_retries", lo.retries)
+		mSPQRetries.Add(lo.retries)
+	}
+	if lo.abandoned > 0 {
+		sp.SetInt("spq_abandoned", lo.abandoned)
+		mSPQAbandoned.Add(lo.abandoned)
+	}
+	res.Timing.SPQRetries = lo.retries
+	res.Timing.SPQAbandoned = lo.abandoned
 	if err != nil {
 		sp.End()
 		// The SPQs priced before the failure were real router work; count
 		// them so aq_engine_spqs_total reflects errored runs too. (The
 		// success path is counted once in RunContext.)
-		mSPQs.Add(spqs)
+		mSPQs.Add(lo.spqs)
 		return nil, err
 	}
 	var xRows, yRows [][]float64
 	var walkShareSum float64
 	var labeledOK []int
 	for i, zone := range labeledSet {
-		zm := measures[i]
+		zm := lo.measures[i]
 		if zm == nil {
 			continue
 		}
@@ -453,15 +537,57 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 		yRows = append(yRows, []float64{zm.MAC, zm.ACSD})
 	}
 	sp.SetInt("labeled_zones", int64(len(labeledOK)))
+	if lo.failed > 0 {
+		sp.SetInt("failed_zones", int64(lo.failed))
+	}
+	if lo.truncated > 0 {
+		sp.SetInt("truncated_zones", int64(lo.truncated))
+	}
 	if len(labeledOK) > 0 {
 		sp.SetFloat("walk_only_share", walkShareSum/float64(len(labeledOK)))
 	}
 	res.Timing.Labeling = sp.End()
-	res.Timing.SPQs = spqs
+	res.Timing.SPQs = lo.spqs
+
+	if lo.failed > 0 || lo.truncated > 0 {
+		degrade(RungBudget, fmt.Sprintf("labeled %d of %d budgeted zones (%d failed after retries, %d truncated at the deadline)",
+			len(labeledOK), len(labeledSet), lo.failed, lo.truncated))
+	}
+	// finishDegraded stamps the report's accounting once the labeled set is
+	// final; partial finalizes a labeled-only result in place of an error.
+	finishDegraded := func(modelUsed string) {
+		deg.BudgetEffective = float64(len(labeledOK)) / float64(nz)
+		deg.ZonesFailed = lo.failed
+		deg.ZonesTruncated = lo.truncated
+		deg.SPQRetries = lo.retries
+		deg.SPQAbandoned = lo.abandoned
+		deg.ModelUsed = modelUsed
+		res.Degraded = deg
+	}
+	partial := func(reason string) *Result {
+		degrade(RungPartial, reason)
+		finishDegraded("")
+		if len(labeledOK) > 0 {
+			res.WalkOnlyShare = walkShareSum / float64(len(labeledOK))
+		}
+		e.finishMeasures(res)
+		return res
+	}
+
 	if len(labeledOK) < 2 {
+		if deg != nil {
+			return partial(fmt.Sprintf("only %d zones labeled under pressure; skipping inference for the remaining %d",
+				len(labeledOK), nz-len(labeledOK))), nil
+		}
 		return nil, fmt.Errorf("core: only %d labelable zones at budget %.3f; raise the budget", len(labeledOK), q.Budget)
 	}
 	res.WalkOnlyShare = walkShareSum / float64(len(labeledOK))
+	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return partial("deadline expired before feature generation"), nil
+		}
+		return nil, err
+	}
 
 	// 4. Features for every zone at the origin level, fanned across the
 	// query's worker pool. Vectors land in an index-addressed slice and are
@@ -494,6 +620,9 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 		return nil
 	}); err != nil {
 		sp.End()
+		if errors.Is(err, context.DeadlineExceeded) {
+			return partial("deadline expired during feature generation"), nil
+		}
 		return nil, err
 	}
 	hits1, misses1 := e.extractor.CacheStats()
@@ -511,15 +640,39 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 	}
 	res.Timing.Features = sp.End()
 
-	// 5. Train and infer.
+	// 5. Train and infer. Under deadline pressure an iterative model is not
+	// worth starting with only the tail of the budget left: fall back to
+	// OLS, whose closed-form fit is effectively instant.
 	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return partial("deadline expired before training"), nil
+		}
 		return nil, err
 	}
+	modelUsed := q.Model
+	if !deadline.IsZero() && modelUsed != ModelOLS {
+		if remaining := time.Until(deadline); remaining < dlTotal*trainingMinSharePct/100 {
+			degrade(RungModelFallback, fmt.Sprintf("%s of the %s deadline remained at training; fitting OLS instead of %s",
+				remaining.Round(time.Millisecond), dlTotal.Round(time.Millisecond), q.Model))
+			modelUsed = ModelOLS
+		}
+	}
 	_, sp = obs.Start(ctx, "training", stageTraining)
-	sp.SetString("model", string(q.Model))
+	sp.SetString("model", string(modelUsed))
 	sp.SetInt("labeled_rows", int64(len(xRows)))
 	sp.SetInt("unlabeled_rows", int64(len(xuRows)))
-	preds, diag, err := e.trainPredict(q, labeledOK, unlabeled, xRows, yRows, xuRows)
+	qm := q
+	qm.Model = modelUsed
+	preds, diag, err := e.trainPredict(qm, labeledOK, unlabeled, xRows, yRows, xuRows)
+	if err != nil && modelUsed != ModelOLS {
+		// The configured model failed; one rung down, OLS answers the query
+		// rather than failing it.
+		degrade(RungModelFallback, fmt.Sprintf("%s failed (%v); refitting with OLS", modelUsed, err))
+		modelUsed = ModelOLS
+		qm.Model = ModelOLS
+		sp.SetString("model", string(ModelOLS))
+		preds, diag, err = e.trainPredict(qm, labeledOK, unlabeled, xRows, yRows, xuRows)
+	}
 	if err != nil {
 		sp.End()
 		return nil, err
@@ -555,87 +708,170 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 	}
 	res.Timing.Training = sp.End()
 
+	if deg != nil {
+		finishDegraded(string(modelUsed))
+	}
 	e.finishMeasures(res)
 	return res, nil
 }
 
-// labelZones prices the given zones, optionally in parallel, returning one
-// measure per zone (nil where the zone had no reachable trips) and the
-// total SPQ count. Output is deterministic regardless of worker count.
-// Labeling dominates online query cost, so ctx is checked between zones:
-// a cancelled query stops within one zone's worth of SPQs.
+// labelOutcome carries labeling's per-zone measures (nil where the zone
+// had no reachable trips or was lost to pressure) plus the run's SPQ and
+// pressure accounting.
+type labelOutcome struct {
+	measures  []*access.ZoneMeasure
+	spqs      int64
+	retries   int64
+	abandoned int64
+	// failed counts zones given up after transient SPQ failures exhausted
+	// their retries; truncated counts zones never priced because the
+	// deadline budget ran out.
+	failed    int
+	truncated int
+}
+
+// newLabeler builds one labeler with the engine's retry policy and the
+// labeling-stage deadline.
+func (e *Engine) newLabeler(q Query, m *todam.Matrix, poiNodes []graph.NodeID, stopBy time.Time) *access.Labeler {
+	return &access.Labeler{
+		Router: e.router, Matrix: m, ZoneNode: e.City.ZoneNode,
+		POINode: poiNodes, Cost: q.Cost, Params: q.CostParams,
+		MaxAttempts: spqMaxAttempts, Deadline: stopBy,
+	}
+}
+
+// labelZones prices the given zones, optionally in parallel. Output is
+// deterministic regardless of worker count. Labeling dominates online
+// query cost, so ctx and the stopBy truncation deadline are checked
+// between zones: a cancelled query stops within one zone's worth of SPQs.
+//
+// Pressure is absorbed rather than escalated: a zone whose SPQs keep
+// failing transiently after retries is skipped and counted in failed, and
+// zones not priced before stopBy (or the ctx deadline) are counted in
+// truncated with a nil error — the caller degrades the run instead of
+// failing it. Only non-transient errors and plain cancellation propagate.
 //
 // The SPQ count is reported even on the error paths: the queries priced
 // before a failure or cancellation were real router work, and callers feed
 // the count into aq_engine_spqs_total either way.
-func (e *Engine) labelZones(ctx context.Context, q Query, m *todam.Matrix, poiNodes []graph.NodeID, zones []int) ([]*access.ZoneMeasure, int64, error) {
-	workers := q.Workers
-	if workers <= 1 {
-		labeler := &access.Labeler{
-			Router: e.router, Matrix: m, ZoneNode: e.City.ZoneNode,
-			POINode: poiNodes, Cost: q.Cost, Params: q.CostParams,
+func (e *Engine) labelZones(ctx context.Context, q Query, m *todam.Matrix, poiNodes []graph.NodeID, zones []int, stopBy time.Time) (labelOutcome, error) {
+	if q.Workers <= 1 {
+		return e.labelZonesSerial(ctx, q, m, poiNodes, zones, stopBy)
+	}
+	return e.labelZonesParallel(ctx, q, m, poiNodes, zones, stopBy, q.Workers)
+}
+
+func (e *Engine) labelZonesSerial(ctx context.Context, q Query, m *todam.Matrix, poiNodes []graph.NodeID, zones []int, stopBy time.Time) (labelOutcome, error) {
+	labeler := e.newLabeler(q, m, poiNodes, stopBy)
+	lo := labelOutcome{measures: make([]*access.ZoneMeasure, len(zones))}
+	flush := func() {
+		lo.spqs = labeler.SPQs
+		lo.retries = labeler.Retries
+		lo.abandoned = labeler.Abandoned
+	}
+	for i, zone := range zones {
+		if err := ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				lo.truncated += len(zones) - i
+				break
+			}
+			flush()
+			return lo, err
 		}
-		out := make([]*access.ZoneMeasure, len(zones))
-		for i, zone := range zones {
-			if err := ctx.Err(); err != nil {
-				return nil, labeler.SPQs, err
-			}
-			zm, ok, err := labeler.LabelZone(zone)
-			if err != nil {
-				return nil, labeler.SPQs, err
-			}
+		if !stopBy.IsZero() && time.Now().After(stopBy) {
+			lo.truncated += len(zones) - i
+			break
+		}
+		zm, ok, err := labeler.LabelZone(zone)
+		switch {
+		case err == nil:
 			if ok {
 				measure := zm
-				out[i] = &measure
+				lo.measures[i] = &measure
 			}
+		case errors.Is(err, context.DeadlineExceeded):
+			// The labeler's own deadline fired mid-zone: this zone and the
+			// rest are lost to truncation.
+			lo.truncated += len(zones) - i
+			flush()
+			return lo, nil
+		case fault.IsTransient(err):
+			lo.failed++
+		default:
+			flush()
+			return lo, err
 		}
-		return out, labeler.SPQs, nil
 	}
-	out := make([]*access.ZoneMeasure, len(zones))
+	flush()
+	return lo, nil
+}
+
+func (e *Engine) labelZonesParallel(ctx context.Context, q Query, m *todam.Matrix, poiNodes []graph.NodeID, zones []int, stopBy time.Time, workers int) (labelOutcome, error) {
+	lo := labelOutcome{measures: make([]*access.ZoneMeasure, len(zones))}
 	jobs := make(chan int)
 	errs := make(chan error, workers)
-	var spqs int64
+	var failed, truncated atomic.Int64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			labeler := &access.Labeler{
-				Router: e.router, Matrix: m, ZoneNode: e.City.ZoneNode,
-				POINode: poiNodes, Cost: q.Cost, Params: q.CostParams,
-			}
-			// Fold this worker's SPQs in even when it exits on an error, so
-			// the error paths below still see the accumulated count after
-			// wg.Wait.
+			labeler := e.newLabeler(q, m, poiNodes, stopBy)
+			// Fold this worker's counters in even when it exits on an error,
+			// so the error paths below still see the accumulated counts
+			// after wg.Wait.
 			defer func() {
 				mu.Lock()
-				spqs += labeler.SPQs
+				lo.spqs += labeler.SPQs
+				lo.retries += labeler.Retries
+				lo.abandoned += labeler.Abandoned
 				mu.Unlock()
 			}()
 			for i := range jobs {
 				zm, ok, err := labeler.LabelZone(zones[i])
-				if err != nil {
+				switch {
+				case err == nil:
+					if ok {
+						measure := zm
+						lo.measures[i] = &measure
+					}
+				case errors.Is(err, context.DeadlineExceeded):
+					truncated.Add(1)
+				case fault.IsTransient(err):
+					failed.Add(1)
+				default:
 					errs <- err
 					return
-				}
-				if ok {
-					measure := zm
-					out[i] = &measure
 				}
 			}
 		}()
 	}
+	// finish folds the atomics once the workers have drained; valid only
+	// after wg.Wait.
+	finish := func(err error) (labelOutcome, error) {
+		lo.failed = int(failed.Load())
+		lo.truncated += int(truncated.Load())
+		return lo, err
+	}
 	for i := range zones {
+		if !stopBy.IsZero() && time.Now().After(stopBy) {
+			lo.truncated += len(zones) - i
+			break
+		}
 		select {
 		case err := <-errs:
 			close(jobs)
 			wg.Wait()
-			return nil, spqs, err
+			return finish(err)
 		case <-ctx.Done():
 			close(jobs)
 			wg.Wait()
-			return nil, spqs, ctx.Err()
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				lo.truncated += len(zones) - i
+				return finish(nil)
+			}
+			return finish(ctx.Err())
 		case jobs <- i:
 		}
 	}
@@ -643,10 +879,10 @@ func (e *Engine) labelZones(ctx context.Context, q Query, m *todam.Matrix, poiNo
 	wg.Wait()
 	select {
 	case err := <-errs:
-		return nil, spqs, err
+		return finish(err)
 	default:
 	}
-	return out, spqs, nil
+	return finish(nil)
 }
 
 // trainDiag carries the training-stage diagnostics a trace's "training"
@@ -870,14 +1106,20 @@ func (e *Engine) GroundTruthContext(ctx context.Context, q Query) (*Result, erro
 	for i := range all {
 		all[i] = i
 	}
-	measures, spqs, err := e.labelZones(ctx, q, m, poiNodes, all)
+	lo, err := e.labelZones(ctx, q, m, poiNodes, all, time.Time{})
+	if err == nil && lo.truncated > 0 {
+		// With no stopBy, truncation can only mean the ctx deadline fired.
+		// A partial ground truth would silently bias evaluations, so the
+		// baseline keeps its all-or-nothing contract and errors instead.
+		err = ctx.Err()
+	}
 	if err != nil {
-		mSPQs.Add(spqs)
+		mSPQs.Add(lo.spqs)
 		return nil, err
 	}
 	var walkShareSum float64
 	var okCount int
-	for zone, zm := range measures {
+	for zone, zm := range lo.measures {
 		if zm == nil {
 			continue
 		}
@@ -889,7 +1131,9 @@ func (e *Engine) GroundTruthContext(ctx context.Context, q Query) (*Result, erro
 		okCount++
 	}
 	res.Timing.Labeling = time.Since(t0)
-	res.Timing.SPQs = spqs
+	res.Timing.SPQs = lo.spqs
+	res.Timing.SPQRetries = lo.retries
+	res.Timing.SPQAbandoned = lo.abandoned
 	if okCount > 0 {
 		res.WalkOnlyShare = walkShareSum / float64(okCount)
 	}

@@ -29,6 +29,15 @@ type ExplainReport struct {
 	LabeledZones int64  `json:"labeled_zones,omitempty"`
 	SPQs         int64  `json:"spqs,omitempty"`
 
+	// Degradation-ladder visibility: which rungs fired (empty when the run
+	// answered at full fidelity) and the transient-SPQ accounting.
+	Degraded       bool   `json:"degraded"`
+	DegradedRungs  string `json:"degraded_rungs,omitempty"`
+	SPQRetries     int64  `json:"spq_retries,omitempty"`
+	SPQAbandoned   int64  `json:"spq_abandoned,omitempty"`
+	FailedZones    int64  `json:"failed_zones,omitempty"`
+	TruncatedZones int64  `json:"truncated_zones,omitempty"`
+
 	// TODAM size: trips priced against the O(|Z||P||R|) full matrix.
 	MatrixTrips        int64   `json:"matrix_trips,omitempty"`
 	MatrixFullTrips    int64   `json:"matrix_full_trips,omitempty"`
@@ -108,9 +117,16 @@ func Explain(sum *obs.TraceSummary) *ExplainReport {
 	r.MatrixFullTrips = attrInt(matrix, "full_trips")
 	r.MatrixReductionPct = attrFloat(matrix, "reduction_pct")
 
+	r.Degraded = attrBool(query, "degraded")
+	r.DegradedRungs = attrString(query, "degraded_rungs")
+
 	labeling := sum.Find("labeling")
 	r.SPQs = attrInt(labeling, "spqs")
 	r.LabeledZones = attrInt(labeling, "labeled_zones")
+	r.SPQRetries = attrInt(labeling, "spq_retries")
+	r.SPQAbandoned = attrInt(labeling, "spq_abandoned")
+	r.FailedZones = attrInt(labeling, "failed_zones")
+	r.TruncatedZones = attrInt(labeling, "truncated_zones")
 
 	feat := sum.Find("features")
 	r.FeatureCacheHits = attrInt(feat, "cache_hits")
@@ -171,6 +187,13 @@ func (r *ExplainReport) WriteText(w io.Writer) {
 	}
 	if r.Zones > 0 {
 		fmt.Fprintf(w, "  labeling: %d/%d zones labeled, %d SPQs\n", r.LabeledZones, r.Zones, r.SPQs)
+	}
+	if r.SPQRetries > 0 || r.SPQAbandoned > 0 {
+		fmt.Fprintf(w, "  spq faults: %d retried, %d abandoned (%d zones failed, %d truncated)\n",
+			r.SPQRetries, r.SPQAbandoned, r.FailedZones, r.TruncatedZones)
+	}
+	if r.Degraded {
+		fmt.Fprintf(w, "  degraded: %s\n", r.DegradedRungs)
 	}
 	fmt.Fprintf(w, "  feature cache: %d hits, %d misses\n", r.FeatureCacheHits, r.FeatureCacheMisses)
 	if r.TrainingIterations > 0 {

@@ -12,6 +12,15 @@ var (
 	mSPQs         = obs.Counter("aq_engine_spqs_total")
 	mQuerySeconds = obs.Histogram("aq_engine_query_seconds")
 
+	// Degradation-ladder visibility: every fired rung and every transient
+	// SPQ outcome is scrapeable, so a chaos run can reconcile injected
+	// faults against retries + abandoned searches.
+	mDegradedBudget  = obs.Counter(`aq_engine_degraded_total{rung="budget"}`)
+	mDegradedModel   = obs.Counter(`aq_engine_degraded_total{rung="model_fallback"}`)
+	mDegradedPartial = obs.Counter(`aq_engine_degraded_total{rung="partial"}`)
+	mSPQRetries      = obs.Counter("aq_engine_spq_retries_total")
+	mSPQAbandoned    = obs.Counter("aq_engine_spq_abandoned_total")
+
 	stageMatrix   = obs.Histogram(`aq_engine_stage_seconds{stage="matrix"}`)
 	stageSampling = obs.Histogram(`aq_engine_stage_seconds{stage="sampling"}`)
 	stageLabeling = obs.Histogram(`aq_engine_stage_seconds{stage="labeling"}`)
@@ -38,6 +47,9 @@ func init() {
 	obs.Default.SetHelp("aq_engine_query_errors_total", "Access queries that returned an error.")
 	obs.Default.SetHelp("aq_engine_spqs_total", "Shortest-path-query equivalents priced during labeling.")
 	obs.Default.SetHelp("aq_engine_query_seconds", "End-to-end online query latency.")
+	obs.Default.SetHelp("aq_engine_degraded_total", "Degradation-ladder rungs fired by runs that answered degraded instead of failing.")
+	obs.Default.SetHelp("aq_engine_spq_retries_total", "Profile searches re-attempted after a transient failure.")
+	obs.Default.SetHelp("aq_engine_spq_abandoned_total", "Profile searches given up after exhausting the retry cap.")
 	obs.Default.SetHelp("aq_engine_stage_seconds", "Online query latency by pipeline stage (Table II decomposition).")
 	obs.Default.SetHelp("aq_engine_parallelism", "Worker count of the most recently built engine (EngineOptions.Parallelism).")
 	obs.Default.SetHelp("aq_engine_prep_seconds", "Offline pre-processing latency by stage (isochrones, hop trees, spatial indexes).")

@@ -248,12 +248,12 @@ func TestLabelZonesReportsSPQsOnError(t *testing.T) {
 	for name, workers := range map[string]int{"serial": 1, "parallel": 4} {
 		qq := q
 		qq.Workers = workers
-		_, spqs, err := e.labelZones(context.Background(), qq, m, poiNodes, zones)
+		lo, err := e.labelZones(context.Background(), qq, m, poiNodes, zones, time.Time{})
 		if err == nil {
 			t.Fatalf("%s: expected error from out-of-range zone", name)
 		}
-		if spqs <= 0 {
-			t.Errorf("%s: errored labeling reported %d SPQs, want > 0", name, spqs)
+		if lo.spqs <= 0 {
+			t.Errorf("%s: errored labeling reported %d SPQs, want > 0", name, lo.spqs)
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"os"
 	"time"
 
+	"accessquery/internal/fault"
 	"accessquery/internal/features"
 	"accessquery/internal/gtfs"
 	"accessquery/internal/hoptree"
@@ -59,6 +60,10 @@ func (e *Engine) SaveSnapshot(path string) error {
 // from its recorded configuration (deterministic in the seed) and the
 // pre-computed structures are installed without recomputation.
 func LoadEngine(path string) (*Engine, error) {
+	// Chaos-test injection site for snapshot load failures.
+	if err := fault.Check(fault.SiteSnapshot); err != nil {
+		return nil, fmt.Errorf("core: loading snapshot: %w", err)
+	}
 	file, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

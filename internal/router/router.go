@@ -17,6 +17,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"accessquery/internal/fault"
 	"accessquery/internal/graph"
 	"accessquery/internal/gtfs"
 )
@@ -197,6 +198,12 @@ func (q *pq) Pop() interface{} {
 func (r *Router) ProfileFrom(origin graph.NodeID, depart gtfs.Seconds) (*Profile, error) {
 	if origin < 0 || int(origin) >= r.road.NumNodes() {
 		return nil, fmt.Errorf("router: invalid origin node %d", origin)
+	}
+	// Chaos-test injection site: one SPQ is the unit of labeling work, so a
+	// fault here models a stalled or failed shortest-path backend. No-op
+	// (one atomic load) unless an injector is enabled.
+	if err := fault.Check(fault.SiteSPQ); err != nil {
+		return nil, err
 	}
 	// Relaxation work is tallied locally and flushed to the process-wide
 	// counters once per search.

@@ -30,6 +30,7 @@ type cacheEntry struct {
 	// trace is the producing run's span tree, kept with the result so
 	// cache-hit jobs can still answer trace and explain requests.
 	trace   *obs.TraceSummary
+	stored  time.Time
 	expires time.Time // zero when ttl <= 0
 }
 
@@ -47,8 +48,9 @@ func newResultCache(capacity int, ttl time.Duration, now func() time.Time) *resu
 }
 
 // get returns the cached result and the producing run's trace for key,
-// promoting the entry to most recently used. Expired entries are evicted
-// on access.
+// promoting the entry to most recently used. Expired entries are misses
+// here but are retained (until LRU eviction) so getStale can serve them
+// while the circuit breaker is open.
 func (c *resultCache) get(key string) (*core.Result, *obs.TraceSummary, bool) {
 	if c.cap <= 0 {
 		return nil, nil, false
@@ -61,12 +63,29 @@ func (c *resultCache) get(key string) (*core.Result, *obs.TraceSummary, bool) {
 	}
 	ent := el.Value.(*cacheEntry)
 	if !ent.expires.IsZero() && c.now().After(ent.expires) {
-		c.ll.Remove(el)
-		delete(c.items, key)
 		return nil, nil, false
 	}
 	c.ll.MoveToFront(el)
 	return ent.res, ent.trace, true
+}
+
+// getStale returns the entry for key regardless of expiry, with its age
+// since it was stored. This is the circuit breaker's degraded read path: a
+// stale answer with honest staleness metadata beats no answer while the
+// engine is failing.
+func (c *resultCache) getStale(key string) (*core.Result, *obs.TraceSummary, time.Duration, bool) {
+	if c.cap <= 0 {
+		return nil, nil, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, nil, 0, false
+	}
+	ent := el.Value.(*cacheEntry)
+	c.ll.MoveToFront(el)
+	return ent.res, ent.trace, c.now().Sub(ent.stored), true
 }
 
 // put stores res (and the trace of the run that produced it) under key,
@@ -77,19 +96,21 @@ func (c *resultCache) put(key string, res *core.Result, trace *obs.TraceSummary)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	stored := c.now()
 	var expires time.Time
 	if c.ttl > 0 {
-		expires = c.now().Add(c.ttl)
+		expires = stored.Add(c.ttl)
 	}
 	if el, ok := c.items[key]; ok {
 		ent := el.Value.(*cacheEntry)
 		ent.res = res
 		ent.trace = trace
+		ent.stored = stored
 		ent.expires = expires
 		c.ll.MoveToFront(el)
 		return
 	}
-	el := c.ll.PushFront(&cacheEntry{key: key, res: res, trace: trace, expires: expires})
+	el := c.ll.PushFront(&cacheEntry{key: key, res: res, trace: trace, stored: stored, expires: expires})
 	c.items[key] = el
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()

@@ -83,8 +83,12 @@ func TestCacheTTL(t *testing.T) {
 	if _, _, ok := c.get("a"); ok {
 		t.Error("entry served after TTL")
 	}
-	if c.len() != 0 {
-		t.Errorf("expired entry not collected: len = %d", c.len())
+	// Expired entries stay resident (until LRU eviction) so the circuit
+	// breaker can serve them stale, with an honest age.
+	if _, _, age, ok := c.getStale("a"); !ok {
+		t.Error("expired entry gone from the stale path")
+	} else if age != 61*time.Second {
+		t.Errorf("stale age = %v, want 61s", age)
 	}
 	// Re-put restarts the clock.
 	c.put("a", resultN(2), nil)

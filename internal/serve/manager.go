@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,19 @@ type Config struct {
 	CacheTTL time.Duration
 	// JobTimeout bounds one engine run; default 120s.
 	JobTimeout time.Duration
+	// DefaultDeadline bounds engine runs for requests that carry no
+	// deadline_ms of their own; zero means JobTimeout alone applies. The
+	// effective deadline is always the minimum of JobTimeout,
+	// DefaultDeadline (if set), and the request's deadline_ms (if set).
+	DefaultDeadline time.Duration
+	// BreakerThreshold trips the circuit breaker after this many
+	// consecutive engine failures; while open, submissions are answered
+	// from stale cache entries when possible and rejected with
+	// ErrBreakerOpen otherwise. Default 5; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before it
+	// goes half-open and lets a single probe query through; default 15s.
+	BreakerCooldown time.Duration
 	// JobRetention keeps finished jobs pollable; default 10m.
 	JobRetention time.Duration
 	// SlowQueryThreshold gates the structured slow-query log: runs at or
@@ -63,6 +77,12 @@ func (c Config) withDefaults() Config {
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 120 * time.Second
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 15 * time.Second
+	}
 	if c.JobRetention <= 0 {
 		c.JobRetention = 10 * time.Minute
 	}
@@ -85,17 +105,43 @@ var (
 	// ErrUnknownJob means the polled job ID does not exist or has been
 	// garbage-collected past its retention window (HTTP 404).
 	ErrUnknownJob = errors.New("serve: unknown job")
+	// ErrBreakerOpen means the circuit breaker is open after consecutive
+	// engine failures and no stale cache entry could answer the query;
+	// retry after the cooldown (HTTP 503).
+	ErrBreakerOpen = errors.New("serve: circuit breaker open")
+	// ErrCancelled is the terminal error of a job cancelled via Cancel
+	// (HTTP 409 on wait, "cancelled" state on poll).
+	ErrCancelled = errors.New("serve: job cancelled")
+	// ErrNotCancellable means Cancel targeted a job already in a terminal
+	// state (HTTP 409).
+	ErrNotCancellable = errors.New("serve: job already finished")
 )
 
 // State is a job's lifecycle phase.
 type State string
 
 const (
-	StateQueued  State = "queued"
-	StateRunning State = "running"
-	StateDone    State = "done"
-	StateFailed  State = "failed"
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
 )
+
+// terminal reports whether a state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// ValidState reports whether s names a job lifecycle state (for the
+// list-jobs filter).
+func ValidState(s State) bool {
+	switch s {
+	case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
 
 // Job tracks one submitted query. Fields are written only by the manager;
 // readers take snapshots via Snapshot or wait on Done.
@@ -109,6 +155,8 @@ type Job struct {
 	err      error
 	cacheHit bool
 	dedup    bool
+	stale    bool          // answered from an expired cache entry (breaker open)
+	staleFor time.Duration // how far past freshness the stale answer is
 	created  time.Time
 	finished time.Time
 	stages   []obs.Stage
@@ -129,6 +177,8 @@ type Snapshot struct {
 	State        State             `json:"state"`
 	CacheHit     bool              `json:"cache_hit"`
 	Deduplicated bool              `json:"deduplicated"`
+	Stale        bool              `json:"stale,omitempty"`
+	StaleFor     time.Duration     `json:"-"`
 	Created      time.Time         `json:"created"`
 	Error        string            `json:"error,omitempty"`
 	Stages       []obs.Stage       `json:"stages,omitempty"`
@@ -149,6 +199,8 @@ func (j *Job) Snapshot() Snapshot {
 		State:        j.state,
 		CacheHit:     j.cacheHit,
 		Deduplicated: j.dedup,
+		Stale:        j.stale,
+		StaleFor:     j.staleFor,
 		Created:      j.created,
 		Stages:       j.stages,
 		Trace:        j.trace,
@@ -160,12 +212,23 @@ func (j *Job) Snapshot() Snapshot {
 	return s
 }
 
+// complete moves the job to a terminal state. It is idempotent: Cancel and
+// a finishing flight can race to complete the same job, and whichever gets
+// there first wins.
 func (j *Job) complete(res *core.Result, err error, at time.Time, stages []obs.Stage, trace *obs.TraceSummary) {
 	j.mu.Lock()
-	if err != nil {
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	switch {
+	case errors.Is(err, ErrCancelled):
+		j.state = StateCancelled
+		j.err = err
+	case err != nil:
 		j.state = StateFailed
 		j.err = err
-	} else {
+	default:
 		j.state = StateDone
 		j.res = res
 	}
@@ -176,9 +239,20 @@ func (j *Job) complete(res *core.Result, err error, at time.Time, stages []obs.S
 	close(j.done)
 }
 
+// Result returns the job's terminal result and error. Before the job
+// finishes both are nil; after Done it returns exactly what the run (or
+// cancellation) produced, errors keeping their sentinel identity.
+func (j *Job) Result() (*core.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.res, j.err
+}
+
 func (j *Job) setState(s State) {
 	j.mu.Lock()
-	j.state = s
+	if !j.state.terminal() {
+		j.state = s
+	}
 	j.mu.Unlock()
 }
 
@@ -190,6 +264,15 @@ type flight struct {
 	enqueued time.Time // admission time, for the queue-wait histogram
 	jobs     []*Job    // guarded by Manager.mu
 	started  bool      // guarded by Manager.mu: a worker has begun the run
+	// cancel aborts the run's context; set by the worker once running,
+	// guarded by Manager.mu.
+	cancel context.CancelFunc
+	// cancelled means every attached job was cancelled: a worker that
+	// dequeues this flight skips it, a running one stops caring about the
+	// outcome. Guarded by Manager.mu.
+	cancelled bool
+	// probe marks the breaker's half-open trial run.
+	probe bool
 }
 
 // Stats counts serving-layer events since startup.
@@ -198,8 +281,12 @@ type Stats struct {
 	CacheHits    int64 `json:"cache_hits"`
 	Deduplicated int64 `json:"deduplicated"`
 	Rejected     int64 `json:"rejected"`
+	ShedAsync    int64 `json:"shed_async"`
 	Completed    int64 `json:"completed"`
 	Failed       int64 `json:"failed"`
+	Cancelled    int64 `json:"cancelled"`
+	StaleServed  int64 `json:"stale_served"`
+	BreakerOpen  bool  `json:"breaker_open"`
 	QueueLen     int   `json:"queue_len"`
 }
 
@@ -216,6 +303,15 @@ type Manager struct {
 	jobs    map[string]*Job
 	nextID  uint64
 
+	// Circuit-breaker state, guarded by mu. The breaker is open while
+	// breakerOpenUntil is non-zero: before the cooldown passes every
+	// submission is served stale or rejected; after it, the breaker is
+	// half-open and admits one probe flight (breakerProbing) whose outcome
+	// closes or re-trips it.
+	consecFails      int
+	breakerOpenUntil time.Time
+	breakerProbing   bool
+
 	queue    chan *flight
 	wg       sync.WaitGroup
 	rootCtx  context.Context
@@ -225,8 +321,11 @@ type Manager struct {
 	cacheHits   atomic.Int64
 	dedups      atomic.Int64
 	rejected    atomic.Int64
+	shedAsync   atomic.Int64
 	completed   atomic.Int64
 	failed      atomic.Int64
+	cancelled   atomic.Int64
+	staleServed atomic.Int64
 	avgRunNanos atomic.Int64 // EWMA of engine-run durations, for Retry-After
 }
 
@@ -252,12 +351,21 @@ func NewManager(run RunFunc, cfg Config) *Manager {
 	return m
 }
 
-// Submit admits a query and returns immediately with a pollable job. The
-// fast paths: a fresh cached result completes the job synchronously, and a
-// fingerprint already in flight attaches to that run without consuming a
-// queue slot. Otherwise the query takes a queue slot or is rejected with
-// ErrQueueFull.
-func (m *Manager) Submit(req Request) (*Job, error) {
+// Submit admits a query on the synchronous tier and returns immediately
+// with a pollable job. The fast paths: a fresh cached result completes the
+// job synchronously, and a fingerprint already in flight attaches to that
+// run without consuming a queue slot. Otherwise the query takes a queue
+// slot or is rejected with ErrQueueFull; while the circuit breaker is open
+// it is answered from a stale cache entry or rejected with ErrBreakerOpen.
+func (m *Manager) Submit(req Request) (*Job, error) { return m.submit(req, false) }
+
+// SubmitAsync is Submit on the async (fire-and-poll) tier. The tiers share
+// every path except load shedding: async submissions are rejected once the
+// queue is three-quarters full, keeping the remaining headroom for
+// synchronous callers who have a client blocked on the answer.
+func (m *Manager) SubmitAsync(req Request) (*Job, error) { return m.submit(req, true) }
+
+func (m *Manager) submit(req Request, async bool) (*Job, error) {
 	req, err := req.Normalize()
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
@@ -298,10 +406,47 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		mDedups.Inc()
 		return job, nil
 	}
+	probe := false
+	if open, canProbe := m.breakerStateLocked(now); open {
+		// Degraded read path: an expired cache entry with honest staleness
+		// metadata beats bouncing the client while the engine recovers.
+		if res, trace, age, ok := m.cache.getStale(fp); ok {
+			job := m.newJobLocked(fp, now)
+			job.cacheHit = true
+			job.stale = true
+			job.staleFor = age
+			m.jobs[job.ID] = job
+			m.staleServed.Add(1)
+			mStaleServed.Inc()
+			job.complete(res, nil, now, nil, trace)
+			return job, nil
+		}
+		if !canProbe {
+			m.rejected.Add(1)
+			mBreakerRejected.Inc()
+			return nil, ErrBreakerOpen
+		}
+		// Half-open: let exactly this query through as the probe.
+		probe = true
+	}
+	// Tiered shedding: reject async work while the queue still has sync
+	// headroom. A breaker probe bypasses the tier check — it is the one
+	// query that can close the breaker.
+	shedAt := 3 * cap(m.queue) / 4
+	if shedAt < 1 {
+		shedAt = 1 // a tiny queue still admits async work until it is full
+	}
+	if async && !probe && len(m.queue) >= shedAt {
+		m.rejected.Add(1)
+		m.shedAsync.Add(1)
+		mRejected.Inc()
+		mShedAsync.Inc()
+		return nil, ErrQueueFull
+	}
 	// Admission decision before consuming a job ID or counting the
 	// submission, so rejected queries are counted once (rejected only) and
 	// job IDs stay gapless.
-	fl := &flight{fp: fp, req: req, enqueued: now}
+	fl := &flight{fp: fp, req: req, enqueued: now, probe: probe}
 	select {
 	case m.queue <- fl:
 		mQueueDepth.Inc()
@@ -310,6 +455,9 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		mRejected.Inc()
 		return nil, ErrQueueFull
 	}
+	if probe {
+		m.breakerProbing = true
+	}
 	// A worker may already have dequeued fl, but it blocks on m.mu before
 	// touching fl.jobs, so attaching here is safe.
 	job := m.newJobLocked(fp, now)
@@ -317,6 +465,49 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	m.flights[fp] = fl
 	m.jobs[job.ID] = job
 	return job, nil
+}
+
+// breakerStateLocked reports whether the breaker currently refuses new
+// engine runs and, if so, whether the cooldown has passed so one half-open
+// probe may go through. Callers hold m.mu.
+func (m *Manager) breakerStateLocked(now time.Time) (open, canProbe bool) {
+	if m.cfg.BreakerThreshold < 0 || m.breakerOpenUntil.IsZero() {
+		return false, false
+	}
+	if m.breakerProbing || now.Before(m.breakerOpenUntil) {
+		return true, false
+	}
+	return true, true
+}
+
+// recordOutcomeLocked feeds one finished flight into the breaker state
+// machine. Cancellations and shutdown are neutral — they say nothing about
+// engine health. Callers hold m.mu.
+func (m *Manager) recordOutcomeLocked(fl *flight, err error, now time.Time) {
+	if m.cfg.BreakerThreshold < 0 {
+		return
+	}
+	if fl.probe {
+		m.breakerProbing = false
+	}
+	switch {
+	case err == nil:
+		m.consecFails = 0
+		if !m.breakerOpenUntil.IsZero() {
+			m.breakerOpenUntil = time.Time{}
+			mBreakerOpen.Set(0)
+		}
+	case errors.Is(err, ErrCancelled), errors.Is(err, context.Canceled), errors.Is(err, ErrShutdown):
+		// Neutral: a cancelled probe returns the breaker to half-open (the
+		// cooldown is already past), so the next submission probes again.
+	default:
+		m.consecFails++
+		if fl.probe || (m.consecFails >= m.cfg.BreakerThreshold && m.breakerOpenUntil.IsZero()) {
+			m.breakerOpenUntil = now.Add(m.cfg.BreakerCooldown)
+			mBreakerTrips.Inc()
+			mBreakerOpen.Set(1)
+		}
+	}
 }
 
 // newJobLocked allocates the next job ID and counts the submission. Callers
@@ -350,14 +541,13 @@ func (m *Manager) Get(id string) (*Job, error) {
 
 // Wait blocks until the job finishes or ctx is cancelled. It is the bridge
 // that keeps the synchronous HTTP path a thin wrapper over the async one.
+// On failure it returns the job's terminal error itself — not a stringified
+// copy — so sentinel identity (ErrShutdown, ErrCancelled, context errors)
+// survives for the HTTP layer's status-code mapping.
 func (m *Manager) Wait(ctx context.Context, job *Job) (*core.Result, error) {
 	select {
 	case <-job.Done():
-		s := job.Snapshot()
-		if s.State == StateFailed {
-			return nil, errors.New(s.Error)
-		}
-		return s.Result, nil
+		return job.Result()
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -371,6 +561,98 @@ func (m *Manager) Do(ctx context.Context, req Request) (*core.Result, error) {
 		return nil, err
 	}
 	return m.Wait(ctx, job)
+}
+
+// Cancel moves a queued or running job to the cancelled state. The last
+// job on a flight takes the flight with it: a queued flight is skipped by
+// the worker, a running one has its context cancelled so the engine stops
+// mid-loop. Returns ErrUnknownJob for unknown IDs and ErrNotCancellable
+// for jobs already in a terminal state.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrUnknownJob
+	}
+	job.mu.Lock()
+	terminal := job.state.terminal()
+	job.mu.Unlock()
+	if terminal {
+		m.mu.Unlock()
+		return ErrNotCancellable
+	}
+	if fl, ok := m.flights[job.Fingerprint]; ok {
+		kept := fl.jobs[:0]
+		for _, j := range fl.jobs {
+			if j != job {
+				kept = append(kept, j)
+			}
+		}
+		fl.jobs = kept
+		if len(fl.jobs) == 0 {
+			fl.cancelled = true
+			if fl.cancel != nil {
+				fl.cancel()
+			}
+			// Drop the flight from the table so a new identical submission
+			// starts fresh instead of attaching to a dying run.
+			delete(m.flights, fl.fp)
+		}
+	}
+	m.mu.Unlock()
+
+	now := m.cfg.now()
+	job.complete(nil, ErrCancelled, now, nil, nil)
+	// complete is idempotent: if the flight finished in the window after we
+	// released the lock, the job kept its real outcome and was never
+	// cancelled.
+	if s := job.Snapshot(); s.State != StateCancelled {
+		return ErrNotCancellable
+	}
+	m.cancelled.Add(1)
+	mCancelled.Inc()
+	return nil
+}
+
+// List returns snapshots of known jobs in submission (ID) order: jobs with
+// IDs lexically after cursor, filtered by state when state is non-empty,
+// at most limit entries (default and cap 500). The second return is the
+// cursor for the next page, empty when the listing is complete.
+func (m *Manager) List(state State, limit int, cursor string) ([]Snapshot, string) {
+	if limit <= 0 || limit > 500 {
+		limit = 500
+	}
+	m.mu.Lock()
+	m.pruneLocked(m.cfg.now())
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+
+	// Job IDs are zero-padded ("j%08d"), so lexical order is submission
+	// order and any ID works as a resumption cursor.
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+	out := make([]Snapshot, 0, min(limit, len(jobs)))
+	var next string
+	for _, j := range jobs {
+		if j.ID <= cursor {
+			continue
+		}
+		s := j.Snapshot()
+		if state != "" && s.State != state {
+			continue
+		}
+		if len(out) == limit {
+			// One more match exists beyond the page: resume after the last
+			// included job.
+			next = out[len(out)-1].ID
+			break
+		}
+		out = append(out, s)
+	}
+	return out, next
 }
 
 // RetryAfter estimates, from the queue backlog and a moving average of
@@ -392,15 +674,23 @@ func (m *Manager) RetryAfter() time.Duration {
 	return d
 }
 
-// Stats returns event counters and the current queue length.
+// Stats returns event counters, the breaker state, and the current queue
+// length.
 func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	open, _ := m.breakerStateLocked(m.cfg.now())
+	m.mu.Unlock()
 	return Stats{
 		Submitted:    m.submitted.Load(),
 		CacheHits:    m.cacheHits.Load(),
 		Deduplicated: m.dedups.Load(),
 		Rejected:     m.rejected.Load(),
+		ShedAsync:    m.shedAsync.Load(),
 		Completed:    m.completed.Load(),
 		Failed:       m.failed.Load(),
+		Cancelled:    m.cancelled.Load(),
+		StaleServed:  m.staleServed.Load(),
+		BreakerOpen:  open,
 		QueueLen:     len(m.queue),
 	}
 }
@@ -445,14 +735,26 @@ func (m *Manager) worker() {
 // attached to it.
 func (m *Manager) runFlight(fl *flight) {
 	mQueueDepth.Dec()
-	mWorkersBusy.Inc()
-	defer mWorkersBusy.Dec()
 	m.mu.Lock()
+	if fl.cancelled {
+		// Every attached job was cancelled while this flight sat in the
+		// queue; Cancel already removed it from the flight table.
+		m.mu.Unlock()
+		return
+	}
+	// The run context is created here, under the lock, so Cancel can abort
+	// it: the effective deadline is the tightest of the job timeout, the
+	// server default, and the request's own deadline_ms.
+	ctx, cancel := context.WithTimeout(m.rootCtx, m.effectiveTimeout(fl.req))
+	fl.cancel = cancel
 	fl.started = true
 	for _, j := range fl.jobs {
 		j.setState(StateRunning)
 	}
 	m.mu.Unlock()
+	defer cancel()
+	mWorkersBusy.Inc()
+	defer mWorkersBusy.Dec()
 
 	start := m.cfg.now()
 	wait := start.Sub(fl.enqueued)
@@ -460,7 +762,7 @@ func (m *Manager) runFlight(fl *flight) {
 	// The trace rides the run context so the engine's stage spans land in
 	// it; every job attached to this flight shares the breakdown.
 	tr := obs.NewTrace()
-	res, err := m.safeRun(fl.req, tr, wait)
+	res, err := m.safeRun(ctx, fl.req, tr, wait)
 	elapsed := m.cfg.now().Sub(start)
 	m.observeRun(elapsed)
 	mRunSeconds.ObserveDuration(elapsed)
@@ -469,19 +771,29 @@ func (m *Manager) runFlight(fl *flight) {
 	obs.Traces.Add(sum)
 	m.maybeLogSlow(fl.fp, elapsed, sum, stages, err)
 
+	now := m.cfg.now()
 	m.mu.Lock()
 	// Remove the flight before completing its jobs: once the lock drops,
 	// a same-fingerprint Submit starts a fresh flight (or hits the cache)
-	// instead of attaching to a finished one.
-	delete(m.flights, fl.fp)
-	if err == nil {
+	// instead of attaching to a finished one. Cancel may already have
+	// removed it (and even replaced it with a fresh flight) — only delete
+	// our own entry.
+	if m.flights[fl.fp] == fl {
+		delete(m.flights, fl.fp)
+	}
+	if fl.cancelled && err == nil && ctx.Err() != nil {
+		err = fmt.Errorf("%w: run aborted", ErrCancelled)
+	}
+	m.recordOutcomeLocked(fl, err, now)
+	if err == nil && res.Degraded == nil {
+		// Degraded answers are honest but not canonical: caching one would
+		// keep serving reduced fidelity after the pressure has passed.
 		m.cache.put(fl.fp, res, sum)
 	}
 	jobs := fl.jobs
 	fl.jobs = nil
 	m.mu.Unlock()
 
-	now := m.cfg.now()
 	for _, j := range jobs {
 		if err != nil {
 			m.failed.Add(1)
@@ -492,6 +804,19 @@ func (m *Manager) runFlight(fl *flight) {
 		}
 		j.complete(res, err, now, stages, sum)
 	}
+}
+
+// effectiveTimeout computes one run's deadline: JobTimeout, tightened by
+// the server default and by the request's own deadline_ms when set.
+func (m *Manager) effectiveTimeout(req Request) time.Duration {
+	d := m.cfg.JobTimeout
+	if m.cfg.DefaultDeadline > 0 && m.cfg.DefaultDeadline < d {
+		d = m.cfg.DefaultDeadline
+	}
+	if rd := time.Duration(req.DeadlineMS) * time.Millisecond; rd > 0 && rd < d {
+		d = rd
+	}
+	return d
 }
 
 // maybeLogSlow emits the threshold-gated structured slow-query log line:
@@ -515,13 +840,11 @@ func (m *Manager) maybeLogSlow(fp string, elapsed time.Duration, sum *obs.TraceS
 	m.cfg.Logger.Warn("slow query", fields...)
 }
 
-// safeRun applies the per-job timeout and converts a panicking query into
-// an error, so one bad query cannot kill the server. It roots the trace's
-// span tree: a "job" span owning the queue wait and the engine's "query"
-// subtree.
-func (m *Manager) safeRun(req Request, tr *obs.Trace, wait time.Duration) (res *core.Result, err error) {
-	ctx, cancel := context.WithTimeout(m.rootCtx, m.cfg.JobTimeout)
-	defer cancel()
+// safeRun executes one run under the flight's context and converts a
+// panicking query into an error, so one bad query cannot kill the server.
+// It roots the trace's span tree: a "job" span owning the queue wait and
+// the engine's "query" subtree.
+func (m *Manager) safeRun(ctx context.Context, req Request, tr *obs.Trace, wait time.Duration) (res *core.Result, err error) {
 	ctx = obs.WithTrace(ctx, tr)
 	ctx, sp := obs.Start(ctx, "job", nil)
 	sp.SetString("fingerprint", req.Fingerprint())
@@ -533,9 +856,17 @@ func (m *Manager) safeRun(req Request, tr *obs.Trace, wait time.Duration) (res *
 		sp.End()
 	}()
 	res, err = m.run(ctx, req)
-	if err == nil && ctx.Err() != nil {
-		// The engine returned a stale success after its deadline; don't
-		// cache or report a result computed under cancellation.
+	if err != nil && errors.Is(err, context.Canceled) && m.rootCtx.Err() != nil {
+		// Keep the job's terminal error meaningful (and its code stable)
+		// when the flight was torn down by shutdown rather than by its own
+		// deadline or a user cancel.
+		err = fmt.Errorf("%w: engine run cancelled", ErrShutdown)
+	}
+	if err == nil && ctx.Err() != nil && (res == nil || res.Degraded == nil) {
+		// The engine returned a stale full-fidelity success after its
+		// deadline; don't cache or report a result computed under
+		// cancellation. A degraded result is exempt: answering partially
+		// at the deadline is exactly the ladder's contract.
 		return nil, ctx.Err()
 	}
 	return res, err

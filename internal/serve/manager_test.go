@@ -15,12 +15,13 @@ import (
 // stubEngine counts run invocations and can block, fail, panic, or sleep
 // on demand, standing in for the multi-second core.Engine.
 type stubEngine struct {
-	runs    atomic.Int64
-	started chan string   // receives the category when a run begins
-	release chan struct{} // when non-nil, runs block here (or on ctx)
-	delay   time.Duration
-	err     error
-	panicky bool
+	runs     atomic.Int64
+	started  chan string   // receives the category when a run begins
+	release  chan struct{} // when non-nil, runs block here (or on ctx)
+	delay    time.Duration
+	err      error
+	panicky  bool
+	degraded bool // answer with a degradation report attached
 }
 
 func (s *stubEngine) run(ctx context.Context, req Request) (*core.Result, error) {
@@ -48,7 +49,14 @@ func (s *stubEngine) run(ctx context.Context, req Request) (*core.Result, error)
 	if s.err != nil {
 		return nil, s.err
 	}
-	return &core.Result{Fairness: req.Budget}, nil
+	res := &core.Result{Fairness: req.Budget}
+	if s.degraded {
+		res.Degraded = &core.DegradedReport{
+			Rungs:   []core.DegradationRung{core.RungPartial},
+			Reasons: []string{"stubbed pressure"},
+		}
+	}
+	return res, nil
 }
 
 func newTestManager(t *testing.T, stub *stubEngine, cfg Config) *Manager {

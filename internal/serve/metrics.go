@@ -15,6 +15,13 @@ var (
 	mRejected    = obs.Counter("aq_serve_rejected_total")
 	mCompleted   = obs.Counter("aq_serve_completed_total")
 	mFailed      = obs.Counter("aq_serve_failed_total")
+	mCancelled   = obs.Counter("aq_serve_cancelled_total")
+	mShedAsync   = obs.Counter("aq_serve_shed_async_total")
+	mStaleServed = obs.Counter("aq_serve_stale_served_total")
+
+	mBreakerTrips    = obs.Counter("aq_serve_breaker_trips_total")
+	mBreakerRejected = obs.Counter("aq_serve_breaker_rejected_total")
+	mBreakerOpen     = obs.Gauge("aq_serve_breaker_open")
 
 	mQueueWait  = obs.Histogram("aq_serve_queue_wait_seconds")
 	mRunSeconds = obs.Histogram("aq_serve_run_seconds")
@@ -32,6 +39,12 @@ func init() {
 	obs.Default.SetHelp("aq_serve_rejected_total", "Submissions rejected by admission control (queue full).")
 	obs.Default.SetHelp("aq_serve_completed_total", "Jobs completed successfully.")
 	obs.Default.SetHelp("aq_serve_failed_total", "Jobs that finished with an error.")
+	obs.Default.SetHelp("aq_serve_cancelled_total", "Jobs cancelled by the client before finishing.")
+	obs.Default.SetHelp("aq_serve_shed_async_total", "Async-tier submissions shed while the queue kept sync headroom.")
+	obs.Default.SetHelp("aq_serve_stale_served_total", "Submissions answered from expired cache entries while the breaker was open.")
+	obs.Default.SetHelp("aq_serve_breaker_trips_total", "Circuit-breaker transitions to open after consecutive engine failures.")
+	obs.Default.SetHelp("aq_serve_breaker_rejected_total", "Submissions rejected because the breaker was open with no stale entry.")
+	obs.Default.SetHelp("aq_serve_breaker_open", "1 while the circuit breaker refuses new engine runs, else 0.")
 	obs.Default.SetHelp("aq_serve_queue_wait_seconds", "Time a distinct query waited between admission and a worker picking it up.")
 	obs.Default.SetHelp("aq_serve_run_seconds", "Engine run duration per deduplicated flight.")
 	obs.Default.SetHelp("aq_serve_queue_depth", "Distinct queries currently waiting in the admission queue.")

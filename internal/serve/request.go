@@ -10,17 +10,24 @@ package serve
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 
+	"accessquery/internal/access"
 	"accessquery/internal/core"
+	"accessquery/internal/geo"
 )
 
-// Request is a serving-layer access query: the wire-level parameters that
-// determine an engine result. Presentation options (like whether the HTTP
-// response includes per-zone rows) deliberately do not belong here, so two
-// requests that differ only in presentation share a fingerprint, a cache
+// Request is the one canonical serving-layer access query: the wire-level
+// JSON body of POST /v1/query, the input to Submit, and — via Query — the
+// single mapping onto a core.Query. The result-determining fields
+// (category through samples_per_hour) feed the fingerprint; presentation
+// and execution options (include_zones, deadline_ms) ride along but are
+// deliberately excluded from it, so two requests that differ only in how
+// they are rendered or how long they may run share a fingerprint, a cache
 // entry, and an engine run.
 type Request struct {
 	Category       string  `json:"category"`
@@ -29,6 +36,26 @@ type Request struct {
 	Model          string  `json:"model"`
 	Seed           int64   `json:"seed"`
 	SamplesPerHour int     `json:"samples_per_hour"`
+
+	// DeadlineMS bounds this request's engine run in milliseconds; the
+	// effective deadline is min(deadline_ms, server default, job timeout).
+	// Zero means the server's defaults alone apply. Not fingerprinted: a
+	// deadline changes how long a run may take, never its answer.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// IncludeZones asks the HTTP layer for the per-zone rows (can be
+	// large). Pure presentation; not fingerprinted.
+	IncludeZones bool `json:"include_zones,omitempty"`
+}
+
+// DecodeRequest is the single wire-decode-plus-validate path for query
+// bodies: it parses JSON and returns the canonical (normalized) request or
+// an error suitable for a 400 response.
+func DecodeRequest(rd io.Reader) (Request, error) {
+	var req Request
+	if err := json.NewDecoder(rd).Decode(&req); err != nil {
+		return Request{}, fmt.Errorf("bad JSON: %s", err)
+	}
+	return req.Normalize()
 }
 
 // validCosts are the cost kinds the paper evaluates.
@@ -81,7 +108,29 @@ func (r Request) Normalize() (Request, error) {
 	if r.SamplesPerHour == 0 {
 		r.SamplesPerHour = core.DefaultSamplesPerHour
 	}
+	if r.DeadlineMS < 0 {
+		return r, fmt.Errorf("deadline_ms %d is negative", r.DeadlineMS)
+	}
 	return r, nil
+}
+
+// Query maps the canonical request onto an engine query over the given POI
+// points. It is the only Request→core.Query translation; execution knobs
+// that don't affect results (Workers, Parallelism) are layered on by the
+// runner afterwards.
+func (r Request) Query(pois []geo.Point) core.Query {
+	cost := access.JourneyTime
+	if r.Cost == "GAC" {
+		cost = access.Generalized
+	}
+	return core.Query{
+		POIs:           pois,
+		Cost:           cost,
+		Budget:         r.Budget,
+		Model:          core.ModelKind(r.Model),
+		SamplesPerHour: r.SamplesPerHour,
+		Seed:           r.Seed,
+	}
 }
 
 // Fingerprint returns a stable hash of the canonical request, the key for
@@ -94,7 +143,8 @@ func (r Request) Fingerprint() string {
 	}
 	h := sha256.New()
 	// A length-prefixed field encoding: unambiguous even if a category
-	// name ever contains a separator character.
+	// name ever contains a separator character. DeadlineMS and IncludeZones
+	// are deliberately absent — they never change the answer.
 	for _, f := range []string{
 		r.Category,
 		r.Cost,

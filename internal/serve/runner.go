@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"runtime"
 
-	"accessquery/internal/access"
 	"accessquery/internal/core"
 	"accessquery/internal/synth"
 )
@@ -41,19 +40,11 @@ func EngineRunner(engine *core.Engine, cfg RunnerConfig) RunFunc {
 		if len(pois) == 0 {
 			return nil, fmt.Errorf("unknown or empty POI category %q", req.Category)
 		}
-		cost := access.JourneyTime
-		if req.Cost == "GAC" {
-			cost = access.Generalized
-		}
-		return engine.RunContext(ctx, core.Query{
-			POIs:           pois,
-			Cost:           cost,
-			Budget:         req.Budget,
-			Model:          core.ModelKind(req.Model),
-			SamplesPerHour: req.SamplesPerHour,
-			Workers:        cfg.LabelWorkers,
-			Parallelism:    cfg.Parallelism,
-			Seed:           req.Seed,
-		})
+		// Request.Query is the one canonical wire→engine mapping; only the
+		// result-neutral execution knobs are layered on here.
+		q := req.Query(pois)
+		q.Workers = cfg.LabelWorkers
+		q.Parallelism = cfg.Parallelism
+		return engine.RunContext(ctx, q)
 	}
 }

@@ -41,10 +41,11 @@ type ServeState = serve.State
 
 // Job lifecycle states.
 const (
-	ServeStateQueued  = serve.StateQueued
-	ServeStateRunning = serve.StateRunning
-	ServeStateDone    = serve.StateDone
-	ServeStateFailed  = serve.StateFailed
+	ServeStateQueued    = serve.StateQueued
+	ServeStateRunning   = serve.StateRunning
+	ServeStateDone      = serve.StateDone
+	ServeStateFailed    = serve.StateFailed
+	ServeStateCancelled = serve.StateCancelled
 )
 
 // ServeStats are a manager's cumulative counters.
@@ -58,6 +59,14 @@ var (
 	ErrShutdown = serve.ErrShutdown
 	// ErrUnknownJob reports a lookup of an expired or never-issued job ID.
 	ErrUnknownJob = serve.ErrUnknownJob
+	// ErrBreakerOpen reports a submission refused by the open circuit
+	// breaker with no stale cache entry to fall back on.
+	ErrBreakerOpen = serve.ErrBreakerOpen
+	// ErrCancelled is the terminal error of a job cancelled via
+	// ServeManager.Cancel.
+	ErrCancelled = serve.ErrCancelled
+	// ErrNotCancellable reports a cancel of an already-finished job.
+	ErrNotCancellable = serve.ErrNotCancellable
 )
 
 // NewServeManager starts a serving layer around run.
