@@ -10,6 +10,11 @@
 //	aqbench -exp fig5                   # predicted MAC choropleths
 //	aqbench -exp ablations              # design-choice ablations
 //	aqbench -exp all
+//
+// -exp serve instead benchmarks a running aqserver over HTTP (latency
+// percentiles, cache hits, answering epochs) and is excluded from all:
+//
+//	aqbench -exp serve -server http://127.0.0.1:8321 -city coventry -n 200
 package main
 
 import (
@@ -30,7 +35,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aqbench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|fig3|fig4|fig5|ablations|temporal|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|fig3|fig4|fig5|ablations|temporal|serve|all (serve needs -server and is excluded from all)")
 		scale   = flag.Float64("scale", 0.15, "city scale for measured experiments (table1 always runs at full scale)")
 		samples = flag.Int("samples", 10, "TODAM start-time samples per hour for measured experiments")
 		models  = flag.String("models", "", "comma-separated model subset (default: all five)")
@@ -38,6 +43,11 @@ func main() {
 		csvFig5 = flag.Bool("fig5csv", false, "emit fig5 as CSV instead of ASCII maps")
 		par     = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool for engine pre-processing and feature stages (results identical; timings change)")
 		debug   = flag.String("debug-addr", "", "optional loopback listener for /metrics and /debug/pprof while experiments run")
+		server  = flag.String("server", "", "aqserver base URL for -exp serve")
+		city    = flag.String("city", "", "tenant to benchmark with -exp serve (empty = server default)")
+		n       = flag.Int("n", 64, "requests to issue with -exp serve")
+		conc    = flag.Int("concurrency", 8, "concurrent clients with -exp serve")
+		unique  = flag.Int("unique", 8, "distinct query seeds with -exp serve; repeats exercise the cache")
 		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -53,6 +63,21 @@ func main() {
 		}
 		defer dbg.Close()
 		log.Printf("debug endpoints (pprof, metrics) on http://%s", bound)
+	}
+	if *exp == "serve" {
+		// The serve benchmark talks to a live server; it never runs under
+		// -exp all and needs no local suite.
+		if *server == "" {
+			log.Fatal("-exp serve requires -server (a running aqserver base URL)")
+		}
+		err := runServeBench(os.Stdout, serveBenchConfig{
+			Server: *server, City: *city, N: *n, Concurrency: *conc,
+			Unique: *unique, Budget: 0.2,
+		})
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		return
 	}
 	s := experiments.NewSuite(*scale)
 	s.SamplesPerHour = *samples
@@ -101,7 +126,7 @@ func main() {
 	run("temporal", func() error { return s.PrintTemporal(w) })
 	run("extensions", func() error { return s.PrintExtensionComparison(w) })
 	switch *exp {
-	case "table1", "table2", "fig3", "fig4", "fig5", "ablations", "temporal", "extensions", "all":
+	case "table1", "table2", "fig3", "fig4", "fig5", "ablations", "temporal", "extensions", "serve", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()

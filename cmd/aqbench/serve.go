@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"accessquery/internal/apiclient"
+	"accessquery/internal/serve"
+)
+
+// The serve benchmark (-exp serve) is the one experiment that measures the
+// serving layer rather than the engine: it hammers a running aqserver's
+// /v1/query with concurrent requests for one tenant and reports end-to-end
+// latency percentiles, cache behaviour, and the engine epochs that
+// answered. Seeds cycle over a small unique set so the run exercises both
+// cold engine runs and cache hits, and because the city field rides in
+// every request it doubles as a load source for hot-swap drills:
+//
+//	aqbench -exp serve -server http://127.0.0.1:8321 -city coventry -n 200
+type serveBenchConfig struct {
+	Server      string
+	City        string
+	N           int
+	Concurrency int
+	Unique      int
+	Budget      float64
+}
+
+type serveSample struct {
+	latency time.Duration
+	hit     bool
+	stale   bool
+	epoch   uint64
+	err     error
+}
+
+func runServeBench(w io.Writer, cfg serveBenchConfig) error {
+	if cfg.N <= 0 {
+		return fmt.Errorf("serve bench: -n must be positive")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Unique <= 0 {
+		cfg.Unique = 1
+	}
+	cl := apiclient.New(cfg.Server)
+
+	// One warm-up probe resolves the effective tenant (the server's default
+	// when -city is unset) and fails fast on an unknown city or a dead
+	// server instead of producing N identical errors.
+	probe, err := cl.Query(context.Background(), serve.Request{
+		City: cfg.City, Category: "school", Budget: cfg.Budget, Seed: 1,
+	})
+	if err != nil {
+		return fmt.Errorf("serve bench probe: %w", err)
+	}
+	city := probe.Cache.City
+
+	samples := make([]serveSample, cfg.N)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < cfg.Concurrency; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				req := serve.Request{
+					City:     cfg.City,
+					Category: "school",
+					Budget:   cfg.Budget,
+					// Seeds cycle: the first Unique requests run the
+					// engine, later repeats should hit the cache.
+					Seed: int64(2 + i%cfg.Unique),
+				}
+				t0 := time.Now()
+				res, err := cl.Query(context.Background(), req)
+				s := serveSample{latency: time.Since(t0), err: err}
+				if err == nil {
+					s.hit = res.Cache.Hit
+					s.stale = res.Cache.EpochStale
+					s.epoch = res.Cache.Epoch
+				}
+				samples[i] = s
+			}
+		}()
+	}
+	for i := 0; i < cfg.N; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	var (
+		lats   []time.Duration
+		hits   int
+		stale  int
+		errs   int
+		epochs = map[uint64]int{}
+	)
+	var firstErr error
+	for _, s := range samples {
+		if s.err != nil {
+			errs++
+			if firstErr == nil {
+				firstErr = s.err
+			}
+			continue
+		}
+		lats = append(lats, s.latency)
+		if s.hit {
+			hits++
+		}
+		if s.stale {
+			stale++
+		}
+		epochs[s.epoch]++
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+
+	fmt.Fprintf(w, "Serve benchmark: %s city=%s n=%d concurrency=%d unique-seeds=%d\n",
+		cfg.Server, city, cfg.N, cfg.Concurrency, cfg.Unique)
+	fmt.Fprintf(w, "  wall %.2fs, %.1f req/s, %d errors", wall.Seconds(),
+		float64(cfg.N)/wall.Seconds(), errs)
+	if firstErr != nil {
+		fmt.Fprintf(w, " (first: %v)", firstErr)
+	}
+	fmt.Fprintln(w)
+	if len(lats) > 0 {
+		pct := func(p float64) time.Duration {
+			idx := int(p * float64(len(lats)-1))
+			return lats[idx]
+		}
+		fmt.Fprintf(w, "  latency p50 %v  p95 %v  p99 %v  max %v\n",
+			pct(0.50).Round(time.Millisecond), pct(0.95).Round(time.Millisecond),
+			pct(0.99).Round(time.Millisecond), lats[len(lats)-1].Round(time.Millisecond))
+		fmt.Fprintf(w, "  cache hits %d/%d (%.0f%%), epoch-stale hits %d\n",
+			hits, len(lats), 100*float64(hits)/float64(len(lats)), stale)
+	}
+	epochList := make([]uint64, 0, len(epochs))
+	for ep := range epochs {
+		epochList = append(epochList, ep)
+	}
+	sort.Slice(epochList, func(i, j int) bool { return epochList[i] < epochList[j] })
+	for _, ep := range epochList {
+		fmt.Fprintf(w, "  epoch %d answered %d\n", ep, epochs[ep])
+	}
+	if errs > 0 {
+		return fmt.Errorf("serve bench: %d/%d requests failed", errs, cfg.N)
+	}
+	return nil
+}

@@ -6,6 +6,12 @@
 //
 //	aqquery -city coventry -scale 0.2 -save /tmp/cov.snap   # offline once
 //	aqquery -load /tmp/cov.snap -category school -budget 0.05 > zones.csv
+//
+// With -server it becomes a client of a running aqserver instead: the
+// query posts to /v1/query with the -city flag as the tenant name, so one
+// CLI drives any city a multi-city server hosts:
+//
+//	aqquery -server http://127.0.0.1:8321 -city birmingham -category school
 package main
 
 import (
@@ -24,14 +30,28 @@ import (
 	"accessquery/internal/fault"
 	"accessquery/internal/gtfs"
 	"accessquery/internal/obs"
+	"accessquery/internal/serve"
 	"accessquery/internal/synth"
 )
+
+// flagWasSet reports whether the named flag appeared on the command line,
+// distinguishing an explicit value from its default.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aqquery: ")
 	var (
-		cityName  = flag.String("city", "coventry", "city preset (ignored with -load)")
+		server    = flag.String("server", "", "base URL of a running aqserver; queries go to its /v1/query instead of a local engine")
+		cityName  = flag.String("city", "coventry", "city preset, or tenant name with -server (ignored with -load)")
 		scale     = flag.Float64("scale", 0.2, "city scale factor (ignored with -load)")
 		load      = flag.String("load", "", "load a saved engine snapshot instead of generating")
 		save      = flag.String("save", "", "save the engine snapshot after pre-processing and exit")
@@ -56,6 +76,24 @@ func main() {
 		return
 	}
 	buildinfo.Register()
+	if *server != "" {
+		req := serve.Request{
+			Category: *category,
+			Cost:     *cost,
+			Budget:   *budget,
+			Model:    *model,
+			Seed:     *seed,
+		}
+		// Only an explicit -city travels; otherwise the server's default
+		// tenant answers, whatever it is named.
+		if flagWasSet("city") {
+			req.City = *cityName
+		}
+		if err := runRemote(*server, req, *deadline, *metrics); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *faultSpec != "" {
 		spec, err := fault.ParseSpec(*faultSpec)
 		if err != nil {

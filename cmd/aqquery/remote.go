@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"accessquery/internal/apiclient"
+	"accessquery/internal/serve"
+)
+
+// Remote mode: with -server, aqquery posts the query to a running aqserver
+// instead of building a local engine. The request body is the same
+// canonical serve.Request the server decodes, so -city routes to a named
+// tenant of a multi-city server and the answer comes back stamped with
+// {city, epoch} provenance. Output stays CSV-on-stdout, summary-on-stderr,
+// minus the lat/lon columns the server response does not carry.
+
+// localOnlyFlags do not travel over the wire; remote runs warn and ignore
+// them rather than silently answering a different question.
+var localOnlyFlags = map[string]string{
+	"scale":       "the server's engines are already built",
+	"load":        "the server owns its snapshots",
+	"save":        "the server owns its snapshots",
+	"sampling":    "the serving API fixes the paper's default sampling",
+	"workers":     "worker counts are a server-side setting",
+	"parallelism": "parallelism is a server-side setting",
+	"od":          "OD-granularity runs are local-only",
+	"fault-spec":  "fault injection is local-only",
+	"explain":     "use GET /v1/jobs/{id}/trace against the server instead",
+}
+
+func runRemote(base string, req serve.Request, deadline time.Duration, metrics bool) error {
+	for name, why := range localOnlyFlags {
+		if f := flagWasSet(name); f {
+			fmt.Fprintf(os.Stderr, "note: -%s is ignored with -server (%s)\n", name, why)
+		}
+	}
+	if deadline > 0 {
+		req.DeadlineMS = deadline.Milliseconds()
+	}
+	req.IncludeZones = true
+
+	cl := apiclient.New(base)
+	ctx := context.Background()
+	if deadline > 0 {
+		// Leave the server headroom to answer 504 itself before the
+		// client-side context fires.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline+30*time.Second)
+		defer cancel()
+	}
+	res, err := cl.Query(ctx, req)
+	if err != nil {
+		var apiErr *apiclient.APIError
+		if errors.As(err, &apiErr) && apiErr.Code == "unknown_city" {
+			if def, cities, cErr := cl.Cities(context.Background()); cErr == nil {
+				names := make([]string, len(cities))
+				for i, c := range cities {
+					names[i] = c.Name
+				}
+				return fmt.Errorf("%w; server default is %q, serving: %s",
+					err, def, strings.Join(names, ", "))
+			}
+		}
+		return err
+	}
+
+	fmt.Println("zone,mac_seconds,acsd_seconds,class,labeled")
+	for _, z := range res.Zones {
+		fmt.Printf("%d,%.2f,%.2f,%s,%t\n", z.Zone, z.MAC, z.ACSD, z.Class, z.Labeled)
+	}
+
+	provenance := fmt.Sprintf("city %s epoch %d", res.Cache.City, res.Cache.Epoch)
+	if res.Cache.Hit {
+		provenance += " (cached"
+		if res.Cache.EpochStale {
+			provenance += ", predates current engine"
+		}
+		provenance += ")"
+	}
+	fmt.Fprintf(os.Stderr,
+		"%s %s %s budget=%.0f%%: %d zones, fairness %.3f, walk-only %.1f%%, %d SPQs in %dms [%s]\n",
+		base, req.Category, req.Cost, req.Budget*100,
+		len(res.Zones), res.Fairness, 100*res.WalkOnlyShare, res.SPQs, res.ElapsedMS, provenance)
+	if res.Degraded != nil {
+		fmt.Fprintf(os.Stderr, "warning: degraded answer: %s\n", res.Degraded)
+	}
+	if res.Stale != nil {
+		fmt.Fprintf(os.Stderr, "warning: stale answer served under failure: %s\n", res.Stale)
+	}
+	if metrics {
+		fmt.Fprintln(os.Stderr, "note: -metrics with -server: scrape the server's /v1/metrics instead")
+	}
+	return nil
+}

@@ -46,6 +46,8 @@ const (
 	codeBreakerOpen      = "breaker_open"
 	codeCancelled        = "cancelled"
 	codeNotCancellable   = "not_cancellable"
+	codeUnknownCity      = "unknown_city"
+	codeBadSnapshot      = "bad_snapshot"
 )
 
 // retryableCodes marks the errors a client can cure by waiting and
@@ -73,7 +75,11 @@ func (s *server) routes() http.Handler {
 	for _, rt := range []route{
 		{"/v1/metrics", "/metrics", s.handleMetrics, []string{http.MethodGet}},
 		{"/v1/stats", "/stats", s.handleStats, []string{http.MethodGet}},
-		{"/v1/city", "/city", s.handleCity, []string{http.MethodGet}},
+		{"/v1/cities", "", s.handleCities, []string{http.MethodGet}},
+		// /v1/cities/{name} details one tenant; /v1/cities/{name}/swap
+		// hot-swaps its engine. Method split is per sub-path, enforced in
+		// the handler.
+		{"/v1/cities/", "", s.handleCityItem, []string{http.MethodGet, http.MethodPost}},
 		{"/v1/zones", "/zones", s.handleZones, []string{http.MethodGet}},
 		{"/v1/journey", "/journey", s.handleJourney, []string{http.MethodGet}},
 		{"/v1/query", "/query", s.handleQuery, []string{http.MethodPost}},
@@ -86,6 +92,12 @@ func (s *server) routes() http.Handler {
 			mux.Handle(rt.old, deprecated(rt.v1, rt.old, h))
 		}
 	}
+	// The single-city GET /v1/city (and its unversioned alias) is
+	// superseded by GET /v1/cities; both remain as deprecated aliases of
+	// the listing.
+	cities := handle("/v1/cities", s.handleCities, http.MethodGet)
+	mux.Handle("/v1/city", deprecated("/v1/cities", "/v1/city", cities))
+	mux.Handle("/city", deprecated("/v1/cities", "/city", cities))
 	return mux
 }
 

@@ -99,7 +99,7 @@ func TestDeprecatedAliases(t *testing.T) {
 	aliases := map[string]string{
 		"/metrics": "/v1/metrics",
 		"/stats":   "/v1/stats",
-		"/city":    "/v1/city",
+		"/city":    "/v1/cities",
 		"/zones":   "/v1/zones",
 	}
 	for old, v1 := range aliases {

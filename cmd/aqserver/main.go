@@ -37,9 +37,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,6 +57,7 @@ import (
 	"accessquery/internal/gtfs"
 	"accessquery/internal/obs"
 	"accessquery/internal/obs/olog"
+	"accessquery/internal/registry"
 	"accessquery/internal/serve"
 	"accessquery/internal/synth"
 )
@@ -64,13 +67,14 @@ import (
 var logger = olog.Default.With(olog.F("component", "aqserver"))
 
 type server struct {
-	engine *core.Engine
-	mgr    *serve.Manager
+	reg *registry.Registry
+	mgr *serve.Manager
 }
 
 func main() {
 	var (
-		cityName     = flag.String("city", "coventry", "city preset: birmingham or coventry")
+		cityName     = flag.String("city", "coventry", "city preset: birmingham or coventry (ignored when -cities is set)")
+		citiesSpec   = flag.String("cities", "", "comma-separated city tenants, each a preset name or name=snapshot.snap (e.g. \"coventry,birmingham=bham.snap\"); the first is the default city")
 		scale        = flag.Float64("scale", 0.25, "city scale factor")
 		addr         = flag.String("addr", "127.0.0.1:8321", "listen address")
 		debugAddr    = flag.String("debug-addr", "", "optional loopback listener for /metrics, /debug/pprof, and /debug/traces (e.g. 127.0.0.1:8322)")
@@ -109,33 +113,31 @@ func main() {
 		fault.Enable(fault.New(spec))
 		logger.Warn("fault injection enabled", olog.F("spec", *faultSpec))
 	}
-	var cfg synth.Config
-	switch strings.ToLower(*cityName) {
-	case "birmingham":
-		cfg = synth.Birmingham()
-	case "coventry":
-		cfg = synth.Coventry()
-	default:
-		logger.Fatal("unknown city", olog.F("city", *cityName))
+	// One -cities spec covers every tenant shape; the single-city flags
+	// remain as the spec for a one-tenant registry.
+	spec := *citiesSpec
+	if spec == "" {
+		spec = strings.ToLower(strings.TrimSpace(*cityName))
 	}
-	cfg = synth.Scaled(cfg, *scale)
-	logger.Info("generating city", olog.F("city", cfg.Name), olog.F("scale", *scale))
-	city, err := synth.Generate(cfg)
+	specs, err := registry.ParseSpec(spec)
 	if err != nil {
-		logger.Fatal("generating city", olog.Err(err))
+		logger.Fatal("bad -cities", olog.Err(err))
 	}
-	logger.Info("pre-processing", olog.F("workers", *parallelism))
-	engine, err := core.NewEngine(city, core.EngineOptions{
+	logger.Info("loading cities", olog.F("spec", spec), olog.F("scale", *scale))
+	reg, err := registry.Open(specs, registry.Options{
+		Scale:       *scale,
 		Interval:    gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday, Label: "weekday AM peak"},
 		Parallelism: *parallelism,
+		// Warm the feature-extractor caches before accepting traffic (and
+		// after every hot-swap) so the first query doesn't pay the
+		// cold-cache cost.
+		WarmCaches: true,
+		Logger:     logger,
 	})
 	if err != nil {
-		logger.Fatal("building engine", olog.Err(err))
+		logger.Fatal("loading cities", olog.Err(err))
 	}
-	// Warm the feature-extractor caches before accepting traffic so the
-	// first query doesn't pay the cold-cache cost.
-	engine.WarmFeatureCaches(*parallelism)
-	s := newServer(engine, serve.Config{
+	s := newServer(reg, serve.Config{
 		Workers:            *workers,
 		QueueDepth:         *queueDepth,
 		CacheSize:          *cacheSize,
@@ -169,18 +171,41 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	logger.Info("ready",
-		olog.F("zones", len(city.Zones)),
-		olog.F("prep", engine.PrepDuration.String()),
+		olog.F("cities", strings.Join(reg.Names(), ",")),
+		olog.F("default_city", reg.DefaultName()),
 		olog.F("addr", *addr))
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		logger.Fatal("listen", olog.Err(err))
-	case sig := <-sigCh:
-		logger.Info("draining in-flight jobs",
-			olog.F("signal", sig.String()), olog.F("timeout", drainTimeout.String()))
+	// SIGHUP is the operator's reload: every snapshot-backed tenant whose
+	// file changed on disk is hot-swapped; in-flight queries finish on the
+	// epoch they acquired.
+	hupCh := make(chan os.Signal, 1)
+	signal.Notify(hupCh, syscall.SIGHUP)
+loop:
+	for {
+		select {
+		case err := <-errCh:
+			logger.Fatal("listen", olog.Err(err))
+		case <-hupCh:
+			results := reg.ReloadChanged()
+			if len(results) == 0 {
+				logger.Info("reload: no snapshots changed")
+			}
+			for _, res := range results {
+				if res.Err != nil {
+					logger.Warn("reload failed; old epoch keeps serving",
+						olog.F("city", res.City), olog.Err(res.Err))
+				} else {
+					logger.Info("reloaded",
+						olog.F("city", res.City), olog.F("epoch", res.Info.Epoch))
+				}
+			}
+		case sig := <-sigCh:
+			logger.Info("draining in-flight jobs",
+				olog.F("signal", sig.String()), olog.F("timeout", drainTimeout.String()))
+			break loop
+		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -193,10 +218,31 @@ func main() {
 	logger.Info("bye")
 }
 
-// newServer wires a serve.Manager to the engine through the serving layer's
-// EngineRunner, which owns the per-run parallelism defaults.
-func newServer(engine *core.Engine, cfg serve.Config, rc serve.RunnerConfig) *server {
-	return &server{engine: engine, mgr: serve.NewManager(serve.EngineRunner(engine, rc), cfg)}
+// newServer wires a serve.Manager to a city registry through the serving
+// layer's RegistryRunner: every run acquires its tenant's current engine
+// generation, and the manager's per-tenant admission control and epoch
+// staleness are fed from the registry.
+func newServer(reg *registry.Registry, cfg serve.Config, rc serve.RunnerConfig) *server {
+	cfg.Tenants = len(reg.Names())
+	cfg.EpochOf = reg.EpochOf
+	return &server{reg: reg, mgr: serve.NewManager(serve.RegistryRunner(reg, rc), cfg)}
+}
+
+// tenantFor resolves the optional ?city= query parameter (or an explicit
+// name) to a tenant, defaulting to the registry's first city. A miss has
+// already been answered with 404 unknown_city when the second return is
+// false.
+func (s *server) tenantFor(w http.ResponseWriter, name string) (*registry.Tenant, bool) {
+	if strings.TrimSpace(name) == "" {
+		name = s.reg.DefaultName()
+	}
+	tn, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, codeUnknownCity,
+			fmt.Sprintf("unknown city %q (serving: %s)", name, strings.Join(s.reg.Names(), ", ")))
+		return nil, false
+	}
+	return tn, true
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -204,40 +250,159 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.mgr.Stats())
+	writeJSON(w, http.StatusOK, struct {
+		serve.Stats
+		Tenants []serve.TenantStats `json:"tenants"`
+	}{s.mgr.Stats(), s.mgr.TenantStats()})
 }
 
-func (s *server) handleCity(w http.ResponseWriter, _ *http.Request) {
-	c := s.engine.City
-	pois := map[synth.POICategory]int{}
-	for cat, list := range c.POIs {
-		pois[cat] = len(list)
+// cityBody shapes one tenant for the /v1/cities responses: the registry's
+// epoch/provenance info plus the serving layer's breaker state for that
+// city.
+func (s *server) cityBody(info registry.Info) map[string]interface{} {
+	body := map[string]interface{}{
+		"name":      info.Name,
+		"epoch":     info.Epoch,
+		"built":     info.Built,
+		"source":    info.Source,
+		"zones":     info.Zones,
+		"stops":     info.Stops,
+		"routes":    info.Routes,
+		"interval":  info.Interval,
+		"swaps":     info.Swaps,
+		"in_flight": info.InFlight,
+		"prep_ms":   info.PrepMS,
+	}
+	for _, ts := range s.mgr.TenantStats() {
+		if ts.City == info.Name {
+			body["breaker_open"] = ts.BreakerOpen
+			body["serve"] = ts
+			break
+		}
+	}
+	return body
+}
+
+// handleCities serves GET /v1/cities — every tenant with its epoch, build
+// provenance, and breaker state — and is the successor of the single-city
+// GET /v1/city.
+func (s *server) handleCities(w http.ResponseWriter, _ *http.Request) {
+	infos := s.reg.Infos()
+	cities := make([]map[string]interface{}, 0, len(infos))
+	for _, info := range infos {
+		cities = append(cities, s.cityBody(info))
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"name":       c.Name,
-		"zones":      len(c.Zones),
-		"road_nodes": c.Road.NumNodes(),
-		"stops":      len(c.Feed.Stops),
-		"routes":     len(c.Feed.Routes),
-		"trips":      len(c.Feed.Trips),
-		"pois":       pois,
-		"interval":   s.engine.Interval.Label,
+		"default": s.reg.DefaultName(),
+		"cities":  cities,
 	})
 }
 
-func (s *server) handleZones(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.engine.City.Zones)
+// handleCityItem serves GET /v1/cities/{name} (tenant detail including the
+// POI catalogue) and POST /v1/cities/{name}/swap (hot-swap the tenant's
+// engine; see handleSwap).
+func (s *server) handleCityItem(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/cities/")
+	name, wantSwap := strings.CutSuffix(name, "/swap")
+	if name == "" || strings.Contains(name, "/") {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "want /v1/cities/{name} or /v1/cities/{name}/swap")
+		return
+	}
+	tn, ok := s.tenantFor(w, name)
+	if !ok {
+		return
+	}
+	if wantSwap {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST only")
+			return
+		}
+		s.handleSwap(w, r, tn)
+		return
+	}
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET only")
+		return
+	}
+	engine, _, release := tn.Acquire()
+	defer release()
+	body := s.cityBody(tn.Info())
+	pois := map[synth.POICategory]int{}
+	for cat, list := range engine.City.POIs {
+		pois[cat] = len(list)
+	}
+	body["pois"] = pois
+	body["road_nodes"] = engine.City.Road.NumNodes()
+	body["trips"] = len(engine.City.Feed.Trips)
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleSwap is POST /v1/cities/{name}/swap: install the tenant's next
+// engine epoch with zero downtime. An optional JSON body {"snapshot":
+// "path"} names the snapshot to load; without one, a snapshot-backed
+// tenant re-loads its recorded file and a preset tenant rebuilds from its
+// synth config. A snapshot that fails verification or names another city
+// is refused with 422 bad_snapshot and the current epoch keeps serving.
+func (s *server) handleSwap(w http.ResponseWriter, r *http.Request, tn *registry.Tenant) {
+	var body struct {
+		Snapshot string `json:"snapshot"`
+	}
+	if r.Body != nil {
+		// An empty body is a plain rebuild/reload; anything present must
+		// parse.
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
+			writeError(w, http.StatusBadRequest, codeBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+	}
+	var (
+		info    registry.Info
+		retired *registry.Retired
+		err     error
+	)
+	if body.Snapshot != "" {
+		info, retired, err = tn.SwapSnapshot(body.Snapshot)
+	} else {
+		info, retired, err = tn.Rebuild()
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, codeBadSnapshot, err.Error())
+		return
+	}
+	out := map[string]interface{}{"city": s.cityBody(info)}
+	if retired != nil {
+		out["retired_epoch"] = retired.Epoch
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleZones(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.tenantFor(w, r.URL.Query().Get("city"))
+	if !ok {
+		return
+	}
+	engine, _, release := tn.Acquire()
+	defer release()
+	writeJSON(w, http.StatusOK, engine.City.Zones)
 }
 
 func (s *server) handleJourney(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
+	tn, ok := s.tenantFor(w, q.Get("city"))
+	if !ok {
+		return
+	}
+	engine, _, release := tn.Acquire()
+	defer release()
 	from, err1 := strconv.Atoi(q.Get("from"))
 	to, err2 := strconv.Atoi(q.Get("to"))
 	if err1 != nil || err2 != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "from and to must be zone indices")
 		return
 	}
-	c := s.engine.City
+	c := engine.City
 	if from < 0 || from >= len(c.Zones) || to < 0 || to >= len(c.Zones) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "zone index out of range")
 		return
@@ -251,7 +416,7 @@ func (s *server) handleJourney(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	j, legs, ok, err := s.engine.Router().RouteDetailed(c.ZoneNode[from], c.ZoneNode[to], depart)
+	j, legs, ok, err := engine.Router().RouteDetailed(c.ZoneNode[from], c.ZoneNode[to], depart)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
 		return
@@ -313,7 +478,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		req.DeadlineMS = ms
 	}
-	if len(core.POIsOf(s.engine.City, synth.POICategory(req.Category))) == 0 {
+	// ?city= overrides the body field the same way; the default tenant is
+	// resolved here so every fingerprint (and cache entry) names its city
+	// explicitly.
+	if qc := r.URL.Query().Get("city"); qc != "" {
+		req.City = strings.ToLower(strings.TrimSpace(qc))
+	}
+	tn, ok := s.tenantFor(w, req.City)
+	if !ok {
+		return
+	}
+	req.City = tn.Name
+	if len(core.POIsOf(tn.Engine().City, synth.POICategory(req.Category))) == 0 {
 		writeError(w, http.StatusBadRequest, codeBadRequest,
 			fmt.Sprintf("unknown or empty POI category %q", req.Category))
 		return
@@ -386,17 +562,35 @@ func (s *server) writeSubmitError(w http.ResponseWriter, err error) {
 	}
 }
 
-// addRobustness folds the degradation and staleness metadata into a query
-// or job response, so reduced fidelity is always visible to the client.
+// addRobustness folds the degradation, staleness, and provenance metadata
+// into a query or job response, so reduced fidelity — and which engine
+// epoch computed the answer — is always visible to the client.
 func addRobustness(body map[string]interface{}, res *core.Result, snap serve.Snapshot) {
 	if res != nil && res.Degraded != nil {
 		body["degraded"] = res.Degraded
 	}
+	cache := map[string]interface{}{
+		"hit":  snap.CacheHit,
+		"city": snap.City,
+	}
+	if snap.Epoch > 0 {
+		cache["epoch"] = snap.Epoch
+	}
+	if snap.EpochStale {
+		// The answer is an honest cache hit, but a hot-swap has installed a
+		// newer engine since it was computed.
+		cache["epoch_stale"] = true
+	}
+	body["cache"] = cache
 	if snap.Stale {
-		body["stale"] = map[string]interface{}{
+		stale := map[string]interface{}{
 			"served_from_expired_cache": true,
 			"age_seconds":               snap.StaleFor.Seconds(),
 		}
+		if snap.Epoch > 0 {
+			stale["epoch"] = snap.Epoch
+		}
+		body["stale"] = stale
 	}
 }
 
@@ -427,6 +621,9 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			"state":     snap.State,
 			"cache_hit": snap.CacheHit,
 			"created":   snap.Created,
+		}
+		if snap.City != "" {
+			j["city"] = snap.City
 		}
 		if snap.Stale {
 			j["stale"] = true
@@ -494,6 +691,12 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		"state":     snap.State,
 		"cache_hit": snap.CacheHit,
 		"created":   snap.Created,
+	}
+	if snap.City != "" {
+		body["city"] = snap.City
+	}
+	if snap.Epoch > 0 {
+		body["epoch"] = snap.Epoch
 	}
 	if len(snap.Stages) > 0 {
 		body["stages"] = snap.Stages

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -13,6 +15,7 @@ import (
 
 	"accessquery/internal/core"
 	"accessquery/internal/gtfs"
+	"accessquery/internal/registry"
 	"accessquery/internal/serve"
 	"accessquery/internal/synth"
 )
@@ -43,9 +46,42 @@ func sharedEngine(t *testing.T) *core.Engine {
 	return testEngine
 }
 
+// sharedRegistry wraps the shared engine in a one-tenant registry (via a
+// snapshot round-trip, the same path production uses). Like the engine it
+// is shared and read-only; swap tests build their own registries.
+var (
+	registryOnce sync.Once
+	testRegistry *registry.Registry
+	registryErr  error
+)
+
+func sharedRegistry(t *testing.T) *registry.Registry {
+	t.Helper()
+	e := sharedEngine(t)
+	registryOnce.Do(func() {
+		// Not t.TempDir: the snapshot must outlive the first test that
+		// builds it.
+		dir, err := os.MkdirTemp("", "aqserver-test-*")
+		if err != nil {
+			registryErr = err
+			return
+		}
+		path := filepath.Join(dir, "coventry.snap")
+		if registryErr = e.SaveSnapshot(path); registryErr != nil {
+			return
+		}
+		testRegistry, registryErr = registry.Open(
+			[]registry.TenantSpec{{Name: "coventry", Path: path}}, registry.Options{})
+	})
+	if registryErr != nil {
+		t.Fatal(registryErr)
+	}
+	return testRegistry
+}
+
 func testServer(t *testing.T) *server {
 	t.Helper()
-	s := newServer(sharedEngine(t), serve.Config{Workers: 2}, serve.RunnerConfig{})
+	s := newServer(sharedRegistry(t), serve.Config{Workers: 2}, serve.RunnerConfig{})
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -88,21 +124,84 @@ func TestHandleHealth(t *testing.T) {
 	}
 }
 
-func TestHandleCity(t *testing.T) {
+func TestHandleCities(t *testing.T) {
+	s := testServer(t)
+	rec := do(s, http.MethodGet, "/v1/cities", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body struct {
+		Default string `json:"default"`
+		Cities  []struct {
+			Name  string  `json:"name"`
+			Epoch uint64  `json:"epoch"`
+			Zones float64 `json:"zones"`
+			Stops float64 `json:"stops"`
+		} `json:"cities"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Default != "coventry" || len(body.Cities) != 1 {
+		t.Fatalf("body %+v", body)
+	}
+	c := body.Cities[0]
+	if c.Name != "coventry" || c.Epoch == 0 {
+		t.Errorf("city %+v", c)
+	}
+	if c.Zones != float64(len(sharedEngine(t).City.Zones)) {
+		t.Errorf("zones = %v", c.Zones)
+	}
+	if c.Stops <= 0 {
+		t.Error("no stops reported")
+	}
+
+	// Per-tenant detail, including the POI catalogue.
+	rec = do(s, http.MethodGet, "/v1/cities/coventry", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("detail status %d: %s", rec.Code, rec.Body.String())
+	}
+	var detail map[string]interface{}
+	if err := json.NewDecoder(rec.Body).Decode(&detail); err != nil {
+		t.Fatal(err)
+	}
+	if detail["name"] != "coventry" || detail["pois"] == nil {
+		t.Errorf("detail %v", detail)
+	}
+	// Unknown tenants 404 with the stable error code.
+	rec = do(s, http.MethodGet, "/v1/cities/atlantis", "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown city status %d", rec.Code)
+	}
+	if env := decodeError(t, rec); env.Error.Code != "unknown_city" {
+		t.Errorf("unknown city error code %q", env.Error.Code)
+	}
+}
+
+// TestHandleCityDeprecatedAlias: the old single-city GET /v1/city stays
+// routable as a deprecated alias of the listing.
+func TestHandleCityDeprecatedAlias(t *testing.T) {
 	s := testServer(t)
 	rec := do(s, http.MethodGet, "/v1/city", "")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
-	var body map[string]interface{}
+	if rec.Header().Get("Deprecation") != "true" {
+		t.Error("alias response missing Deprecation header")
+	}
+	if link := rec.Header().Get("Link"); !strings.Contains(link, "/v1/cities") {
+		t.Errorf("Link header %q should name /v1/cities", link)
+	}
+	var body struct {
+		Cities []struct {
+			Name string `json:"name"`
+		} `json:"cities"`
+	}
 	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
-	if body["zones"].(float64) != float64(len(s.engine.City.Zones)) {
-		t.Errorf("zones = %v", body["zones"])
-	}
-	if body["stops"].(float64) <= 0 {
-		t.Error("no stops reported")
+	if len(body.Cities) != 1 || body.Cities[0].Name != "coventry" {
+		t.Errorf("alias body %+v", body)
 	}
 }
 
@@ -116,7 +215,7 @@ func TestHandleZones(t *testing.T) {
 	if err := json.NewDecoder(rec.Body).Decode(&zones); err != nil {
 		t.Fatal(err)
 	}
-	if len(zones) != len(s.engine.City.Zones) {
+	if len(zones) != len(sharedEngine(t).City.Zones) {
 		t.Errorf("got %d zones", len(zones))
 	}
 }
@@ -335,8 +434,8 @@ func TestHandleQueryQueueFull(t *testing.T) {
 		return &core.Result{}, nil
 	}
 	s := &server{
-		engine: sharedEngine(t),
-		mgr:    serve.NewManager(run, serve.Config{Workers: 1, QueueDepth: 1}),
+		reg: sharedRegistry(t),
+		mgr: serve.NewManager(run, serve.Config{Workers: 1, QueueDepth: 1}),
 	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -16,7 +16,7 @@ import (
 // keeping HTTP tests independent of real engine latency.
 func stubServer(t *testing.T, run serve.RunFunc, cfg serve.Config) *server {
 	t.Helper()
-	s := &server{engine: sharedEngine(t), mgr: serve.NewManager(run, cfg)}
+	s := &server{reg: sharedRegistry(t), mgr: serve.NewManager(run, cfg)}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

@@ -1,0 +1,168 @@
+// Package apiclient is the thin Go client of aqserver's /v1 API used by
+// the CLI tools (aqquery -server, aqbench -exp serve). It posts the same
+// canonical serve.Request the server decodes — the city field included, so
+// a CLI query routes to a named tenant of a multi-city server — and
+// surfaces the server's JSON error envelope as a typed error.
+package apiclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"accessquery/internal/serve"
+)
+
+// Client talks to one aqserver instance.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8321".
+	Base string
+	// HTTP overrides the transport; nil uses a client whose timeout
+	// comfortably exceeds the server's default job timeout.
+	HTTP *http.Client
+}
+
+// New returns a client for the server at base.
+func New(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 3 * time.Minute}
+}
+
+// APIError is the server's machine-readable error envelope plus the HTTP
+// status, so callers can switch on the stable code ("unknown_city",
+// "queue_full", ...) instead of parsing messages.
+type APIError struct {
+	Status    int
+	Code      string
+	Message   string
+	Retryable bool
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+}
+
+// CacheBlock is a query response's provenance block: whether the answer
+// came from cache, and which city/engine-epoch computed it.
+type CacheBlock struct {
+	Hit        bool   `json:"hit"`
+	City       string `json:"city"`
+	Epoch      uint64 `json:"epoch"`
+	EpochStale bool   `json:"epoch_stale"`
+}
+
+// ZoneRow is one per-zone measure row (include_zones).
+type ZoneRow struct {
+	Zone    int     `json:"zone"`
+	MAC     float64 `json:"mac"`
+	ACSD    float64 `json:"acsd"`
+	Class   string  `json:"class"`
+	Labeled bool    `json:"labeled"`
+}
+
+// QueryResponse is the subset of the POST /v1/query answer the CLIs use.
+type QueryResponse struct {
+	Fairness      float64         `json:"fairness"`
+	WalkOnlyShare float64         `json:"walk_only_share"`
+	SPQs          int64           `json:"spqs"`
+	ElapsedMS     int64           `json:"elapsed_ms"`
+	Cache         CacheBlock      `json:"cache"`
+	Zones         []ZoneRow       `json:"zones"`
+	Degraded      json.RawMessage `json:"degraded,omitempty"`
+	Stale         json.RawMessage `json:"stale,omitempty"`
+}
+
+// Query posts one canonical request to /v1/query and decodes the answer.
+// Non-2xx responses come back as *APIError.
+func (c *Client) Query(ctx context.Context, req serve.Request) (*QueryResponse, error) {
+	target := c.Base + "/v1/query"
+	if req.IncludeZones {
+		target += "?include_zones=1"
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// CityInfo is one tenant row of GET /v1/cities.
+type CityInfo struct {
+	Name   string `json:"name"`
+	Epoch  uint64 `json:"epoch"`
+	Source string `json:"source"`
+	Zones  int    `json:"zones"`
+	Swaps  int64  `json:"swaps"`
+}
+
+// Cities lists the server's tenants and its default city.
+func (c *Client) Cities(ctx context.Context) (def string, cities []CityInfo, err error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/cities", nil)
+	if err != nil {
+		return "", nil, err
+	}
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return "", nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", nil, decodeError(resp)
+	}
+	var out struct {
+		Default string     `json:"default"`
+		Cities  []CityInfo `json:"cities"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", nil, fmt.Errorf("decoding response: %w", err)
+	}
+	return out.Default, out.Cities, nil
+}
+
+// decodeError maps a non-2xx response onto *APIError, tolerating bodies
+// that are not the JSON envelope.
+func decodeError(resp *http.Response) error {
+	apiErr := &APIError{Status: resp.StatusCode, Code: "internal"}
+	var envelope struct {
+		Error struct {
+			Code      string `json:"code"`
+			Message   string `json:"message"`
+			Retryable bool   `json:"retryable"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err == nil && envelope.Error.Code != "" {
+		apiErr.Code = envelope.Error.Code
+		apiErr.Message = envelope.Error.Message
+		apiErr.Retryable = envelope.Error.Retryable
+	} else {
+		apiErr.Message = http.StatusText(resp.StatusCode)
+	}
+	return apiErr
+}

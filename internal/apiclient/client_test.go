@@ -1,0 +1,131 @@
+package apiclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"accessquery/internal/serve"
+)
+
+// stub aqserver implementing just enough of the /v1 surface: echoes the
+// decoded city back in the cache block and 404s unknown tenants with the
+// real error envelope.
+func stubAPI(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.City == "atlantis" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error": map[string]any{
+					"code":      "unknown_city",
+					"message":   `no tenant serves "atlantis"`,
+					"retryable": false,
+				},
+			})
+			return
+		}
+		city := req.City
+		if city == "" {
+			city = "coventry"
+		}
+		body := map[string]any{
+			"fairness": 0.5,
+			"spqs":     7,
+			"cache":    map[string]any{"hit": true, "city": city, "epoch": 3, "epoch_stale": true},
+		}
+		if r.URL.Query().Get("include_zones") == "1" {
+			body["zones"] = []map[string]any{
+				{"zone": 4, "mac": 120.5, "acsd": 30.25, "class": "best", "labeled": true},
+			}
+		}
+		json.NewEncoder(w).Encode(body)
+	})
+	mux.HandleFunc("/v1/cities", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"default": "coventry",
+			"cities": []map[string]any{
+				{"name": "birmingham", "epoch": 1, "zones": 10},
+				{"name": "coventry", "epoch": 3, "zones": 12},
+			},
+		})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	cl := New(stubAPI(t).URL + "/") // trailing slash must not double up
+	res, err := cl.Query(context.Background(), serve.Request{
+		City: "birmingham", Category: "school", IncludeZones: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache.City != "birmingham" || res.Cache.Epoch != 3 || !res.Cache.Hit || !res.Cache.EpochStale {
+		t.Errorf("cache block = %+v", res.Cache)
+	}
+	if res.Fairness != 0.5 || res.SPQs != 7 {
+		t.Errorf("summary = %+v", res)
+	}
+	if len(res.Zones) != 1 || res.Zones[0].Zone != 4 || res.Zones[0].Class != "best" {
+		t.Errorf("zones = %+v", res.Zones)
+	}
+
+	// Without IncludeZones the query string is omitted and no rows return.
+	res, err = cl.Query(context.Background(), serve.Request{Category: "school"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Zones) != 0 || res.Cache.City != "coventry" {
+		t.Errorf("default-city response = %+v", res)
+	}
+}
+
+func TestQueryAPIError(t *testing.T) {
+	cl := New(stubAPI(t).URL)
+	_, err := cl.Query(context.Background(), serve.Request{City: "atlantis", Category: "school"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %T: %v", err, err)
+	}
+	if apiErr.Status != http.StatusNotFound || apiErr.Code != "unknown_city" || apiErr.Retryable {
+		t.Errorf("APIError = %+v", apiErr)
+	}
+}
+
+func TestQueryNonEnvelopeError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadGateway)
+	}))
+	t.Cleanup(srv.Close)
+	_, err := New(srv.URL).Query(context.Background(), serve.Request{Category: "school"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %T: %v", err, err)
+	}
+	if apiErr.Status != http.StatusBadGateway || apiErr.Code != "internal" {
+		t.Errorf("APIError = %+v", apiErr)
+	}
+}
+
+func TestCities(t *testing.T) {
+	def, cities, err := New(stubAPI(t).URL).Cities(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def != "coventry" || len(cities) != 2 || cities[1].Epoch != 3 {
+		t.Errorf("default %q cities %+v", def, cities)
+	}
+}

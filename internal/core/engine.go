@@ -342,6 +342,13 @@ type Result struct {
 	// rungs fired and why. Successful retries alone do not mark a result
 	// degraded — only lost fidelity does.
 	Degraded *DegradedReport
+	// City and Epoch identify the tenant engine generation that computed
+	// the result. The engine itself leaves them zero; a multi-tenant
+	// serving layer (serve.RegistryRunner) stamps them after the run so
+	// cached and stale answers stay attributable to the exact engine that
+	// produced them across hot-swaps.
+	City  string `json:"city,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Run answers a dynamic access query with semi-supervised regression.
@@ -442,14 +449,7 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 			deg = &DegradedReport{BudgetRequested: q.Budget, ModelRequested: string(q.Model)}
 		}
 		if !deg.Has(r) {
-			switch r {
-			case RungBudget:
-				mDegradedBudget.Inc()
-			case RungModelFallback:
-				mDegradedModel.Inc()
-			case RungPartial:
-				mDegradedPartial.Inc()
-			}
+			degradedCounter(r, e.City.Name).Inc()
 		}
 		deg.fire(r, reason)
 	}

@@ -1,6 +1,11 @@
 package core
 
-import "accessquery/internal/obs"
+import (
+	"fmt"
+	"sync"
+
+	"accessquery/internal/obs"
+)
 
 // Engine metrics, registered once in the process-wide registry. The stage
 // histograms mirror the paper's Table II cost decomposition as live
@@ -14,12 +19,11 @@ var (
 
 	// Degradation-ladder visibility: every fired rung and every transient
 	// SPQ outcome is scrapeable, so a chaos run can reconcile injected
-	// faults against retries + abandoned searches.
-	mDegradedBudget  = obs.Counter(`aq_engine_degraded_total{rung="budget"}`)
-	mDegradedModel   = obs.Counter(`aq_engine_degraded_total{rung="model_fallback"}`)
-	mDegradedPartial = obs.Counter(`aq_engine_degraded_total{rung="partial"}`)
-	mSPQRetries      = obs.Counter("aq_engine_spq_retries_total")
-	mSPQAbandoned    = obs.Counter("aq_engine_spq_abandoned_total")
+	// faults against retries + abandoned searches. The degraded counter is
+	// additionally labeled by city (see degradedCounter) so a multi-tenant
+	// server can tell which tenant's engine is under pressure.
+	mSPQRetries   = obs.Counter("aq_engine_spq_retries_total")
+	mSPQAbandoned = obs.Counter("aq_engine_spq_abandoned_total")
 
 	stageMatrix   = obs.Histogram(`aq_engine_stage_seconds{stage="matrix"}`)
 	stageSampling = obs.Histogram(`aq_engine_stage_seconds{stage="sampling"}`)
@@ -41,6 +45,23 @@ var (
 	prepIndexes    = obs.Histogram(`aq_engine_prep_seconds{stage="spatial_index"}`)
 	prepTotal      = obs.Histogram(`aq_engine_prep_seconds{stage="total"}`)
 )
+
+// degradedCounters memoizes the {rung, city}-labeled degraded counter so
+// the degradation path stays allocation-light after the first fire per
+// pair.
+var degradedCounters sync.Map // "rung\x00city" -> *obs.CounterMetric
+
+// degradedCounter returns aq_engine_degraded_total labeled with the fired
+// rung and the city whose engine degraded.
+func degradedCounter(rung DegradationRung, city string) *obs.CounterMetric {
+	key := string(rung) + "\x00" + city
+	if c, ok := degradedCounters.Load(key); ok {
+		return c.(*obs.CounterMetric)
+	}
+	c := obs.Counter(fmt.Sprintf("aq_engine_degraded_total{rung=%q,city=%q}", rung, city))
+	degradedCounters.Store(key, c)
+	return c
+}
 
 func init() {
 	obs.Default.SetHelp("aq_engine_queries_total", "Access queries started (RunContext).")

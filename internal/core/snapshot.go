@@ -2,6 +2,9 @@ package core
 
 import (
 	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"os"
@@ -30,7 +33,52 @@ type Snapshot struct {
 	Forest     *hoptree.Forest
 }
 
-// SaveSnapshot writes the engine's pre-processed structures to path.
+// The on-disk snapshot layout is a fixed header followed by the gob
+// payload:
+//
+//	offset  size  field
+//	0       6     magic "AQSNAP"
+//	6       2     format version, big-endian uint16
+//	8       8     payload length in bytes, big-endian uint64
+//	16      32    SHA-256 of the payload
+//	48      n     gob-encoded Snapshot
+//
+// The header exists so a registry asked to hot-swap a snapshot can refuse
+// a truncated copy, a partial write, or a file that is not a snapshot at
+// all with a precise SnapshotError instead of surfacing whatever confusing
+// state a gob decoder happens to trip over — and keep the old epoch
+// serving.
+const (
+	snapshotMagic = "AQSNAP"
+	// SnapshotVersion is the current snapshot format version. Bump it when
+	// the Snapshot struct changes incompatibly; LoadEngine refuses other
+	// versions rather than mis-decoding them.
+	SnapshotVersion uint16 = 1
+
+	snapshotHeaderLen = 6 + 2 + 8 + sha256.Size
+)
+
+// SnapshotError reports why a snapshot file was rejected before (or while)
+// decoding: wrong magic, unsupported version, truncation, or a checksum
+// mismatch. The registry treats any SnapshotError as "refuse the swap,
+// keep the current epoch".
+type SnapshotError struct {
+	Path   string
+	Reason string
+	Err    error // underlying error, when one exists
+}
+
+func (e *SnapshotError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("core: snapshot %s: %s: %v", e.Path, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("core: snapshot %s: %s", e.Path, e.Reason)
+}
+
+func (e *SnapshotError) Unwrap() error { return e.Err }
+
+// SaveSnapshot writes the engine's pre-processed structures to path in the
+// versioned, checksummed snapshot format.
 func (e *Engine) SaveSnapshot(path string) error {
 	snap := Snapshot{
 		CityConfig: e.City.Config,
@@ -40,14 +88,29 @@ func (e *Engine) SaveSnapshot(path string) error {
 		Isochrones: e.isos,
 		Forest:     e.forest,
 	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&snap); err != nil {
+		return fmt.Errorf("core: encoding snapshot: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+
 	file, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	w := bufio.NewWriter(file)
-	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+	header := make([]byte, 0, snapshotHeaderLen)
+	header = append(header, snapshotMagic...)
+	header = binary.BigEndian.AppendUint16(header, SnapshotVersion)
+	header = binary.BigEndian.AppendUint64(header, uint64(payload.Len()))
+	header = append(header, sum[:]...)
+	if _, err := w.Write(header); err != nil {
 		file.Close()
-		return fmt.Errorf("core: encoding snapshot: %w", err)
+		return fmt.Errorf("core: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		file.Close()
+		return fmt.Errorf("core: %w", err)
 	}
 	if err := w.Flush(); err != nil {
 		file.Close()
@@ -56,22 +119,51 @@ func (e *Engine) SaveSnapshot(path string) error {
 	return file.Close()
 }
 
-// LoadEngine restores an engine from a snapshot: the city is regenerated
-// from its recorded configuration (deterministic in the seed) and the
+// readSnapshot reads and verifies a snapshot file: magic, version, length,
+// and checksum, then the gob payload. Every rejection is a *SnapshotError
+// naming the precise reason.
+func readSnapshot(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, &SnapshotError{Path: path, Reason: "unreadable", Err: err}
+	}
+	if len(raw) < snapshotHeaderLen {
+		return nil, &SnapshotError{Path: path, Reason: fmt.Sprintf("truncated: %d bytes is shorter than the %d-byte header", len(raw), snapshotHeaderLen)}
+	}
+	if string(raw[:6]) != snapshotMagic {
+		return nil, &SnapshotError{Path: path, Reason: "not an accessquery snapshot (bad magic; re-save with a current build)"}
+	}
+	version := binary.BigEndian.Uint16(raw[6:8])
+	if version != SnapshotVersion {
+		return nil, &SnapshotError{Path: path, Reason: fmt.Sprintf("format version %d, want %d", version, SnapshotVersion)}
+	}
+	declared := binary.BigEndian.Uint64(raw[8:16])
+	payload := raw[snapshotHeaderLen:]
+	if uint64(len(payload)) != declared {
+		return nil, &SnapshotError{Path: path, Reason: fmt.Sprintf("truncated: header declares %d payload bytes, file has %d", declared, len(payload))}
+	}
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], raw[16:16+sha256.Size]) {
+		return nil, &SnapshotError{Path: path, Reason: "checksum mismatch (corrupt or partially written)"}
+	}
+	var snap Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, &SnapshotError{Path: path, Reason: "decoding payload", Err: err}
+	}
+	return &snap, nil
+}
+
+// LoadEngine restores an engine from a snapshot: the header is verified
+// (magic, version, checksum — see SnapshotError), the city is regenerated
+// from its recorded configuration (deterministic in the seed), and the
 // pre-computed structures are installed without recomputation.
 func LoadEngine(path string) (*Engine, error) {
 	// Chaos-test injection site for snapshot load failures.
 	if err := fault.Check(fault.SiteSnapshot); err != nil {
 		return nil, fmt.Errorf("core: loading snapshot: %w", err)
 	}
-	file, err := os.Open(path)
+	snap, err := readSnapshot(path)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	defer file.Close()
-	var snap Snapshot
-	if err := gob.NewDecoder(bufio.NewReader(file)).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+		return nil, err
 	}
 	start := time.Now()
 	city, err := synth.Generate(snap.CityConfig)
@@ -79,10 +171,10 @@ func LoadEngine(path string) (*Engine, error) {
 		return nil, fmt.Errorf("core: regenerating city: %w", err)
 	}
 	if snap.Forest == nil || snap.Isochrones == nil {
-		return nil, fmt.Errorf("core: snapshot missing forest or isochrones")
+		return nil, &SnapshotError{Path: path, Reason: "missing forest or isochrones"}
 	}
 	if snap.Forest.Zones() != len(city.Zones) || len(snap.Isochrones.Isochrones) != len(city.Zones) {
-		return nil, fmt.Errorf("core: snapshot does not match regenerated city (%d zones)", len(city.Zones))
+		return nil, &SnapshotError{Path: path, Reason: fmt.Sprintf("does not match regenerated city (%d zones)", len(city.Zones))}
 	}
 	pts := zonePointsOf(city)
 	extractor, err := features.NewExtractor(snap.Forest, pts, snap.Isochrones, snap.Hops)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -41,8 +43,13 @@ func TestSnapshotRoundTrip(t *testing.T) {
 }
 
 func TestLoadEngineMissingFile(t *testing.T) {
-	if _, err := LoadEngine(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
-		t.Error("missing snapshot should fail")
+	var serr *SnapshotError
+	_, err := LoadEngine(filepath.Join(t.TempDir(), "nope.gob"))
+	if err == nil {
+		t.Fatal("missing snapshot should fail")
+	}
+	if !errors.As(err, &serr) {
+		t.Errorf("want *SnapshotError, got %T: %v", err, err)
 	}
 }
 
@@ -51,8 +58,72 @@ func TestLoadEngineCorruptFile(t *testing.T) {
 	if err := writeFile(path, []byte("not a gob stream")); err != nil {
 		t.Fatal(err)
 	}
+	var serr *SnapshotError
 	if _, err := LoadEngine(path); err == nil {
-		t.Error("corrupt snapshot should fail")
+		t.Fatal("corrupt snapshot should fail")
+	} else if !errors.As(err, &serr) {
+		t.Errorf("want *SnapshotError, got %T: %v", err, err)
+	} else if !strings.Contains(serr.Reason, "header") && !strings.Contains(serr.Reason, "magic") {
+		t.Errorf("reason %q should name the bad header", serr.Reason)
+	}
+}
+
+// Every damaged variant of a valid snapshot must be rejected with a
+// *SnapshotError whose Reason names what went wrong — never a raw gob
+// decode error.
+func TestLoadEngineRejectsDamagedSnapshots(t *testing.T) {
+	e := engine(t)
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.snap")
+	if err := e.SaveSnapshot(good); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		reason string // substring the SnapshotError must carry
+	}{
+		{"truncated_header", func(b []byte) []byte { return b[:10] }, "truncated"},
+		{"truncated_payload", func(b []byte) []byte { return b[:len(b)-100] }, "truncated"},
+		{"bad_magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			copy(c, "NOTSNP")
+			return c
+		}, "magic"},
+		{"future_version", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[6], c[7] = 0xff, 0xff
+			return c
+		}, "version"},
+		{"flipped_payload_byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0x55
+			return c
+		}, "checksum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name)
+			if err := writeFile(path, tc.mutate(raw)); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadEngine(path)
+			if err == nil {
+				t.Fatal("damaged snapshot should fail to load")
+			}
+			var serr *SnapshotError
+			if !errors.As(err, &serr) {
+				t.Fatalf("want *SnapshotError, got %T: %v", err, err)
+			}
+			if !strings.Contains(serr.Reason, tc.reason) {
+				t.Errorf("reason %q does not mention %q", serr.Reason, tc.reason)
+			}
+		})
 	}
 }
 

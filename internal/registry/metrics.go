@@ -1,0 +1,50 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+
+	"accessquery/internal/obs"
+)
+
+// Registry metrics, labeled by city. Epoch is exported as a gauge rather
+// than a label so a swap shows as a step in one series instead of a
+// cardinality leak across many.
+var (
+	mTenants = obs.Gauge("aq_registry_tenants")
+
+	gaugesMu sync.Mutex
+	gauges   = make(map[string]*tenantGauges)
+)
+
+// tenantGauges bundles one city's registry series.
+type tenantGauges struct {
+	epoch    *obs.GaugeMetric   // aq_registry_epoch{city}
+	swaps    *obs.CounterMetric // aq_registry_swaps_total{city}
+	retired  *obs.CounterMetric // aq_registry_retired_total{city}
+	inflight *obs.GaugeMetric   // aq_registry_inflight{city}
+}
+
+func gaugesFor(city string) *tenantGauges {
+	gaugesMu.Lock()
+	defer gaugesMu.Unlock()
+	if g, ok := gauges[city]; ok {
+		return g
+	}
+	g := &tenantGauges{
+		epoch:    obs.Gauge(fmt.Sprintf("aq_registry_epoch{city=%q}", city)),
+		swaps:    obs.Counter(fmt.Sprintf("aq_registry_swaps_total{city=%q}", city)),
+		retired:  obs.Counter(fmt.Sprintf("aq_registry_retired_total{city=%q}", city)),
+		inflight: obs.Gauge(fmt.Sprintf("aq_registry_inflight{city=%q}", city)),
+	}
+	gauges[city] = g
+	return g
+}
+
+func init() {
+	obs.Default.SetHelp("aq_registry_tenants", "Cities loaded in the tenant registry.")
+	obs.Default.SetHelp("aq_registry_epoch", "Current engine epoch per city; a swap steps it up.")
+	obs.Default.SetHelp("aq_registry_swaps_total", "Engine hot-swaps installed per city.")
+	obs.Default.SetHelp("aq_registry_retired_total", "Old engine generations fully drained and retired per city.")
+	obs.Default.SetHelp("aq_registry_inflight", "Acquired engine references currently outstanding per city.")
+}

@@ -51,6 +51,18 @@ type Config struct {
 	BreakerCooldown time.Duration
 	// JobRetention keeps finished jobs pollable; default 10m.
 	JobRetention time.Duration
+	// Tenants is how many city tenants share this manager. It sizes the
+	// async fair-share shed: each tenant's async submissions are shed once
+	// that tenant holds its fair fraction of the shed threshold, so one
+	// city's batch traffic cannot starve the others' queue headroom.
+	// Default 1 (the single-tenant behavior).
+	Tenants int
+	// EpochOf resolves a city name to its current engine epoch, when the
+	// process runs a tenant registry. Cache hits compare the producing
+	// run's epoch against it to report epoch_stale — an honest "this
+	// answer predates the current engine" flag on otherwise-fresh cache
+	// entries after a hot-swap. Nil means epochs are never compared.
+	EpochOf func(city string) (uint64, bool)
 	// SlowQueryThreshold gates the structured slow-query log: runs at or
 	// above it are logged with their stage breakdown. Zero disables it.
 	SlowQueryThreshold time.Duration
@@ -86,6 +98,9 @@ func (c Config) withDefaults() Config {
 	if c.JobRetention <= 0 {
 		c.JobRetention = 10 * time.Minute
 	}
+	if c.Tenants <= 0 {
+		c.Tenants = 1
+	}
 	if c.Logger == nil {
 		c.Logger = olog.Default
 	}
@@ -115,6 +130,10 @@ var (
 	// ErrNotCancellable means Cancel targeted a job already in a terminal
 	// state (HTTP 409).
 	ErrNotCancellable = errors.New("serve: job already finished")
+	// ErrUnknownCity means the request named a city no tenant serves
+	// (HTTP 404). The manager itself accepts any city; the HTTP layer and
+	// runner resolve names against the registry and use this sentinel.
+	ErrUnknownCity = errors.New("serve: unknown city")
 )
 
 // State is a job's lifecycle phase.
@@ -148,15 +167,17 @@ func ValidState(s State) bool {
 type Job struct {
 	ID          string
 	Fingerprint string
+	City        string // canonical tenant name the request routed to
 
-	mu       sync.Mutex
-	state    State
-	res      *core.Result
-	err      error
-	cacheHit bool
-	dedup    bool
-	stale    bool          // answered from an expired cache entry (breaker open)
-	staleFor time.Duration // how far past freshness the stale answer is
+	mu         sync.Mutex
+	state      State
+	res        *core.Result
+	err        error
+	cacheHit   bool
+	dedup      bool
+	stale      bool          // answered from an expired cache entry (breaker open)
+	staleFor   time.Duration // how far past freshness the stale answer is
+	epochStale bool          // cached answer predates the city's current engine epoch
 	created  time.Time
 	finished time.Time
 	stages   []obs.Stage
@@ -174,6 +195,9 @@ type Job struct {
 type Snapshot struct {
 	ID           string            `json:"id"`
 	Fingerprint  string            `json:"fingerprint"`
+	City         string            `json:"city,omitempty"`
+	Epoch        uint64            `json:"epoch,omitempty"`
+	EpochStale   bool              `json:"epoch_stale,omitempty"`
 	State        State             `json:"state"`
 	CacheHit     bool              `json:"cache_hit"`
 	Deduplicated bool              `json:"deduplicated"`
@@ -196,6 +220,8 @@ func (j *Job) Snapshot() Snapshot {
 	s := Snapshot{
 		ID:           j.ID,
 		Fingerprint:  j.Fingerprint,
+		City:         j.City,
+		EpochStale:   j.epochStale,
 		State:        j.state,
 		CacheHit:     j.cacheHit,
 		Deduplicated: j.dedup,
@@ -205,6 +231,15 @@ func (j *Job) Snapshot() Snapshot {
 		Stages:       j.stages,
 		Trace:        j.trace,
 		Result:       j.res,
+	}
+	if j.res != nil {
+		// The epoch (and, for cache hits, the producing run's city) comes
+		// from the result the runner stamped, so a cached answer reports the
+		// epoch that computed it — not the one currently serving.
+		s.Epoch = j.res.Epoch
+		if j.res.City != "" {
+			s.City = j.res.City
+		}
 	}
 	if j.err != nil {
 		s.Error = j.err.Error()
@@ -275,6 +310,53 @@ type flight struct {
 	probe bool
 }
 
+// tenantState is one city's slice of the manager's admission machinery:
+// its circuit breaker and its share of the queue. All fields are guarded
+// by Manager.mu.
+type tenantState struct {
+	// Breaker: open while openUntil is non-zero. Before the cooldown
+	// passes every submission for this city is served stale or rejected;
+	// after it, the breaker is half-open and admits one probe flight
+	// (probing) whose outcome closes or re-trips it.
+	consecFails int
+	openUntil   time.Time
+	probing     bool
+	// queued counts this city's distinct flights currently in the
+	// admission queue, for the async fair-share shed.
+	queued int
+	// Per-tenant counters mirrored into TenantStats.
+	trips       int64
+	staleServed int64
+	shedAsync   int64
+	failed      int64
+	completed   int64
+}
+
+// tenantLocked returns (creating on first use) the named city's admission
+// state. Callers hold m.mu.
+func (m *Manager) tenantLocked(city string) *tenantState {
+	ts, ok := m.tenants[city]
+	if !ok {
+		ts = &tenantState{}
+		m.tenants[city] = ts
+	}
+	return ts
+}
+
+// TenantStats is the per-city view of Stats: breaker state, queue share,
+// and the tenant-scoped counters.
+type TenantStats struct {
+	City         string `json:"city"`
+	Queued       int    `json:"queued"`
+	BreakerOpen  bool   `json:"breaker_open"`
+	ConsecFails  int    `json:"consecutive_failures,omitempty"`
+	BreakerTrips int64  `json:"breaker_trips"`
+	StaleServed  int64  `json:"stale_served"`
+	ShedAsync    int64  `json:"shed_async"`
+	Completed    int64  `json:"completed"`
+	Failed       int64  `json:"failed"`
+}
+
 // Stats counts serving-layer events since startup.
 type Stats struct {
 	Submitted    int64 `json:"submitted"`
@@ -303,14 +385,11 @@ type Manager struct {
 	jobs    map[string]*Job
 	nextID  uint64
 
-	// Circuit-breaker state, guarded by mu. The breaker is open while
-	// breakerOpenUntil is non-zero: before the cooldown passes every
-	// submission is served stale or rejected; after it, the breaker is
-	// half-open and admits one probe flight (breakerProbing) whose outcome
-	// closes or re-trips it.
-	consecFails      int
-	breakerOpenUntil time.Time
-	breakerProbing   bool
+	// Per-tenant admission state (circuit breaker + queued-flight counts),
+	// guarded by mu and keyed by the canonical city name ("" for
+	// single-tenant managers). One city's failing engine trips only its own
+	// breaker; the other tenants keep running.
+	tenants map[string]*tenantState
 
 	queue    chan *flight
 	wg       sync.WaitGroup
@@ -338,6 +417,7 @@ func NewManager(run RunFunc, cfg Config) *Manager {
 		run:      run,
 		cache:    newResultCache(cfg.CacheSize, cfg.CacheTTL, cfg.now),
 		flights:  make(map[string]*flight),
+		tenants:  make(map[string]*tenantState),
 		jobs:     make(map[string]*Job),
 		queue:    make(chan *flight, cfg.QueueDepth),
 		rootCtx:  ctx,
@@ -372,6 +452,7 @@ func (m *Manager) submit(req Request, async bool) (*Job, error) {
 	}
 	fp := req.Fingerprint()
 	now := m.cfg.now()
+	cm := metricsFor(req.City)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -379,13 +460,20 @@ func (m *Manager) submit(req Request, async bool) (*Job, error) {
 		return nil, ErrShutdown
 	}
 	m.pruneLocked(now)
+	ts := m.tenantLocked(req.City)
 
 	if res, trace, ok := m.cache.get(fp); ok {
-		job := m.newJobLocked(fp, now)
+		job := m.newJobLocked(req.City, fp, now)
 		job.cacheHit = true
+		job.epochStale = m.epochStale(res)
 		m.jobs[job.ID] = job
 		m.cacheHits.Add(1)
 		mCacheHits.Inc()
+		cm.submitted.Inc()
+		cm.cacheHits.Inc()
+		if job.epochStale {
+			mEpochStale.Inc()
+		}
 		// The cached entry carries the producing run's trace, so a
 		// cache-hit job still answers trace and explain requests.
 		job.complete(res, nil, now, nil, trace)
@@ -393,7 +481,7 @@ func (m *Manager) submit(req Request, async bool) (*Job, error) {
 	}
 	mCacheMisses.Inc()
 	if fl, ok := m.flights[fp]; ok {
-		job := m.newJobLocked(fp, now)
+		job := m.newJobLocked(req.City, fp, now)
 		job.dedup = true
 		if fl.started {
 			// The worker already set the attached jobs running; a late
@@ -404,20 +492,28 @@ func (m *Manager) submit(req Request, async bool) (*Job, error) {
 		m.jobs[job.ID] = job
 		m.dedups.Add(1)
 		mDedups.Inc()
+		cm.submitted.Inc()
 		return job, nil
 	}
 	probe := false
-	if open, canProbe := m.breakerStateLocked(now); open {
+	if open, canProbe := m.breakerStateLocked(ts, now); open {
 		// Degraded read path: an expired cache entry with honest staleness
 		// metadata beats bouncing the client while the engine recovers.
 		if res, trace, age, ok := m.cache.getStale(fp); ok {
-			job := m.newJobLocked(fp, now)
+			job := m.newJobLocked(req.City, fp, now)
 			job.cacheHit = true
 			job.stale = true
 			job.staleFor = age
+			job.epochStale = m.epochStale(res)
 			m.jobs[job.ID] = job
 			m.staleServed.Add(1)
+			ts.staleServed++
 			mStaleServed.Inc()
+			cm.submitted.Inc()
+			cm.staleServed.Inc()
+			if job.epochStale {
+				mEpochStale.Inc()
+			}
 			job.complete(res, nil, now, nil, trace)
 			return job, nil
 		}
@@ -430,17 +526,25 @@ func (m *Manager) submit(req Request, async bool) (*Job, error) {
 		probe = true
 	}
 	// Tiered shedding: reject async work while the queue still has sync
-	// headroom. A breaker probe bypasses the tier check — it is the one
-	// query that can close the breaker.
+	// headroom, and shed one tenant's async flood at its fair share of
+	// that threshold so it cannot crowd out the other cities. A breaker
+	// probe bypasses the tier check — it is the one query that can close
+	// the breaker.
 	shedAt := 3 * cap(m.queue) / 4
 	if shedAt < 1 {
 		shedAt = 1 // a tiny queue still admits async work until it is full
 	}
-	if async && !probe && len(m.queue) >= shedAt {
+	fairShare := shedAt / m.cfg.Tenants
+	if fairShare < 1 {
+		fairShare = 1
+	}
+	if async && !probe && (len(m.queue) >= shedAt || ts.queued >= fairShare) {
 		m.rejected.Add(1)
 		m.shedAsync.Add(1)
+		ts.shedAsync++
 		mRejected.Inc()
 		mShedAsync.Inc()
+		cm.shedAsync.Inc()
 		return nil, ErrQueueFull
 	}
 	// Admission decision before consuming a job ID or counting the
@@ -450,75 +554,108 @@ func (m *Manager) submit(req Request, async bool) (*Job, error) {
 	select {
 	case m.queue <- fl:
 		mQueueDepth.Inc()
+		ts.queued++
+		cm.queued.Inc()
 	default:
 		m.rejected.Add(1)
 		mRejected.Inc()
 		return nil, ErrQueueFull
 	}
 	if probe {
-		m.breakerProbing = true
+		ts.probing = true
 	}
 	// A worker may already have dequeued fl, but it blocks on m.mu before
 	// touching fl.jobs, so attaching here is safe.
-	job := m.newJobLocked(fp, now)
+	job := m.newJobLocked(req.City, fp, now)
 	fl.jobs = []*Job{job}
 	m.flights[fp] = fl
 	m.jobs[job.ID] = job
+	cm.submitted.Inc()
 	return job, nil
 }
 
-// breakerStateLocked reports whether the breaker currently refuses new
-// engine runs and, if so, whether the cooldown has passed so one half-open
-// probe may go through. Callers hold m.mu.
-func (m *Manager) breakerStateLocked(now time.Time) (open, canProbe bool) {
-	if m.cfg.BreakerThreshold < 0 || m.breakerOpenUntil.IsZero() {
+// epochStale reports whether a cached result was computed by an engine
+// generation older than the producing city's current one (EpochOf). A
+// manager without a registry (nil EpochOf) never reports epoch staleness.
+func (m *Manager) epochStale(res *core.Result) bool {
+	if m.cfg.EpochOf == nil || res == nil || res.City == "" || res.Epoch == 0 {
+		return false
+	}
+	cur, ok := m.cfg.EpochOf(res.City)
+	return ok && cur != res.Epoch
+}
+
+// breakerStateLocked reports whether a tenant's breaker currently refuses
+// new engine runs and, if so, whether the cooldown has passed so one
+// half-open probe may go through. Callers hold m.mu.
+func (m *Manager) breakerStateLocked(ts *tenantState, now time.Time) (open, canProbe bool) {
+	if m.cfg.BreakerThreshold < 0 || ts.openUntil.IsZero() {
 		return false, false
 	}
-	if m.breakerProbing || now.Before(m.breakerOpenUntil) {
+	if ts.probing || now.Before(ts.openUntil) {
 		return true, false
 	}
 	return true, true
 }
 
-// recordOutcomeLocked feeds one finished flight into the breaker state
-// machine. Cancellations and shutdown are neutral — they say nothing about
-// engine health. Callers hold m.mu.
-func (m *Manager) recordOutcomeLocked(fl *flight, err error, now time.Time) {
+// anyBreakerOpenLocked reports whether any tenant's breaker is open, the
+// process-wide view behind Stats.BreakerOpen and aq_serve_breaker_open.
+// Callers hold m.mu.
+func (m *Manager) anyBreakerOpenLocked(now time.Time) bool {
+	for _, ts := range m.tenants {
+		if open, _ := m.breakerStateLocked(ts, now); open {
+			return true
+		}
+	}
+	return false
+}
+
+// recordOutcomeLocked feeds one finished flight into its tenant's breaker
+// state machine. Cancellations and shutdown are neutral — they say nothing
+// about engine health. Callers hold m.mu.
+func (m *Manager) recordOutcomeLocked(ts *tenantState, cm *cityMetrics, fl *flight, err error, now time.Time) {
 	if m.cfg.BreakerThreshold < 0 {
 		return
 	}
 	if fl.probe {
-		m.breakerProbing = false
+		ts.probing = false
 	}
 	switch {
 	case err == nil:
-		m.consecFails = 0
-		if !m.breakerOpenUntil.IsZero() {
-			m.breakerOpenUntil = time.Time{}
-			mBreakerOpen.Set(0)
+		ts.consecFails = 0
+		if !ts.openUntil.IsZero() {
+			ts.openUntil = time.Time{}
+			cm.breakerOpen.Set(0)
+			if !m.anyBreakerOpenLocked(now) {
+				mBreakerOpen.Set(0)
+			}
 		}
 	case errors.Is(err, ErrCancelled), errors.Is(err, context.Canceled), errors.Is(err, ErrShutdown):
 		// Neutral: a cancelled probe returns the breaker to half-open (the
 		// cooldown is already past), so the next submission probes again.
 	default:
-		m.consecFails++
-		if fl.probe || (m.consecFails >= m.cfg.BreakerThreshold && m.breakerOpenUntil.IsZero()) {
-			m.breakerOpenUntil = now.Add(m.cfg.BreakerCooldown)
+		ts.consecFails++
+		if fl.probe || (ts.consecFails >= m.cfg.BreakerThreshold && ts.openUntil.IsZero()) {
+			ts.openUntil = now.Add(m.cfg.BreakerCooldown)
+			ts.trips++
 			mBreakerTrips.Inc()
 			mBreakerOpen.Set(1)
+			cm.breakerTrips.Inc()
+			cm.breakerOpen.Set(1)
 		}
 	}
 }
 
 // newJobLocked allocates the next job ID and counts the submission. Callers
 // hold m.mu and must only call it once admission has succeeded.
-func (m *Manager) newJobLocked(fp string, now time.Time) *Job {
+func (m *Manager) newJobLocked(city, fp string, now time.Time) *Job {
 	m.submitted.Add(1)
 	mSubmitted.Inc()
 	m.nextID++
 	return &Job{
 		ID:          fmt.Sprintf("j%08d", m.nextID),
 		Fingerprint: fp,
+		City:        city,
 		state:       StateQueued,
 		created:     now,
 		done:        make(chan struct{}),
@@ -678,7 +815,7 @@ func (m *Manager) RetryAfter() time.Duration {
 // length.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
-	open, _ := m.breakerStateLocked(m.cfg.now())
+	open := m.anyBreakerOpenLocked(m.cfg.now())
 	m.mu.Unlock()
 	return Stats{
 		Submitted:    m.submitted.Load(),
@@ -693,6 +830,32 @@ func (m *Manager) Stats() Stats {
 		BreakerOpen:  open,
 		QueueLen:     len(m.queue),
 	}
+}
+
+// TenantStats returns the per-city admission view — breaker state, queue
+// share, and tenant-scoped counters — sorted by city name. Cities appear
+// once they have submitted at least one query.
+func (m *Manager) TenantStats() []TenantStats {
+	m.mu.Lock()
+	now := m.cfg.now()
+	out := make([]TenantStats, 0, len(m.tenants))
+	for city, ts := range m.tenants {
+		open, _ := m.breakerStateLocked(ts, now)
+		out = append(out, TenantStats{
+			City:         city,
+			Queued:       ts.queued,
+			BreakerOpen:  open,
+			ConsecFails:  ts.consecFails,
+			BreakerTrips: ts.trips,
+			StaleServed:  ts.staleServed,
+			ShedAsync:    ts.shedAsync,
+			Completed:    ts.completed,
+			Failed:       ts.failed,
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].City < out[k].City })
+	return out
 }
 
 // Shutdown stops admission immediately, then waits for queued and running
@@ -735,7 +898,10 @@ func (m *Manager) worker() {
 // attached to it.
 func (m *Manager) runFlight(fl *flight) {
 	mQueueDepth.Dec()
+	cm := metricsFor(fl.req.City)
 	m.mu.Lock()
+	m.tenantLocked(fl.req.City).queued--
+	cm.queued.Dec()
 	if fl.cancelled {
 		// Every attached job was cancelled while this flight sat in the
 		// queue; Cancel already removed it from the flight table.
@@ -784,7 +950,8 @@ func (m *Manager) runFlight(fl *flight) {
 	if fl.cancelled && err == nil && ctx.Err() != nil {
 		err = fmt.Errorf("%w: run aborted", ErrCancelled)
 	}
-	m.recordOutcomeLocked(fl, err, now)
+	ts := m.tenantLocked(fl.req.City)
+	m.recordOutcomeLocked(ts, cm, fl, err, now)
 	if err == nil && res.Degraded == nil {
 		// Degraded answers are honest but not canonical: caching one would
 		// keep serving reduced fidelity after the pressure has passed.
@@ -792,15 +959,22 @@ func (m *Manager) runFlight(fl *flight) {
 	}
 	jobs := fl.jobs
 	fl.jobs = nil
+	if err != nil {
+		ts.failed += int64(len(jobs))
+	} else {
+		ts.completed += int64(len(jobs))
+	}
 	m.mu.Unlock()
 
 	for _, j := range jobs {
 		if err != nil {
 			m.failed.Add(1)
 			mFailed.Inc()
+			cm.failed.Inc()
 		} else {
 			m.completed.Add(1)
 			mCompleted.Inc()
+			cm.completed.Inc()
 		}
 		j.complete(res, err, now, stages, sum)
 	}
@@ -848,6 +1022,9 @@ func (m *Manager) safeRun(ctx context.Context, req Request, tr *obs.Trace, wait 
 	ctx = obs.WithTrace(ctx, tr)
 	ctx, sp := obs.Start(ctx, "job", nil)
 	sp.SetString("fingerprint", req.Fingerprint())
+	if req.City != "" {
+		sp.SetString("city", req.City)
+	}
 	obs.RecordSpan(ctx, "queue_wait", wait)
 	defer func() {
 		if r := recover(); r != nil {

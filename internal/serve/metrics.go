@@ -1,6 +1,11 @@
 package serve
 
-import "accessquery/internal/obs"
+import (
+	"fmt"
+	"sync"
+
+	"accessquery/internal/obs"
+)
 
 // Serving-layer metrics in the process-wide registry. They deliberately
 // parallel the per-manager Stats counters: Stats answers "what has this
@@ -18,6 +23,7 @@ var (
 	mCancelled   = obs.Counter("aq_serve_cancelled_total")
 	mShedAsync   = obs.Counter("aq_serve_shed_async_total")
 	mStaleServed = obs.Counter("aq_serve_stale_served_total")
+	mEpochStale  = obs.Counter("aq_serve_epoch_stale_hits_total")
 
 	mBreakerTrips    = obs.Counter("aq_serve_breaker_trips_total")
 	mBreakerRejected = obs.Counter("aq_serve_breaker_rejected_total")
@@ -31,6 +37,53 @@ var (
 	mWorkers     = obs.Gauge("aq_serve_workers")
 )
 
+// cityMetrics is one tenant's slice of the serving series: the unlabeled
+// totals above stay the process-wide view, these break the tenant-scoped
+// ones (admission, breaker, shedding) down by city so a multi-city server
+// can tell whose traffic is failing or being shed.
+type cityMetrics struct {
+	submitted    *obs.CounterMetric // aq_serve_submitted_total{city}
+	cacheHits    *obs.CounterMetric // aq_serve_cache_hits_total{city}
+	completed    *obs.CounterMetric // aq_serve_completed_total{city}
+	failed       *obs.CounterMetric // aq_serve_failed_total{city}
+	staleServed  *obs.CounterMetric // aq_serve_stale_served_total{city}
+	shedAsync    *obs.CounterMetric // aq_serve_shed_async_total{city}
+	breakerTrips *obs.CounterMetric // aq_serve_breaker_trips_total{city}
+	breakerOpen  *obs.GaugeMetric   // aq_serve_breaker_open{city}
+	queued       *obs.GaugeMetric   // aq_serve_queue_depth{city}
+}
+
+var (
+	cityMetricsMu sync.Mutex
+	cityMetricsBy = make(map[string]*cityMetrics)
+)
+
+// metricsFor memoizes the per-city labeled series; the label for requests
+// that predate multi-city routing (empty city) is "default".
+func metricsFor(city string) *cityMetrics {
+	if city == "" {
+		city = "default"
+	}
+	cityMetricsMu.Lock()
+	defer cityMetricsMu.Unlock()
+	if cm, ok := cityMetricsBy[city]; ok {
+		return cm
+	}
+	cm := &cityMetrics{
+		submitted:    obs.Counter(fmt.Sprintf("aq_serve_submitted_total{city=%q}", city)),
+		cacheHits:    obs.Counter(fmt.Sprintf("aq_serve_cache_hits_total{city=%q}", city)),
+		completed:    obs.Counter(fmt.Sprintf("aq_serve_completed_total{city=%q}", city)),
+		failed:       obs.Counter(fmt.Sprintf("aq_serve_failed_total{city=%q}", city)),
+		staleServed:  obs.Counter(fmt.Sprintf("aq_serve_stale_served_total{city=%q}", city)),
+		shedAsync:    obs.Counter(fmt.Sprintf("aq_serve_shed_async_total{city=%q}", city)),
+		breakerTrips: obs.Counter(fmt.Sprintf("aq_serve_breaker_trips_total{city=%q}", city)),
+		breakerOpen:  obs.Gauge(fmt.Sprintf("aq_serve_breaker_open{city=%q}", city)),
+		queued:       obs.Gauge(fmt.Sprintf("aq_serve_queue_depth{city=%q}", city)),
+	}
+	cityMetricsBy[city] = cm
+	return cm
+}
+
 func init() {
 	obs.Default.SetHelp("aq_serve_submitted_total", "Admitted query submissions (cache hits and dedups included).")
 	obs.Default.SetHelp("aq_serve_cache_hits_total", "Submissions answered from the result cache.")
@@ -42,6 +95,7 @@ func init() {
 	obs.Default.SetHelp("aq_serve_cancelled_total", "Jobs cancelled by the client before finishing.")
 	obs.Default.SetHelp("aq_serve_shed_async_total", "Async-tier submissions shed while the queue kept sync headroom.")
 	obs.Default.SetHelp("aq_serve_stale_served_total", "Submissions answered from expired cache entries while the breaker was open.")
+	obs.Default.SetHelp("aq_serve_epoch_stale_hits_total", "Cache hits whose result was computed by an engine epoch older than the city's current one.")
 	obs.Default.SetHelp("aq_serve_breaker_trips_total", "Circuit-breaker transitions to open after consecutive engine failures.")
 	obs.Default.SetHelp("aq_serve_breaker_rejected_total", "Submissions rejected because the breaker was open with no stale entry.")
 	obs.Default.SetHelp("aq_serve_breaker_open", "1 while the circuit breaker refuses new engine runs, else 0.")

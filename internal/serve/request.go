@@ -30,6 +30,12 @@ import (
 // they are rendered or how long they may run share a fingerprint, a cache
 // entry, and an engine run.
 type Request struct {
+	// City routes the query to a tenant of the city registry. Empty means
+	// the server's default tenant; the HTTP layer resolves the default
+	// before submitting so every fingerprint is fully qualified. The city
+	// is part of the fingerprint — identical queries against different
+	// cities are different queries.
+	City           string  `json:"city,omitempty"`
 	Category       string  `json:"category"`
 	Cost           string  `json:"cost"`
 	Budget         float64 `json:"budget"`
@@ -78,6 +84,10 @@ var validModels = func() map[core.ModelKind]bool {
 // share one fingerprint. It returns the canonical form or a descriptive
 // error suitable for a 400 response.
 func (r Request) Normalize() (Request, error) {
+	// City names are case-insensitive everywhere (registry lookup, breaker
+	// keys, fingerprints). Whether the city actually exists is the server's
+	// call — the serving layer only canonicalizes the spelling.
+	r.City = strings.ToLower(strings.TrimSpace(r.City))
 	r.Category = strings.ToLower(strings.TrimSpace(r.Category))
 	if r.Category == "" {
 		return r, fmt.Errorf("category is required")
@@ -146,6 +156,7 @@ func (r Request) Fingerprint() string {
 	// name ever contains a separator character. DeadlineMS and IncludeZones
 	// are deliberately absent — they never change the answer.
 	for _, f := range []string{
+		r.City,
 		r.Category,
 		r.Cost,
 		strconv.FormatFloat(r.Budget, 'g', -1, 64),

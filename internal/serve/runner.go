@@ -4,8 +4,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"accessquery/internal/core"
+	"accessquery/internal/obs"
+	"accessquery/internal/registry"
 	"accessquery/internal/synth"
 )
 
@@ -29,22 +32,64 @@ func (c RunnerConfig) withDefaults() RunnerConfig {
 	return c
 }
 
-// EngineRunner adapts an engine to the manager's RunFunc: it resolves the
-// request's POI category against the engine's city and threads the
-// serving-layer parallelism defaults into the query. It is the production
-// run function cmd/aqserver wires into NewManager.
+// EngineRunner adapts a single fixed engine to the manager's RunFunc: it
+// resolves the request's POI category against the engine's city and
+// threads the serving-layer parallelism defaults into the query. It
+// remains the run function for single-engine embedders (and tests); a
+// multi-city server uses RegistryRunner.
 func EngineRunner(engine *core.Engine, cfg RunnerConfig) RunFunc {
 	cfg = cfg.withDefaults()
 	return func(ctx context.Context, req Request) (*core.Result, error) {
-		pois := core.POIsOf(engine.City, synth.POICategory(req.Category))
-		if len(pois) == 0 {
-			return nil, fmt.Errorf("unknown or empty POI category %q", req.Category)
-		}
-		// Request.Query is the one canonical wire→engine mapping; only the
-		// result-neutral execution knobs are layered on here.
-		q := req.Query(pois)
-		q.Workers = cfg.LabelWorkers
-		q.Parallelism = cfg.Parallelism
-		return engine.RunContext(ctx, q)
+		return runOnEngine(ctx, engine, req, cfg)
 	}
+}
+
+// RegistryRunner adapts a city registry to the manager's RunFunc. Each run
+// resolves the request's city (empty means the registry's default tenant)
+// and acquires that tenant's current engine generation, holding a
+// refcounted reference for the duration of the run: a hot-swap installed
+// mid-run retires the old generation only after this run's release, so
+// the engine under our feet can never be torn down. The result is stamped
+// with the {city, epoch} that computed it — the provenance the cache and
+// the HTTP layer surface as epoch staleness after a swap.
+func RegistryRunner(reg *registry.Registry, cfg RunnerConfig) RunFunc {
+	cfg = cfg.withDefaults()
+	return func(ctx context.Context, req Request) (*core.Result, error) {
+		name := req.City
+		if name == "" {
+			name = reg.DefaultName()
+		}
+		tn, ok := reg.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownCity, name)
+		}
+		engine, epoch, release := tn.Acquire()
+		defer release()
+		start := time.Now()
+		res, err := runOnEngine(ctx, engine, req, cfg)
+		// A leaf span pinning the run to its tenant and engine generation,
+		// so a trace read after a swap still names the epoch that answered.
+		obs.RecordSpan(ctx, "tenant", time.Since(start),
+			obs.StringAttr("city", tn.Name),
+			obs.IntAttr("epoch", int64(epoch)))
+		if res != nil {
+			res.City = tn.Name
+			res.Epoch = epoch
+		}
+		return res, err
+	}
+}
+
+// runOnEngine is the shared request→engine execution path of both runners.
+func runOnEngine(ctx context.Context, engine *core.Engine, req Request, cfg RunnerConfig) (*core.Result, error) {
+	pois := core.POIsOf(engine.City, synth.POICategory(req.Category))
+	if len(pois) == 0 {
+		return nil, fmt.Errorf("unknown or empty POI category %q", req.Category)
+	}
+	// Request.Query is the one canonical wire→engine mapping; only the
+	// result-neutral execution knobs are layered on here.
+	q := req.Query(pois)
+	q.Workers = cfg.LabelWorkers
+	q.Parallelism = cfg.Parallelism
+	return engine.RunContext(ctx, q)
 }

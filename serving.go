@@ -6,6 +6,7 @@ import (
 
 	"accessquery/internal/core"
 	"accessquery/internal/obs"
+	"accessquery/internal/registry"
 	"accessquery/internal/serve"
 )
 
@@ -67,12 +68,67 @@ var (
 	ErrCancelled = serve.ErrCancelled
 	// ErrNotCancellable reports a cancel of an already-finished job.
 	ErrNotCancellable = serve.ErrNotCancellable
+	// ErrUnknownCity reports a request naming a city no tenant serves.
+	ErrUnknownCity = serve.ErrUnknownCity
 )
 
 // NewServeManager starts a serving layer around run.
 func NewServeManager(run ServeRunFunc, cfg ServeConfig) *ServeManager {
 	return serve.NewManager(run, cfg)
 }
+
+// ServeTenantStats is one city's slice of a manager's admission state:
+// breaker, queue share, and tenant-scoped counters.
+type ServeTenantStats = serve.TenantStats
+
+// The city registry (internal/registry) owns N named city engines and
+// hands each out by epoch: queries acquire a refcounted engine reference,
+// hot-swaps install a new epoch with zero downtime, and displaced
+// generations drain as their in-flight runs release.
+
+// CityRegistry owns the tenant set; open one with OpenCityRegistry.
+type CityRegistry = registry.Registry
+
+// CityTenant is one named city: an epoch-aware engine provider.
+type CityTenant = registry.Tenant
+
+// CityTenantSpec names one tenant: a synth preset, or a name=snapshot
+// pair.
+type CityTenantSpec = registry.TenantSpec
+
+// CityRegistryOptions size preset builds and cache warming.
+type CityRegistryOptions = registry.Options
+
+// CityInfo is a point-in-time description of a tenant (epoch, provenance,
+// size).
+type CityInfo = registry.Info
+
+// RetiredEpoch is the handle of a displaced engine generation; Drained
+// closes when its last in-flight run releases.
+type RetiredEpoch = registry.Retired
+
+// ParseCitySpec parses a -cities style spec ("coventry,bham=b.snap").
+func ParseCitySpec(spec string) ([]CityTenantSpec, error) {
+	return registry.ParseSpec(spec)
+}
+
+// OpenCityRegistry eagerly builds or restores every tenant in the spec.
+func OpenCityRegistry(specs []CityTenantSpec, opts CityRegistryOptions) (*CityRegistry, error) {
+	return registry.Open(specs, opts)
+}
+
+// NewCityServeManager wires a serving layer over a city registry: requests
+// route by their city field, runs acquire the tenant's current engine
+// epoch, and results carry {city, epoch} provenance. It is the multi-city
+// counterpart of NewServeManager and what cmd/aqserver runs on.
+func NewCityServeManager(reg *CityRegistry, cfg ServeConfig, rc ServeRunnerConfig) *ServeManager {
+	cfg.Tenants = len(reg.Names())
+	cfg.EpochOf = reg.EpochOf
+	return serve.NewManager(serve.RegistryRunner(reg, rc), cfg)
+}
+
+// ServeRunnerConfig tunes how runners map requests onto engine runs.
+type ServeRunnerConfig = serve.RunnerConfig
 
 // Stage is one named, timed step of a query run (e.g. "matrix",
 // "training"), as recorded in job snapshots.
