@@ -66,6 +66,10 @@ func main() {
 		od        = flag.Bool("od", false, "learn at OD granularity instead of origin level")
 		deadline  = flag.Duration("deadline", 0, "overall query deadline; under pressure the run degrades (smaller budget, OLS fallback, partial result) instead of failing (0 = none)")
 		faultSpec = flag.String("fault-spec", "", "deterministic fault injection for chaos runs, e.g. \"seed=42;spq:fail=0.05\"")
+		scenario   = flag.String("scenario", "", "with -server: apply a JSON mutation batch to the city's scenario and exit ('@file' reads it from a file)")
+		scenStatus = flag.Bool("scenario-status", false, "with -server: print the city's applied scenario deltas and exit")
+		scenRevert = flag.Bool("scenario-revert", false, "with -server: revert the city to its pre-scenario baseline and exit")
+
 		metrics   = flag.Bool("metrics", false, "dump process metrics (stage latencies, SPQs) to stderr after the run")
 		explain   = flag.Bool("explain", false, "print the per-stage execution report (TODAM reduction, SPQs, cache hits, model convergence) to stderr")
 		version   = flag.Bool("version", false, "print version and exit")
@@ -76,6 +80,19 @@ func main() {
 		return
 	}
 	buildinfo.Register()
+	if *scenario != "" || *scenStatus || *scenRevert {
+		if *server == "" {
+			log.Fatal("-scenario, -scenario-status, and -scenario-revert require -server")
+		}
+		city := ""
+		if flagWasSet("city") {
+			city = *cityName
+		}
+		if err := runScenario(*server, city, *scenario, *scenStatus, *scenRevert); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *server != "" {
 		req := serve.Request{
 			Category: *category,

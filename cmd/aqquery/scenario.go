@@ -1,0 +1,115 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"accessquery/internal/apiclient"
+	"accessquery/internal/delta"
+)
+
+// Scenario mode: with -server, aqquery drives the
+// /v1/cities/{name}/scenario sub-resource — apply a mutation batch
+// (-scenario), print the applied deltas (-scenario-status), or revert to
+// the baseline (-scenario-revert) — and summarizes each delta's blast
+// radius on stdout.
+
+// parseMutations accepts either a bare JSON array of mutations or the
+// request envelope {"mutations": [...]}; a leading @ reads the JSON from
+// a file.
+func parseMutations(spec string) ([]delta.Mutation, error) {
+	raw := []byte(spec)
+	if strings.HasPrefix(spec, "@") {
+		b, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return nil, err
+		}
+		raw = b
+	}
+	var muts []delta.Mutation
+	if err := json.Unmarshal(raw, &muts); err == nil {
+		return muts, nil
+	}
+	var envelope struct {
+		Mutations []delta.Mutation `json:"mutations"`
+	}
+	if err := json.Unmarshal(raw, &envelope); err != nil {
+		return nil, fmt.Errorf("-scenario wants a JSON mutation array or {\"mutations\": [...]}: %w", err)
+	}
+	return envelope.Mutations, nil
+}
+
+// printDelta renders one applied batch with its blast radius.
+func printDelta(d apiclient.AppliedDelta) {
+	muts := make([]string, len(d.Mutations))
+	for i, m := range d.Mutations {
+		muts[i] = m.String()
+	}
+	fmt.Printf("delta %d (epoch %d): %s\n", d.ID, d.Epoch, strings.Join(muts, "; "))
+	br := d.BlastRadius
+	if br.TreesRebuilt > 0 {
+		fmt.Printf("  blast radius: %d zones touched, %d/%d hop trees rebuilt, %d stops affected, rebuild %dms vs full ~%dms\n",
+			br.ZonesTouched, br.TreesRebuilt, br.TreesTotal, br.StopsAffected,
+			br.RebuildMS, br.EstFullRebuildMS)
+		fmt.Printf("  feature cache: %d entries carried over, %d dropped\n",
+			br.CacheSeeded, br.CacheDropped)
+	} else {
+		fmt.Printf("  blast radius: query-time only (%d POI changes, %d zone reweights), no hop trees rebuilt\n",
+			br.POIsChanged, br.ZonesReweighted)
+	}
+}
+
+func runScenario(base, city, spec string, status, revert bool) error {
+	cl := apiclient.New(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if city == "" {
+		// Without an explicit -city, act on the server's default tenant.
+		def, _, err := cl.Cities(ctx)
+		if err != nil {
+			return err
+		}
+		city = def
+	}
+	switch {
+	case spec != "":
+		muts, err := parseMutations(spec)
+		if err != nil {
+			return err
+		}
+		res, err := cl.ApplyScenario(ctx, city, muts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: scenario delta applied, now serving epoch %d\n", city, res.City.Epoch)
+		if res.Delta != nil {
+			printDelta(*res.Delta)
+		}
+	case revert:
+		res, err := cl.RevertScenario(ctx, city)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: scenario reverted, baseline serving as epoch %d (retired %d)\n",
+			city, res.City.Epoch, res.RetiredEpoch)
+	default: // status
+		st, err := cl.Scenario(ctx, city)
+		if err != nil {
+			return err
+		}
+		if !st.Active {
+			fmt.Printf("%s: no scenario active (epoch %d)\n", city, st.Epoch)
+			return nil
+		}
+		fmt.Printf("%s: %d deltas over baseline epoch %d, serving epoch %d\n",
+			city, len(st.Deltas), st.BaselineEpoch, st.Epoch)
+		for _, d := range st.Deltas {
+			printDelta(d)
+		}
+	}
+	return nil
+}

@@ -1,10 +1,13 @@
 // HTTP API surface of aqserver.
 //
-// The API is versioned under /v1/. Unversioned paths from earlier releases
-// remain as deprecated aliases: they serve the same handler but set a
-// "Deprecation: true" header and a Link to the successor route, so clients
-// can migrate on their own schedule while operators watch the
-// aq_http_deprecated_requests_total counter drain to zero.
+// The API is versioned under /v1/ with a consistent resource grammar:
+// plural-noun collections, items nested under them, and verbs as
+// sub-resources (see apiSurface). Unversioned paths from earlier releases
+// remain as deprecated aliases: they serve the same handler but set the
+// shared Deprecation timestamp and Sunset date plus a Link to the
+// successor route, so clients can migrate on their own schedule while
+// operators watch the aq_http_deprecated_requests_total counter drain to
+// zero before the one sunset removes them all.
 //
 // Every handler goes through the same wrapper: method enforcement (405
 // with an Allow header), Content-Type enforcement for request bodies (415
@@ -48,6 +51,7 @@ const (
 	codeNotCancellable   = "not_cancellable"
 	codeUnknownCity      = "unknown_city"
 	codeBadSnapshot      = "bad_snapshot"
+	codeBadMutation      = "bad_mutation"
 )
 
 // retryableCodes marks the errors a client can cure by waiting and
@@ -59,45 +63,86 @@ var retryableCodes = map[string]bool{
 	codeBreakerOpen:  true,
 }
 
-// routes wires the versioned API, its deprecated unversioned aliases, and
-// the operational endpoints onto one mux.
+// apiRoute is one entry of the canonical /v1 surface. The docPaths name
+// every resource the mux pattern serves, with path parameters in OpenAPI
+// {curly} form — the openapi.yaml documentation test walks this table, so
+// a route added here without a matching spec entry fails the build.
+type apiRoute struct {
+	pattern  string   // mux pattern the handler is mounted on
+	methods  []string // methods the wrapper admits (handler splits further)
+	docPaths []string // resources served, as documented in openapi.yaml
+	handler  func(s *server) http.HandlerFunc
+}
+
+// apiSurface is the versioned resource grammar: collections are plural
+// nouns (/v1/cities, /v1/jobs), items nest under them, and verbs are
+// sub-resources of the item they act on (/v1/cities/{name}/swap).
+var apiSurface = []apiRoute{
+	{"/v1/metrics", []string{http.MethodGet}, []string{"/v1/metrics"},
+		func(s *server) http.HandlerFunc { return s.handleMetrics }},
+	{"/v1/stats", []string{http.MethodGet}, []string{"/v1/stats"},
+		func(s *server) http.HandlerFunc { return s.handleStats }},
+	{"/v1/cities", []string{http.MethodGet}, []string{"/v1/cities"},
+		func(s *server) http.HandlerFunc { return s.handleCities }},
+	// /v1/cities/{name} details one tenant; {name}/swap hot-swaps its
+	// engine; {name}/scenario applies/lists/reverts network deltas. The
+	// method split per sub-resource is enforced in the handler.
+	{"/v1/cities/", []string{http.MethodGet, http.MethodPost, http.MethodDelete},
+		[]string{"/v1/cities/{name}", "/v1/cities/{name}/swap", "/v1/cities/{name}/scenario"},
+		func(s *server) http.HandlerFunc { return s.handleCityItem }},
+	{"/v1/zones", []string{http.MethodGet}, []string{"/v1/zones"},
+		func(s *server) http.HandlerFunc { return s.handleZones }},
+	{"/v1/journey", []string{http.MethodGet}, []string{"/v1/journey"},
+		func(s *server) http.HandlerFunc { return s.handleJourney }},
+	{"/v1/query", []string{http.MethodPost}, []string{"/v1/query"},
+		func(s *server) http.HandlerFunc { return s.handleQuery }},
+	{"/v1/jobs", []string{http.MethodGet}, []string{"/v1/jobs"},
+		func(s *server) http.HandlerFunc { return s.handleJobs }},
+	{"/v1/jobs/", []string{http.MethodGet, http.MethodDelete}, []string{"/v1/jobs/{id}"},
+		func(s *server) http.HandlerFunc { return s.handleJob }},
+}
+
+// aliasRoutes maps every surviving pre-/v1 path (plus the superseded
+// /v1/city singleton) to its successor pattern in apiSurface. All aliases
+// share one deprecation timestamp and one sunset date below; they are
+// removed together when the sunset passes.
+var aliasRoutes = map[string]string{
+	"/metrics": "/v1/metrics",
+	"/stats":   "/v1/stats",
+	"/city":    "/v1/cities",
+	"/v1/city": "/v1/cities",
+	"/zones":   "/v1/zones",
+	"/journey": "/v1/journey",
+	"/query":   "/v1/query",
+	"/jobs/":   "/v1/jobs/",
+}
+
+const (
+	// aliasDeprecation is when the unversioned paths were deprecated, in
+	// the RFC 9745 @unix-seconds form (2026-08-01T00:00:00Z, the /v1
+	// resource-grammar release).
+	aliasDeprecation = "@1785542400"
+	// aliasSunset is the single removal date for every alias (RFC 8594).
+	aliasSunset = "Mon, 01 Feb 2027 00:00:00 GMT"
+)
+
+// routes wires the versioned API, its deprecated aliases, and the
+// operational endpoints onto one mux.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	// /healthz is a liveness probe, deliberately unversioned (infra
 	// convention) and exempt from deprecation.
 	mux.Handle("/healthz", handle("/healthz", s.handleHealth, http.MethodGet))
 
-	type route struct {
-		v1, old string // old == "" means no deprecated alias exists
-		fn      http.HandlerFunc
-		methods []string
+	byPattern := make(map[string]http.Handler, len(apiSurface))
+	for _, rt := range apiSurface {
+		h := handle(rt.pattern, rt.handler(s), rt.methods...)
+		mux.Handle(rt.pattern, h)
+		byPattern[rt.pattern] = h
 	}
-	for _, rt := range []route{
-		{"/v1/metrics", "/metrics", s.handleMetrics, []string{http.MethodGet}},
-		{"/v1/stats", "/stats", s.handleStats, []string{http.MethodGet}},
-		{"/v1/cities", "", s.handleCities, []string{http.MethodGet}},
-		// /v1/cities/{name} details one tenant; /v1/cities/{name}/swap
-		// hot-swaps its engine. Method split is per sub-path, enforced in
-		// the handler.
-		{"/v1/cities/", "", s.handleCityItem, []string{http.MethodGet, http.MethodPost}},
-		{"/v1/zones", "/zones", s.handleZones, []string{http.MethodGet}},
-		{"/v1/journey", "/journey", s.handleJourney, []string{http.MethodGet}},
-		{"/v1/query", "/query", s.handleQuery, []string{http.MethodPost}},
-		{"/v1/jobs", "", s.handleJobs, []string{http.MethodGet}},
-		{"/v1/jobs/", "/jobs/", s.handleJob, []string{http.MethodGet, http.MethodDelete}},
-	} {
-		h := handle(rt.v1, rt.fn, rt.methods...)
-		mux.Handle(rt.v1, h)
-		if rt.old != "" {
-			mux.Handle(rt.old, deprecated(rt.v1, rt.old, h))
-		}
+	for old, v1 := range aliasRoutes {
+		mux.Handle(old, deprecated(v1, old, byPattern[v1]))
 	}
-	// The single-city GET /v1/city (and its unversioned alias) is
-	// superseded by GET /v1/cities; both remain as deprecated aliases of
-	// the listing.
-	cities := handle("/v1/cities", s.handleCities, http.MethodGet)
-	mux.Handle("/v1/city", deprecated("/v1/cities", "/v1/city", cities))
-	mux.Handle("/city", deprecated("/v1/cities", "/city", cities))
 	return mux
 }
 
@@ -128,14 +173,15 @@ func handle(route string, fn http.HandlerFunc, methods ...string) http.Handler {
 	})
 }
 
-// deprecated marks an unversioned alias: RFC 8594-style Deprecation and
-// successor Link headers, plus a counter so operators can see who still
-// uses the old paths.
+// deprecated marks an alias of a /v1 route: the shared RFC 9745
+// Deprecation timestamp, the shared RFC 8594 Sunset date, a successor
+// Link, and a counter so operators can watch usage drain before sunset.
 func deprecated(v1, old string, h http.Handler) http.Handler {
 	hits := obs.Counter(fmt.Sprintf("aq_http_deprecated_requests_total{route=%q}", old))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		hits.Inc()
-		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Deprecation", aliasDeprecation)
+		w.Header().Set("Sunset", aliasSunset)
 		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", v1))
 		h.ServeHTTP(w, r)
 	})

@@ -108,8 +108,11 @@ func TestDeprecatedAliases(t *testing.T) {
 			t.Errorf("%s: status %d", old, rec.Code)
 			continue
 		}
-		if got := rec.Header().Get("Deprecation"); got != "true" {
-			t.Errorf("%s: Deprecation = %q, want \"true\"", old, got)
+		if got := rec.Header().Get("Deprecation"); got != aliasDeprecation {
+			t.Errorf("%s: Deprecation = %q, want %q", old, got, aliasDeprecation)
+		}
+		if got := rec.Header().Get("Sunset"); got != aliasSunset {
+			t.Errorf("%s: Sunset = %q, want %q", old, got, aliasSunset)
 		}
 		link := rec.Header().Get("Link")
 		if !strings.Contains(link, "<"+v1+">") || !strings.Contains(link, `rel="successor-version"`) {

@@ -11,7 +11,12 @@
 //	GET  /healthz                       liveness probe
 //	GET  /v1/metrics                    Prometheus text exposition
 //	GET  /v1/stats                      serving-layer counters
-//	GET  /v1/city                       city summary
+//	GET  /v1/cities                     tenant list with epochs
+//	GET  /v1/cities/{name}              tenant detail
+//	POST /v1/cities/{name}/swap         hot-swap the tenant's engine (201)
+//	POST /v1/cities/{name}/scenario     apply a network-delta batch (201)
+//	GET  /v1/cities/{name}/scenario     applied deltas + blast radii
+//	DELETE /v1/cities/{name}/scenario   revert to the pinned baseline
 //	GET  /v1/zones                      zone list with centroids and demographics
 //	GET  /v1/journey?from=3&to=50&depart=08:00:00
 //	                                    one multimodal journey between zones
@@ -53,6 +58,7 @@ import (
 
 	"accessquery/internal/buildinfo"
 	"accessquery/internal/core"
+	"accessquery/internal/delta"
 	"accessquery/internal/fault"
 	"accessquery/internal/gtfs"
 	"accessquery/internal/obs"
@@ -298,45 +304,56 @@ func (s *server) handleCities(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleCityItem serves GET /v1/cities/{name} (tenant detail including the
-// POI catalogue) and POST /v1/cities/{name}/swap (hot-swap the tenant's
-// engine; see handleSwap).
+// handleCityItem dispatches the /v1/cities/{name} item and its
+// sub-resources: GET {name} (tenant detail including the POI catalogue),
+// POST {name}/swap (hot-swap the engine; see handleSwap), and
+// POST/GET/DELETE {name}/scenario (network deltas; see handleScenario).
 func (s *server) handleCityItem(w http.ResponseWriter, r *http.Request) {
-	name := strings.TrimPrefix(r.URL.Path, "/v1/cities/")
-	name, wantSwap := strings.CutSuffix(name, "/swap")
-	if name == "" || strings.Contains(name, "/") {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "want /v1/cities/{name} or /v1/cities/{name}/swap")
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/cities/")
+	name, sub, _ := strings.Cut(rest, "/")
+	if name == "" || strings.Contains(sub, "/") {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			"want /v1/cities/{name}, /v1/cities/{name}/swap, or /v1/cities/{name}/scenario")
 		return
 	}
 	tn, ok := s.tenantFor(w, name)
 	if !ok {
 		return
 	}
-	if wantSwap {
+	switch sub {
+	case "swap":
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
 			writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST only")
 			return
 		}
 		s.handleSwap(w, r, tn)
-		return
+	case "scenario":
+		s.handleScenario(w, r, tn)
+	case "":
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET only")
+			return
+		}
+		engine, _, release := tn.Acquire()
+		defer release()
+		body := s.cityBody(tn.Info())
+		pois := map[synth.POICategory]int{}
+		for cat, list := range engine.City.POIs {
+			pois[cat] = len(list)
+		}
+		body["pois"] = pois
+		body["road_nodes"] = engine.City.Road.NumNodes()
+		body["trips"] = len(engine.City.Feed.Trips)
+		if sc := engine.Scenario; sc != nil {
+			body["scenario_deltas"] = sc.Deltas
+		}
+		writeJSON(w, http.StatusOK, body)
+	default:
+		writeError(w, http.StatusNotFound, codeNotFound,
+			fmt.Sprintf("no sub-resource %q under /v1/cities/{name}", sub))
 	}
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET only")
-		return
-	}
-	engine, _, release := tn.Acquire()
-	defer release()
-	body := s.cityBody(tn.Info())
-	pois := map[synth.POICategory]int{}
-	for cat, list := range engine.City.POIs {
-		pois[cat] = len(list)
-	}
-	body["pois"] = pois
-	body["road_nodes"] = engine.City.Road.NumNodes()
-	body["trips"] = len(engine.City.Feed.Trips)
-	writeJSON(w, http.StatusOK, body)
 }
 
 // handleSwap is POST /v1/cities/{name}/swap: install the tenant's next
@@ -375,7 +392,70 @@ func (s *server) handleSwap(w http.ResponseWriter, r *http.Request, tn *registry
 	if retired != nil {
 		out["retired_epoch"] = retired.Epoch
 	}
-	writeJSON(w, http.StatusOK, out)
+	// The swap created a new engine epoch; point at the tenant that now
+	// serves it.
+	w.Header().Set("Location", "/v1/cities/"+tn.Name)
+	writeJSON(w, http.StatusCreated, out)
+}
+
+// handleScenario serves the /v1/cities/{name}/scenario sub-resource.
+//
+// POST applies one mutation batch {"mutations": [...]} on top of the
+// tenant's scenario (starting one from the current engine if none is
+// active): only the batch's blast radius is rebuilt, the derived engine is
+// installed as a new epoch, and the response carries the applied delta
+// with its blast radius (201 + Location). Invalid mutations are refused
+// with 422 bad_mutation and the current epoch keeps serving.
+//
+// GET reports the scenario state — baseline epoch and every applied delta.
+// DELETE reverts to the pinned baseline as a fresh epoch (404 when no
+// scenario is active).
+func (s *server) handleScenario(w http.ResponseWriter, r *http.Request, tn *registry.Tenant) {
+	switch r.Method {
+	case http.MethodPost:
+		var body struct {
+			Mutations []delta.Mutation `json:"mutations"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, codeBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		if len(body.Mutations) == 0 {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				`want {"mutations": [...]} with at least one mutation`)
+			return
+		}
+		info, applied, _, err := tn.ApplyScenario(body.Mutations)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, codeBadMutation, err.Error())
+			return
+		}
+		w.Header().Set("Location", "/v1/cities/"+tn.Name+"/scenario")
+		writeJSON(w, http.StatusCreated, map[string]interface{}{
+			"city":  s.cityBody(info),
+			"delta": applied,
+		})
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, tn.Scenario())
+	case http.MethodDelete:
+		info, retired, err := tn.RevertScenario()
+		if errors.Is(err, registry.ErrNoScenario) {
+			writeError(w, http.StatusNotFound, codeNotFound, err.Error())
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
+			return
+		}
+		out := map[string]interface{}{"city": s.cityBody(info)}
+		if retired != nil {
+			out["retired_epoch"] = retired.Epoch
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		w.Header().Set("Allow", "GET, POST, DELETE")
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET, POST, DELETE only")
+	}
 }
 
 func (s *server) handleZones(w http.ResponseWriter, r *http.Request) {

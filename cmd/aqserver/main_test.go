@@ -186,7 +186,7 @@ func TestHandleCityDeprecatedAlias(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
-	if rec.Header().Get("Deprecation") != "true" {
+	if rec.Header().Get("Deprecation") != aliasDeprecation {
 		t.Error("alias response missing Deprecation header")
 	}
 	if link := rec.Header().Get("Link"); !strings.Contains(link, "/v1/cities") {

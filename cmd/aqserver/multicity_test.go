@@ -165,8 +165,11 @@ func TestSwapEpochStaleCacheHit(t *testing.T) {
 
 	rec := do(s, http.MethodPost, "/v1/cities/coventry/swap",
 		fmt.Sprintf(`{"snapshot": %q}`, filepath.Join(dir, "covB.snap")))
-	if rec.Code != http.StatusOK {
+	if rec.Code != http.StatusCreated {
 		t.Fatalf("swap status %d: %s", rec.Code, rec.Body.String())
+	}
+	if loc := rec.Header().Get("Location"); loc != "/v1/cities/coventry" {
+		t.Fatalf("swap Location = %q", loc)
 	}
 	var swap struct {
 		City struct {
@@ -277,7 +280,7 @@ func TestSwapUnderLoad(t *testing.T) {
 		time.Sleep(50 * time.Millisecond) // let queries race the current epoch
 		rec := do(s, http.MethodPost, "/v1/cities/coventry/swap",
 			fmt.Sprintf(`{"snapshot": %q}`, snaps[i%2]))
-		if rec.Code != http.StatusOK {
+		if rec.Code != http.StatusCreated {
 			t.Errorf("swap %d: status %d: %s", i, rec.Code, rec.Body.String())
 		}
 	}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The repo-root openapi.yaml is the API contract. This test keeps it and
+// the served mux in lockstep without a YAML dependency: it hand-parses the
+// paths: section, then checks (a) every resource in apiSurface and every
+// alias in aliasRoutes is documented, (b) every documented path resolves
+// to a registered mux pattern, and (c) alias paths are marked deprecated.
+
+// docPaths parses openapi.yaml's paths: section into path → block lines.
+func docPaths(t *testing.T) map[string][]string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "openapi.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathKey := regexp.MustCompile(`^  (/[^:\s]*):\s*$`)
+	paths := make(map[string][]string)
+	inPaths := false
+	current := ""
+	for _, line := range strings.Split(string(raw), "\n") {
+		switch {
+		case line == "paths:":
+			inPaths = true
+			continue
+		case inPaths && len(line) > 0 && line[0] != ' ': // next top-level key
+			inPaths = false
+		}
+		if !inPaths {
+			continue
+		}
+		if m := pathKey.FindStringSubmatch(line); m != nil {
+			current = m[1]
+			paths[current] = nil
+			continue
+		}
+		if current != "" {
+			paths[current] = append(paths[current], line)
+		}
+	}
+	if len(paths) == 0 {
+		t.Fatal("no paths parsed from openapi.yaml")
+	}
+	return paths
+}
+
+// aliasDocPath maps a mux alias pattern to how the spec documents it.
+func aliasDocPath(old string) string {
+	if old == "/jobs/" {
+		return "/jobs/{id}"
+	}
+	return old
+}
+
+func TestOpenAPICoversSurface(t *testing.T) {
+	paths := docPaths(t)
+
+	want := []string{"/healthz"}
+	for _, rt := range apiSurface {
+		want = append(want, rt.docPaths...)
+	}
+	for old := range aliasRoutes {
+		want = append(want, aliasDocPath(old))
+	}
+	for _, p := range want {
+		if _, ok := paths[p]; !ok {
+			t.Errorf("openapi.yaml does not document %s", p)
+		}
+	}
+
+	// Aliases must carry deprecated: true on every operation block.
+	for old := range aliasRoutes {
+		block := strings.Join(paths[aliasDocPath(old)], "\n")
+		if !strings.Contains(block, "deprecated: true") {
+			t.Errorf("alias %s is not marked deprecated in openapi.yaml", aliasDocPath(old))
+		}
+	}
+}
+
+func TestOpenAPIPathsResolve(t *testing.T) {
+	paths := docPaths(t)
+	mux, ok := (&server{}).routes().(*http.ServeMux)
+	if !ok {
+		t.Fatal("routes() no longer returns a *http.ServeMux; rewrite this walk")
+	}
+	sub := strings.NewReplacer("{name}", "coventry", "{id}", "1")
+	for p := range paths {
+		req := httptest.NewRequest(http.MethodGet, sub.Replace(p), nil)
+		if _, pattern := mux.Handler(req); pattern == "" {
+			t.Errorf("documented path %s does not resolve to any registered route", p)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
@@ -82,33 +83,54 @@ type QueryResponse struct {
 	Stale         json.RawMessage `json:"stale,omitempty"`
 }
 
+// do issues one request against a /v1 path and decodes the 2xx answer
+// into out (skipped when out is nil). Every non-2xx response — whatever
+// the method or endpoint — comes back as *APIError, so callers have one
+// error shape to switch on. A nil body sends no payload; any other value
+// is marshalled as JSON.
+func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
+	var payload io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		payload = bytes.NewReader(b)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, method, c.Base+path, payload)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		httpReq.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	return nil
+}
+
 // Query posts one canonical request to /v1/query and decodes the answer.
 // Non-2xx responses come back as *APIError.
 func (c *Client) Query(ctx context.Context, req serve.Request) (*QueryResponse, error) {
-	target := c.Base + "/v1/query"
+	target := "/v1/query"
 	if req.IncludeZones {
 		target += "?include_zones=1"
 	}
-	payload, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(payload))
-	if err != nil {
-		return nil, err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient().Do(httpReq)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
 	var out QueryResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("decoding response: %w", err)
+	if err := c.do(ctx, http.MethodPost, target, req, &out); err != nil {
+		return nil, err
 	}
 	return &out, nil
 }
@@ -124,24 +146,12 @@ type CityInfo struct {
 
 // Cities lists the server's tenants and its default city.
 func (c *Client) Cities(ctx context.Context) (def string, cities []CityInfo, err error) {
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/cities", nil)
-	if err != nil {
-		return "", nil, err
-	}
-	resp, err := c.httpClient().Do(httpReq)
-	if err != nil {
-		return "", nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return "", nil, decodeError(resp)
-	}
 	var out struct {
 		Default string     `json:"default"`
 		Cities  []CityInfo `json:"cities"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return "", nil, fmt.Errorf("decoding response: %w", err)
+	if err := c.do(ctx, http.MethodGet, "/v1/cities", nil, &out); err != nil {
+		return "", nil, err
 	}
 	return out.Default, out.Cities, nil
 }

@@ -1,0 +1,79 @@
+package apiclient
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"time"
+
+	"accessquery/internal/delta"
+)
+
+// Scenario client: the /v1/cities/{name}/scenario sub-resource. Mutations
+// are the same typed batch the server applies (internal/delta), so CLI
+// callers get field names and kind constants checked at compile time.
+
+// AppliedDelta mirrors the server's applied-batch provenance.
+type AppliedDelta struct {
+	ID          int               `json:"id"`
+	Applied     time.Time         `json:"applied"`
+	Epoch       uint64            `json:"epoch"`
+	Mutations   []delta.Mutation  `json:"mutations"`
+	BlastRadius delta.BlastRadius `json:"blast_radius"`
+}
+
+// ScenarioStatus mirrors GET /v1/cities/{name}/scenario.
+type ScenarioStatus struct {
+	City          string         `json:"city"`
+	Active        bool           `json:"active"`
+	Epoch         uint64         `json:"epoch"`
+	BaselineEpoch uint64         `json:"baseline_epoch,omitempty"`
+	Deltas        []AppliedDelta `json:"deltas,omitempty"`
+}
+
+// ScenarioResult is the POST/DELETE answer: the tenant's new state plus,
+// on apply, the delta just installed.
+type ScenarioResult struct {
+	City struct {
+		Name   string `json:"name"`
+		Epoch  uint64 `json:"epoch"`
+		Source string `json:"source"`
+	} `json:"city"`
+	Delta        *AppliedDelta `json:"delta,omitempty"`
+	RetiredEpoch uint64        `json:"retired_epoch,omitempty"`
+}
+
+func scenarioPath(city string) string {
+	return "/v1/cities/" + url.PathEscape(city) + "/scenario"
+}
+
+// ApplyScenario posts one mutation batch to the named city and returns
+// the applied delta with its blast radius.
+func (c *Client) ApplyScenario(ctx context.Context, city string, muts []delta.Mutation) (*ScenarioResult, error) {
+	body := struct {
+		Mutations []delta.Mutation `json:"mutations"`
+	}{muts}
+	var out ScenarioResult
+	if err := c.do(ctx, http.MethodPost, scenarioPath(city), body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Scenario fetches the named city's scenario state.
+func (c *Client) Scenario(ctx context.Context, city string) (*ScenarioStatus, error) {
+	var out ScenarioStatus
+	if err := c.do(ctx, http.MethodGet, scenarioPath(city), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RevertScenario reverts the named city to its pinned baseline.
+func (c *Client) RevertScenario(ctx context.Context, city string) (*ScenarioResult, error) {
+	var out ScenarioResult
+	if err := c.do(ctx, http.MethodDelete, scenarioPath(city), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -102,6 +102,15 @@ type Engine struct {
 	// that leave Query.Parallelism unset.
 	parallelism int
 
+	// routerOpts are kept so Derive can rebuild the router over a mutated
+	// timetable with the same tuning.
+	routerOpts router.Options
+
+	// Scenario, when non-nil, records that this engine was derived from a
+	// baseline by incremental delta maintenance and carries the cumulative
+	// blast-radius summary for provenance (explain output, span attrs).
+	Scenario *ScenarioSummary
+
 	// PrepDuration records offline pre-processing time (not part of the
 	// online query cost in Table II).
 	PrepDuration time.Duration
@@ -182,6 +191,7 @@ func NewEngine(city *synth.City, opts EngineOptions) (*Engine, error) {
 		zoneTree:    zoneTree,
 		roadTree:    roadTree,
 		parallelism: workers,
+		routerOpts:  opts.RouterOptions,
 	}
 	e.PrepDuration = time.Since(start)
 	prepTotal.ObserveDuration(e.PrepDuration)
@@ -233,6 +243,10 @@ type Query struct {
 	// POIs are the destination points. Use POIsOf to pull a category from
 	// the city.
 	POIs []geo.Point
+	// POIWeights, when non-nil, re-weights each POI's attractiveness in the
+	// TODAM gravity gate (indexed like POIs). Use POIWeightsOf to pull a
+	// category's scenario weights from the city; nil means all 1.
+	POIWeights []float64
 	// Cost is JT or GAC.
 	Cost access.CostKind
 	// CostParams price GAC journeys; zero value means defaults.
@@ -282,6 +296,30 @@ func POIsOf(city *synth.City, cat synth.POICategory) []geo.Point {
 	out := make([]geo.Point, len(pois))
 	for i, p := range pois {
 		out[i] = p.Point
+	}
+	return out
+}
+
+// POIWeightsOf extracts a category's scenario POI weights from the city,
+// or nil when every weight is the default 1 (the common case — only
+// scenario deltas ever set weights, and nil keeps the TODAM spec identical
+// to the unweighted one).
+func POIWeightsOf(city *synth.City, cat synth.POICategory) []float64 {
+	pois := city.POIs[cat]
+	weighted := false
+	out := make([]float64, len(pois))
+	for i, p := range pois {
+		w := p.Weight
+		if w == 0 {
+			w = 1
+		}
+		if w != 1 {
+			weighted = true
+		}
+		out[i] = w
+	}
+	if !weighted {
+		return nil
 	}
 	return out
 }
@@ -1184,6 +1222,8 @@ func (e *Engine) buildMatrix(q Query) (*todam.Matrix, []graph.NodeID, []int, err
 		Interval:       e.Interval,
 		SamplesPerHour: q.SamplesPerHour,
 		Attractiveness: q.Attractiveness,
+		POIWeights:     q.POIWeights,
+		ZoneWeights:    e.City.ZoneWeights,
 		Seed:           q.Seed,
 	}
 	m, err := todam.Build(spec)

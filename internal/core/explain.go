@@ -53,8 +53,23 @@ type ExplainReport struct {
 	R2MAC              float64 `json:"r2_mac,omitempty"`
 	R2ACSD             float64 `json:"r2_acsd,omitempty"`
 
+	// Scenario carries the delta provenance of a scenario-derived engine
+	// (nil when the run executed on a baseline engine).
+	Scenario *ScenarioExplain `json:"scenario,omitempty"`
+
 	Stages []ExplainStage    `json:"stages"`
 	Trace  *obs.TraceSummary `json:"trace,omitempty"`
+}
+
+// ScenarioExplain reports the blast radius the serving engine was
+// incrementally rebuilt under, read from the tenant span's attributes.
+type ScenarioExplain struct {
+	Deltas       int64 `json:"deltas"`
+	Mutations    int64 `json:"mutations"`
+	ZonesTouched int64 `json:"zones_touched"`
+	TreesRebuilt int64 `json:"hop_trees_rebuilt"`
+	RebuildMS    int64 `json:"rebuild_ms"`
+	FullPrepMS   int64 `json:"est_full_rebuild_ms"`
 }
 
 // attrInt reads an integer attribute from a span node's attribute map.
@@ -143,6 +158,18 @@ func Explain(sum *obs.TraceSummary) *ExplainReport {
 		r.Model = attrString(training, "model")
 	}
 
+	tenant := sum.Find("tenant")
+	if deltas := attrInt(tenant, "scenario_deltas"); deltas > 0 {
+		r.Scenario = &ScenarioExplain{
+			Deltas:       deltas,
+			Mutations:    attrInt(tenant, "scenario_mutations"),
+			ZonesTouched: attrInt(tenant, "scenario_zones_touched"),
+			TreesRebuilt: attrInt(tenant, "scenario_trees_rebuilt"),
+			RebuildMS:    attrInt(tenant, "scenario_rebuild_ms"),
+			FullPrepMS:   attrInt(tenant, "scenario_full_prep_ms"),
+		}
+	}
+
 	// Flatten the query's direct pipeline stages (plus any serving-layer
 	// spans above it, e.g. queue_wait) into report rows, in start order.
 	for _, root := range sum.Spans {
@@ -199,6 +226,10 @@ func (r *ExplainReport) WriteText(w io.Writer) {
 	if r.TrainingIterations > 0 {
 		fmt.Fprintf(w, "  training: %d iterations, converged=%v, in-sample RMSE mac=%.3f acsd=%.3f, R² mac=%.3f acsd=%.3f\n",
 			r.TrainingIterations, r.TrainingConverged, r.RMSEMAC, r.RMSEACSD, r.R2MAC, r.R2ACSD)
+	}
+	if sc := r.Scenario; sc != nil {
+		fmt.Fprintf(w, "  scenario: %d deltas (%d mutations), %d zones touched, %d hop trees rebuilt, rebuild %dms vs full %dms\n",
+			sc.Deltas, sc.Mutations, sc.ZonesTouched, sc.TreesRebuilt, sc.RebuildMS, sc.FullPrepMS)
 	}
 	for _, st := range r.Stages {
 		fmt.Fprintf(w, "  %-10s %9.3fms\n", st.Name, st.Seconds*1e3)

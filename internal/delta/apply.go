@@ -1,0 +1,159 @@
+package delta
+
+import (
+	"fmt"
+	"time"
+
+	"accessquery/internal/core"
+	"accessquery/internal/geo"
+	"accessquery/internal/gtfs"
+	"accessquery/internal/hoptree"
+	"accessquery/internal/synth"
+)
+
+// BlastRadius quantifies how much of the offline state one mutation batch
+// invalidated and what the incremental rebuild cost compared to the
+// from-scratch prep it replaced.
+type BlastRadius struct {
+	// ZonesTouched is the number of zones whose walkshed contains an
+	// affected stop; TreesRebuilt counts their outbound + inbound hop
+	// trees, out of TreesTotal across the city.
+	ZonesTouched int `json:"zones_touched"`
+	TreesRebuilt int `json:"hop_trees_rebuilt"`
+	TreesTotal   int `json:"hop_trees_total"`
+	// StopsAffected counts the distinct stops served by the batch's
+	// mutated routes.
+	StopsAffected int `json:"stops_affected"`
+	// POIsChanged and ZonesReweighted count the batch's query-time-only
+	// mutations (no offline rebuild at all).
+	POIsChanged     int `json:"pois_changed"`
+	ZonesReweighted int `json:"zones_reweighted"`
+	// RouterRebuilt reports whether the timetable router was
+	// reconstructed; CacheSeeded/CacheDropped count feature-cache entries
+	// carried over from the old engine versus discarded as stale.
+	RouterRebuilt bool `json:"router_rebuilt"`
+	CacheSeeded   int  `json:"feature_cache_seeded"`
+	CacheDropped  int  `json:"feature_cache_dropped"`
+	// RebuildMS is the incremental apply's wall time;
+	// EstFullRebuildMS is the measured from-scratch prep time of the
+	// scenario's baseline engine, the cost a non-incremental path would
+	// pay again.
+	RebuildMS        int64 `json:"rebuild_ms"`
+	EstFullRebuildMS int64 `json:"est_full_rebuild_ms"`
+}
+
+// AffectedStops returns the points of every stop served by the routes the
+// batch's transit mutations touch, resolved against the baseline feed
+// (which knows closed routes' stops too). This is the root of the
+// dependency analysis: only hop trees of zones that can walk to one of
+// these stops can change.
+func AffectedStops(baseline *gtfs.Feed, batch []Mutation) []geo.Point {
+	routes := make(map[gtfs.RouteID]bool)
+	for _, m := range batch {
+		if m.transit() {
+			routes[gtfs.RouteID(m.Route)] = true
+		}
+	}
+	if len(routes) == 0 {
+		return nil
+	}
+	stops := make(map[gtfs.StopID]bool)
+	var pts []geo.Point
+	for _, t := range baseline.Trips {
+		if !routes[t.RouteID] {
+			continue
+		}
+		for _, st := range t.StopTimes {
+			if stops[st.StopID] {
+				continue
+			}
+			stops[st.StopID] = true
+			if s, ok := baseline.Stop(st.StopID); ok {
+				pts = append(pts, s.Point)
+			}
+		}
+	}
+	return pts
+}
+
+// Apply derives a new engine from cur by applying the full cumulative
+// mutation list to the scenario's baseline city and incrementally
+// rebuilding only the blast radius of the newest batch (the suffix of
+// cumulative not yet reflected in cur). deltas is the batch count
+// including this one and fullPrep the baseline engine's measured
+// from-scratch prep, both recorded for provenance. cur is not modified;
+// on error it remains the valid serving engine.
+func Apply(cur *core.Engine, baseline *synth.City, cumulative, batch []Mutation, deltas, parallelism int, fullPrep time.Duration) (*core.Engine, BlastRadius, error) {
+	var radius BlastRadius
+	if cur == nil || baseline == nil {
+		return nil, radius, fmt.Errorf("delta: nil engine or baseline city")
+	}
+	if len(batch) == 0 {
+		return nil, radius, fmt.Errorf("delta: empty mutation batch")
+	}
+	start := time.Now()
+	city, _, err := MutateCity(baseline, cumulative)
+	if err != nil {
+		return nil, radius, err
+	}
+
+	nZones := len(city.Zones)
+	radius.TreesTotal = 2 * nZones
+	radius.EstFullRebuildMS = fullPrep.Milliseconds()
+	batchTransit := false
+	for _, m := range batch {
+		switch m.Kind {
+		case AddPOI, RemovePOI, ReweightPOI:
+			radius.POIsChanged++
+		case ScaleZoneWeight:
+			radius.ZonesReweighted++
+		default:
+			batchTransit = true
+		}
+	}
+
+	spec := core.DeriveSpec{City: city}
+	if batchTransit {
+		stopPts := AffectedStops(baseline.Feed, batch)
+		radius.StopsAffected = len(stopPts)
+		zonePts := make([]geo.Point, nZones)
+		for i, z := range city.Zones {
+			zonePts[i] = z.Centroid
+		}
+		zones := hoptree.ZonesWithinWalkshed(zonePts, cur.Isochrones(), stopPts)
+		builder, err := hoptree.NewBuilder(city.Feed, cur.Interval, zonePts, cur.Isochrones())
+		if err != nil {
+			return nil, radius, fmt.Errorf("delta: %w", err)
+		}
+		forest, err := hoptree.RebuildZones(builder, cur.Forest(), zones, parallelism)
+		if err != nil {
+			return nil, radius, fmt.Errorf("delta: %w", err)
+		}
+		spec.Forest = forest
+		spec.RebuiltZones = zones
+		radius.ZonesTouched = len(zones)
+		radius.TreesRebuilt = 2 * len(zones)
+	}
+
+	eng, stats, err := cur.Derive(spec)
+	if err != nil {
+		return nil, radius, err
+	}
+	radius.RouterRebuilt = stats.RouterRebuilt
+	radius.CacheSeeded = stats.CacheEntriesSeeded
+	radius.CacheDropped = stats.CacheEntriesDropped
+	elapsed := time.Since(start)
+	radius.RebuildMS = elapsed.Milliseconds()
+	eng.PrepDuration = elapsed
+
+	nMut := len(cumulative)
+	eng.Scenario = &core.ScenarioSummary{
+		Deltas:       deltas,
+		Mutations:    nMut,
+		ZonesTouched: radius.ZonesTouched,
+		TreesRebuilt: radius.TreesRebuilt,
+		RebuildMS:    radius.RebuildMS,
+		FullPrepMS:   radius.EstFullRebuildMS,
+	}
+	return eng, radius, nil
+}

@@ -1,0 +1,62 @@
+package features
+
+// SeedFrom copies lazy-cache entries from src into e for the entries an
+// incremental forest rebuild provably left unchanged, so a scenario-derived
+// engine starts with a warm cache instead of recomputing values that are
+// bit-identical to the old ones. rebuilt lists the zones whose hop trees
+// were rebuilt; every other zone's trees are shared with src's forest.
+//
+// Safe entries:
+//   - ibTrees[z]: derived only from the inbound tree of z — valid unless z
+//     was rebuilt.
+//   - hopsTo[origin] and reachFrac[origin]: derived by chaining outbound
+//     trees from origin. Copied only when no zone anywhere in the cached
+//     hop map was rebuilt; a rebuilt zone inside the chain could alter the
+//     frontier, and a rebuilt tree can only surface new zones through some
+//     rebuilt member of the old map, so this conservative gate is sound.
+//
+// Cached values are deterministic functions of the forest, so entries that
+// fail the gate are simply recomputed lazily (or by Warm) with no effect on
+// query results. Returns how many entries were copied and how many src
+// entries were dropped as potentially stale.
+func (e *Extractor) SeedFrom(src *Extractor, rebuilt []int) (seeded, dropped int) {
+	if src == nil {
+		return 0, 0
+	}
+	stale := make(map[int]bool, len(rebuilt))
+	for _, z := range rebuilt {
+		stale[z] = true
+	}
+	src.mu.RLock()
+	defer src.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for z, t := range src.ibTrees {
+		if stale[z] {
+			dropped++
+			continue
+		}
+		e.ibTrees[z] = t
+		seeded++
+	}
+	for origin, hops := range src.hopsTo {
+		ok := true
+		for z := range hops {
+			if stale[z] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			dropped++
+			continue
+		}
+		e.hopsTo[origin] = hops
+		seeded++
+		if f, has := src.reachFrac[origin]; has {
+			e.reachFrac[origin] = f
+			seeded++
+		}
+	}
+	return seeded, dropped
+}

@@ -148,6 +148,26 @@ func NewFeed() *Feed {
 	}
 }
 
+// Clone returns a feed sharing the immutable stop/route/service records
+// and their lookup maps, with independent Trips and Frequencies slices.
+// Callers that mutate a trip's StopTimes must replace the trip value with
+// one holding a fresh StopTimes slice; the shared records must never be
+// edited in place. This is the copy-on-write seam the scenario delta layer
+// uses to derive a mutated timetable without duplicating the whole feed.
+func (f *Feed) Clone() *Feed {
+	out := &Feed{
+		Stops:       f.Stops,
+		Routes:      f.Routes,
+		Services:    f.Services,
+		Trips:       append([]Trip(nil), f.Trips...),
+		Frequencies: append([]Frequency(nil), f.Frequencies...),
+		stopByID:    f.stopByID,
+		routeByID:   f.routeByID,
+		serviceByID: f.serviceByID,
+	}
+	return out
+}
+
 // AddStop appends a stop. Duplicate IDs are rejected.
 func (f *Feed) AddStop(s Stop) error {
 	if _, dup := f.stopByID[s.ID]; dup {

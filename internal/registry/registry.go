@@ -164,6 +164,10 @@ type Tenant struct {
 	nextEpoch atomic.Uint64
 	swaps     atomic.Int64
 	metrics   *tenantGauges
+
+	// scenario holds the applied-deltas stack when a scenario is active;
+	// guarded by swapMu. Non-scenario swaps clear it.
+	scenario *scenarioState
 }
 
 // Acquire returns the tenant's current engine, its epoch, and a release
@@ -287,6 +291,7 @@ func (t *Tenant) SwapEngine(e *core.Engine, source string) (Info, *Retired, erro
 	t.swapMu.Lock()
 	defer t.swapMu.Unlock()
 	retired := t.install(e, source)
+	t.clearScenario()
 	return t.Info(), retired, nil
 }
 
@@ -318,6 +323,7 @@ func (t *Tenant) SwapSnapshot(path string) (Info, *Retired, error) {
 	t.path = path
 	t.recordFileIdentity(path)
 	retired := t.install(e, "snapshot:"+path)
+	t.clearScenario()
 	return t.Info(), retired, nil
 }
 
@@ -335,6 +341,7 @@ func (t *Tenant) Rebuild() (Info, *Retired, error) {
 		return Info{}, nil, fmt.Errorf("registry: rebuilding %s (epoch %d keeps serving): %w", t.Name, t.Epoch(), err)
 	}
 	retired := t.install(e, t.cur.Load().source)
+	t.clearScenario()
 	return t.Info(), retired, nil
 }
 

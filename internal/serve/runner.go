@@ -69,9 +69,22 @@ func RegistryRunner(reg *registry.Registry, cfg RunnerConfig) RunFunc {
 		res, err := runOnEngine(ctx, engine, req, cfg)
 		// A leaf span pinning the run to its tenant and engine generation,
 		// so a trace read after a swap still names the epoch that answered.
-		obs.RecordSpan(ctx, "tenant", time.Since(start),
+		// Scenario-derived engines add their delta provenance so ?explain=1
+		// reports the blast radius the engine was rebuilt under.
+		attrs := []obs.Attr{
 			obs.StringAttr("city", tn.Name),
-			obs.IntAttr("epoch", int64(epoch)))
+			obs.IntAttr("epoch", int64(epoch)),
+		}
+		if sc := engine.Scenario; sc != nil {
+			attrs = append(attrs,
+				obs.IntAttr("scenario_deltas", int64(sc.Deltas)),
+				obs.IntAttr("scenario_mutations", int64(sc.Mutations)),
+				obs.IntAttr("scenario_zones_touched", int64(sc.ZonesTouched)),
+				obs.IntAttr("scenario_trees_rebuilt", int64(sc.TreesRebuilt)),
+				obs.IntAttr("scenario_rebuild_ms", sc.RebuildMS),
+				obs.IntAttr("scenario_full_prep_ms", sc.FullPrepMS))
+		}
+		obs.RecordSpan(ctx, "tenant", time.Since(start), attrs...)
 		if res != nil {
 			res.City = tn.Name
 			res.Epoch = epoch
@@ -87,8 +100,12 @@ func runOnEngine(ctx context.Context, engine *core.Engine, req Request, cfg Runn
 		return nil, fmt.Errorf("unknown or empty POI category %q", req.Category)
 	}
 	// Request.Query is the one canonical wire→engine mapping; only the
-	// result-neutral execution knobs are layered on here.
+	// result-neutral execution knobs are layered on here. POI weights are
+	// engine state (set by scenario deltas), not request state, so like the
+	// epoch they ride outside the fingerprint: stale cache entries are
+	// flagged via epoch staleness, not keyed away.
 	q := req.Query(pois)
+	q.POIWeights = core.POIWeightsOf(engine.City, synth.POICategory(req.Category))
 	q.Workers = cfg.LabelWorkers
 	q.Parallelism = cfg.Parallelism
 	return engine.RunContext(ctx, q)

@@ -56,6 +56,10 @@ type POI struct {
 	Category POICategory
 	Point    geo.Point
 	Name     string
+	// Weight multiplies the POI's attractiveness in the TODAM gravity gate.
+	// The zero value means the default weight 1; scenario deltas are the
+	// only writers (generated cities leave it unset).
+	Weight float64
 }
 
 // WalkSpeedKph is the walking speed ω from the paper's experiments.
@@ -191,6 +195,10 @@ type City struct {
 	StopNode map[gtfs.StopID]graph.NodeID
 	// ZoneNode maps each zone onto its nearest road node.
 	ZoneNode []graph.NodeID
+	// ZoneWeights, when non-nil, multiplies each zone's attractiveness in
+	// the TODAM gravity gate (indexed like Zones). Nil means every zone at
+	// the default weight 1; scenario deltas are the only writers.
+	ZoneWeights []float64
 }
 
 // Generate builds the city described by cfg. Generation is deterministic in

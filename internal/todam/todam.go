@@ -138,6 +138,14 @@ type Spec struct {
 	SamplesPerHour int
 	// Attractiveness configures the gravity gate.
 	Attractiveness Attractiveness
+	// POIWeights, when non-nil, multiplies each POI's attractiveness score
+	// before the sampling gate (indexed like POIPts). Effective scores are
+	// clamped to [0, 1]; a pair whose weighted score drops to zero is
+	// excluded entirely. Nil means every POI at weight 1.
+	POIWeights []float64
+	// ZoneWeights, when non-nil, scales each origin zone's attractiveness
+	// the same way (indexed like ZonePts). Nil means every zone at 1.
+	ZoneWeights []float64
 	// Seed drives the start-time draw and per-pair sampling.
 	Seed int64
 }
@@ -155,6 +163,12 @@ func (s Spec) Validate() error {
 	}
 	if s.Interval.End <= s.Interval.Start {
 		return fmt.Errorf("todam: empty interval")
+	}
+	if s.POIWeights != nil && len(s.POIWeights) != len(s.POIPts) {
+		return fmt.Errorf("todam: %d POI weights for %d POIs", len(s.POIWeights), len(s.POIPts))
+	}
+	if s.ZoneWeights != nil && len(s.ZoneWeights) != len(s.ZonePts) {
+		return fmt.Errorf("todam: %d zone weights for %d zones", len(s.ZoneWeights), len(s.ZonePts))
 	}
 	return nil
 }
@@ -212,8 +226,23 @@ func Build(spec Spec) (*Matrix, error) {
 	m := &Matrix{Spec: spec, StartTimes: times, Rows: make([][]PairTrips, len(spec.ZonePts))}
 	for zi, zp := range spec.ZonePts {
 		alpha := spec.Attractiveness.Scores(zp, spec.POIPts)
+		zw := 1.0
+		if spec.ZoneWeights != nil {
+			zw = spec.ZoneWeights[zi]
+		}
 		var row []PairTrips
 		for j, a := range alpha {
+			// Scenario re-weighting scales the gravity score before the
+			// gate; the weighted score must stay a probability, and pairs
+			// weighted to zero fall out before any RNG draw so the stream
+			// stays deterministic for the surviving pairs.
+			a *= zw
+			if spec.POIWeights != nil {
+				a *= spec.POIWeights[j]
+			}
+			if a > 1 {
+				a = 1
+			}
 			if a <= 0 {
 				continue
 			}
