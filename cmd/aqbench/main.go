@@ -35,7 +35,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aqbench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|fig3|fig4|fig5|ablations|temporal|serve|all (serve needs -server and is excluded from all)")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|fig3|fig4|fig5|ablations|temporal|bank|serve|all (serve needs -server; bank and serve are excluded from all)")
 		scale   = flag.Float64("scale", 0.15, "city scale for measured experiments (table1 always runs at full scale)")
 		samples = flag.Int("samples", 10, "TODAM start-time samples per hour for measured experiments")
 		models  = flag.String("models", "", "comma-separated model subset (default: all five)")
@@ -76,6 +76,14 @@ func main() {
 		})
 		if err != nil {
 			log.Fatalf("serve: %v", err)
+		}
+		return
+	}
+	if *exp == "bank" {
+		// The bank benchmark builds its own engine and needs no suite; like
+		// serve it never runs under -exp all.
+		if err := runBankBench(os.Stdout, *scale, *par); err != nil {
+			log.Fatalf("bank: %v", err)
 		}
 		return
 	}
@@ -126,7 +134,7 @@ func main() {
 	run("temporal", func() error { return s.PrintTemporal(w) })
 	run("extensions", func() error { return s.PrintExtensionComparison(w) })
 	switch *exp {
-	case "table1", "table2", "fig3", "fig4", "fig5", "ablations", "temporal", "extensions", "serve", "all":
+	case "table1", "table2", "fig3", "fig4", "fig5", "ablations", "temporal", "extensions", "bank", "serve", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"accessquery/internal/access"
+	"accessquery/internal/bank"
 	"accessquery/internal/buildinfo"
 	"accessquery/internal/core"
 	"accessquery/internal/fault"
@@ -50,29 +51,30 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aqquery: ")
 	var (
-		server    = flag.String("server", "", "base URL of a running aqserver; queries go to its /v1/query instead of a local engine")
-		cityName  = flag.String("city", "coventry", "city preset, or tenant name with -server (ignored with -load)")
-		scale     = flag.Float64("scale", 0.2, "city scale factor (ignored with -load)")
-		load      = flag.String("load", "", "load a saved engine snapshot instead of generating")
-		save      = flag.String("save", "", "save the engine snapshot after pre-processing and exit")
-		category  = flag.String("category", "school", "POI category: school|hospital|vax_center|job_center")
-		cost      = flag.String("cost", "JT", "access cost: JT or GAC")
-		budget    = flag.Float64("budget", 0.05, "labeling budget in (0, 1]")
-		model     = flag.String("model", "MLP", "SSR model: OLS|MLP|MT|COREG|GNN")
-		sampling  = flag.String("sampling", "random", "labeled-set sampling: random|coverage|stratified")
-		workers   = flag.Int("workers", 1, "parallel labeling workers")
-		par       = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool for pre-processing and the feature stage (results identical at any setting)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		od        = flag.Bool("od", false, "learn at OD granularity instead of origin level")
-		deadline  = flag.Duration("deadline", 0, "overall query deadline; under pressure the run degrades (smaller budget, OLS fallback, partial result) instead of failing (0 = none)")
-		faultSpec = flag.String("fault-spec", "", "deterministic fault injection for chaos runs, e.g. \"seed=42;spq:fail=0.05\"")
+		server     = flag.String("server", "", "base URL of a running aqserver; queries go to its /v1/query instead of a local engine")
+		cityName   = flag.String("city", "coventry", "city preset, or tenant name with -server (ignored with -load)")
+		scale      = flag.Float64("scale", 0.2, "city scale factor (ignored with -load)")
+		load       = flag.String("load", "", "load a saved engine snapshot instead of generating")
+		save       = flag.String("save", "", "save the engine snapshot after pre-processing and exit")
+		category   = flag.String("category", "school", "POI category: school|hospital|vax_center|job_center")
+		cost       = flag.String("cost", "JT", "access cost: JT or GAC")
+		budget     = flag.Float64("budget", 0.05, "labeling budget in (0, 1]")
+		model      = flag.String("model", "MLP", "SSR model: OLS|MLP|MT|COREG|GNN")
+		sampling   = flag.String("sampling", "random", "labeled-set sampling: random|coverage|stratified|cluster")
+		useBank    = flag.Bool("bank", true, "route labeling through a process-local label bank (visible in -explain; results identical either way)")
+		workers    = flag.Int("workers", 1, "parallel labeling workers")
+		par        = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool for pre-processing and the feature stage (results identical at any setting)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		od         = flag.Bool("od", false, "learn at OD granularity instead of origin level")
+		deadline   = flag.Duration("deadline", 0, "overall query deadline; under pressure the run degrades (smaller budget, OLS fallback, partial result) instead of failing (0 = none)")
+		faultSpec  = flag.String("fault-spec", "", "deterministic fault injection for chaos runs, e.g. \"seed=42;spq:fail=0.05\"")
 		scenario   = flag.String("scenario", "", "with -server: apply a JSON mutation batch to the city's scenario and exit ('@file' reads it from a file)")
 		scenStatus = flag.Bool("scenario-status", false, "with -server: print the city's applied scenario deltas and exit")
 		scenRevert = flag.Bool("scenario-revert", false, "with -server: revert the city to its pre-scenario baseline and exit")
 
-		metrics   = flag.Bool("metrics", false, "dump process metrics (stage latencies, SPQs) to stderr after the run")
-		explain   = flag.Bool("explain", false, "print the per-stage execution report (TODAM reduction, SPQs, cache hits, model convergence) to stderr")
-		version   = flag.Bool("version", false, "print version and exit")
+		metrics = flag.Bool("metrics", false, "dump process metrics (stage latencies, SPQs) to stderr after the run")
+		explain = flag.Bool("explain", false, "print the per-stage execution report (TODAM reduction, SPQs, cache hits, model convergence) to stderr")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -147,6 +149,12 @@ func main() {
 		Workers:     *workers,
 		Parallelism: *par,
 		Seed:        *seed,
+	}
+	if *useBank && !*od {
+		// One-shot CLI runs see a cold bank (everything deposits, nothing
+		// drains), but the -explain bank line shows the same accounting a
+		// warm server run would.
+		q.Bank = bank.New(bank.Config{}).Segment(engine.City.Name, 0)
 	}
 	var res *core.Result
 	var tr *obs.Trace

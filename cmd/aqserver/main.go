@@ -56,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"accessquery/internal/bank"
 	"accessquery/internal/buildinfo"
 	"accessquery/internal/core"
 	"accessquery/internal/delta"
@@ -73,8 +74,9 @@ import (
 var logger = olog.Default.With(olog.F("component", "aqserver"))
 
 type server struct {
-	reg *registry.Registry
-	mgr *serve.Manager
+	reg  *registry.Registry
+	mgr  *serve.Manager
+	bank *bank.Bank // nil when -bank=false
 }
 
 func main() {
@@ -96,6 +98,9 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 		labelWorkers = flag.Int("label-workers", 0, "goroutines labeling zones inside one engine run (0 = serial)")
 		parallelism  = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool for offline pre-processing and each query's feature stage (results identical at any setting)")
+		bankEnable   = flag.Bool("bank", true, "share priced trips across queries through the epoch-keyed label bank")
+		bankCap      = flag.Int("bank-capacity", bank.DefaultCapacity, "label-bank entry capacity across all tenants (oldest segment evicts first)")
+		bankTTL      = flag.Duration("bank-ttl", 0, "label-bank entry lifetime (0 = no expiry; epoch retirement still invalidates)")
 		slowQuery    = flag.Duration("slow-query", 0, "log queries at or above this duration with their stage breakdown (0 disables)")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		version      = flag.Bool("version", false, "print version and exit")
@@ -129,6 +134,12 @@ func main() {
 	if err != nil {
 		logger.Fatal("bad -cities", olog.Err(err))
 	}
+	var bk *bank.Bank
+	if *bankEnable {
+		bk = bank.New(bank.Config{Capacity: *bankCap, TTL: *bankTTL})
+		logger.Info("label bank enabled",
+			olog.F("capacity", *bankCap), olog.F("ttl", bankTTL.String()))
+	}
 	logger.Info("loading cities", olog.F("spec", spec), olog.F("scale", *scale))
 	reg, err := registry.Open(specs, registry.Options{
 		Scale:       *scale,
@@ -138,6 +149,7 @@ func main() {
 		// after every hot-swap) so the first query doesn't pay the
 		// cold-cache cost.
 		WarmCaches: true,
+		Bank:       bk,
 		Logger:     logger,
 	})
 	if err != nil {
@@ -154,7 +166,7 @@ func main() {
 		BreakerCooldown:    *breakerCD,
 		SlowQueryThreshold: *slowQuery,
 		Logger:             logger,
-	}, serve.RunnerConfig{LabelWorkers: *labelWorkers, Parallelism: *parallelism})
+	}, serve.RunnerConfig{LabelWorkers: *labelWorkers, Parallelism: *parallelism, Bank: bk})
 
 	if *debugAddr != "" {
 		dbg, bound, err := obs.StartDebugServer(*debugAddr)
@@ -231,7 +243,7 @@ loop:
 func newServer(reg *registry.Registry, cfg serve.Config, rc serve.RunnerConfig) *server {
 	cfg.Tenants = len(reg.Names())
 	cfg.EpochOf = reg.EpochOf
-	return &server{reg: reg, mgr: serve.NewManager(serve.RegistryRunner(reg, rc), cfg)}
+	return &server{reg: reg, mgr: serve.NewManager(serve.RegistryRunner(reg, rc), cfg), bank: rc.Bank}
 }
 
 // tenantFor resolves the optional ?city= query parameter (or an explicit
@@ -256,10 +268,16 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	var bankStats *bank.Stats
+	if s.bank != nil {
+		st := s.bank.Stats()
+		bankStats = &st
+	}
 	writeJSON(w, http.StatusOK, struct {
 		serve.Stats
 		Tenants []serve.TenantStats `json:"tenants"`
-	}{s.mgr.Stats(), s.mgr.TenantStats()})
+		Bank    *bank.Stats         `json:"bank,omitempty"`
+	}{s.mgr.Stats(), s.mgr.TenantStats(), bankStats})
 }
 
 // cityBody shapes one tenant for the /v1/cities responses: the registry's

@@ -186,9 +186,21 @@ type Labeler struct {
 	// passed, labeling returns context.DeadlineExceeded so overshoot is
 	// bounded by roughly one profile search.
 	Deadline time.Time
+	// Bank, when non-nil, is the cross-query priced-trip store: LabelZone
+	// drains it before spending SPQ budget and buffers what it prices into
+	// PendingDeposits. A nil bank reproduces the unbanked code path exactly.
+	Bank TripBank
 	// SPQs counts shortest-path-query-equivalents performed (one per priced
-	// trip), for the Table II accounting.
-	SPQs int64
+	// trip), for the Table II accounting. Trips satisfied from the bank are
+	// counted in Drained instead — they spent no router work.
+	SPQs    int64
+	Drained int64
+	// PendingDeposits buffers priced trips awaiting a clean run. A zone's
+	// deposits are appended only when its LabelZone completes without error,
+	// so a deadline that fires mid-zone discards that zone's partial drain.
+	// The engine flushes the buffer to the bank only after the whole
+	// labeling stage finished at full fidelity.
+	PendingDeposits []TripDeposit
 	// Retries counts profile searches re-attempted after a transient
 	// failure; Abandoned counts searches given up after MaxAttempts. Every
 	// transient failure lands in exactly one of the two, so
@@ -244,6 +256,12 @@ func (l *Labeler) expired() bool {
 // one-to-many profile, so the per-zone cost is bounded by the number of
 // distinct start times rather than the trip count. SPQs still counts every
 // priced trip, matching the paper's workload accounting.
+//
+// With a Bank attached, each start-time group first drains cached prices;
+// the shared profile search runs only when at least one trip missed, and
+// drained trips count in Drained rather than SPQs. Costs are appended in
+// the same trip order either way, so the zone's aggregates are bit-equal
+// to an unbanked run over the same engine generation.
 func (l *Labeler) LabelZone(zone int) (ZoneMeasure, bool, error) {
 	if zone < 0 || zone >= len(l.ZoneNode) {
 		return ZoneMeasure{}, false, fmt.Errorf("access: zone %d out of range", zone)
@@ -261,21 +279,62 @@ func (l *Labeler) LabelZone(zone int) (ZoneMeasure, bool, error) {
 	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
 	var costs []float64
 	var walkOnly int
+	var pending []TripDeposit
 	for _, start := range starts {
 		if l.expired() {
 			return ZoneMeasure{}, false, fmt.Errorf("access: zone %d: %w", zone, context.DeadlineExceeded)
 		}
 		trips := byStart[start]
-		prof, err := l.profile(origin, start)
-		if err != nil {
-			return ZoneMeasure{}, false, fmt.Errorf("access: zone %d: %w", zone, err)
+		var prices []TripPrice
+		var hit []bool
+		needProfile := l.Bank == nil
+		if l.Bank != nil {
+			prices = make([]TripPrice, len(trips))
+			hit = make([]bool, len(trips))
+			for i, tr := range trips {
+				if tr.POI >= 0 && tr.POI < len(l.POINode) {
+					if p, ok := l.Bank.Drain(TripKey{Zone: zone, Dest: l.POINode[tr.POI], Start: start}); ok {
+						prices[i], hit[i] = p, true
+						l.Drained++
+						continue
+					}
+				}
+				needProfile = true
+			}
 		}
-		for _, tr := range trips {
+		var prof *router.Profile
+		if needProfile {
+			var err error
+			prof, err = l.profile(origin, start)
+			if err != nil {
+				return ZoneMeasure{}, false, fmt.Errorf("access: zone %d: %w", zone, err)
+			}
+		}
+		for i, tr := range trips {
+			if hit != nil && hit[i] {
+				p := prices[i]
+				if !p.Reachable {
+					continue
+				}
+				costs = append(costs, l.price(p.Journey))
+				if p.Journey.WalkOnly() {
+					walkOnly++
+				}
+				continue
+			}
 			l.SPQs++
 			if tr.POI < 0 || tr.POI >= len(l.POINode) {
 				continue
 			}
-			j, ok := prof.Journey(l.POINode[tr.POI])
+			dest := l.POINode[tr.POI]
+			j, ok := prof.Journey(dest)
+			if l.Bank != nil {
+				dep := TripPrice{Reachable: ok}
+				if ok {
+					dep.Journey = j
+				}
+				pending = append(pending, TripDeposit{Key: TripKey{Zone: zone, Dest: dest, Start: start}, Price: dep})
+			}
 			if !ok {
 				continue
 			}
@@ -285,6 +344,9 @@ func (l *Labeler) LabelZone(zone int) (ZoneMeasure, bool, error) {
 			}
 		}
 	}
+	// The zone completed cleanly; its priced trips (including negative
+	// results) are now deposit candidates.
+	l.PendingDeposits = append(l.PendingDeposits, pending...)
 	if len(costs) == 0 {
 		return ZoneMeasure{Zone: zone}, false, nil
 	}

@@ -1,0 +1,54 @@
+package access
+
+import (
+	"accessquery/internal/graph"
+	"accessquery/internal/gtfs"
+	"accessquery/internal/router"
+)
+
+// TripKey identifies one priced trip within a single engine generation:
+// the origin zone, the destination's welded road node, and the exact
+// sampled start time. The cost kind deliberately does not participate —
+// the bank stores the journey itself and the labeler re-prices it, so JT
+// and GAC queries share entries.
+//
+// The key is only meaningful relative to the engine that produced the
+// journey; callers (internal/bank) scope stores by {city, epoch} so a
+// hot-swap or scenario apply can never serve a journey computed on a
+// different timetable.
+type TripKey struct {
+	Zone  int
+	Dest  graph.NodeID
+	Start gtfs.Seconds
+}
+
+// TripPrice is the cached outcome of pricing one trip: the journey found
+// by the profile search, or Reachable=false when the destination was not
+// reachable within the search horizon (negative results are worth caching
+// too — they cost a full profile search to rediscover).
+type TripPrice struct {
+	Journey   router.Journey
+	Reachable bool
+}
+
+// TripDeposit pairs a key with its priced outcome for batch deposit.
+type TripDeposit struct {
+	Key   TripKey
+	Price TripPrice
+}
+
+// TripBank is the cross-query priced-trip store the labeler drains before
+// spending SPQ budget and deposits into after a clean run. Implementations
+// must be safe for concurrent use by parallel labeling workers.
+//
+// The contract that keeps banked results deep-equal to unbanked ones: a
+// Drain hit must return exactly the TripPrice a Deposit stored for that
+// key, and entries must never survive the engine generation they were
+// computed on (see internal/bank's epoch-keyed segments).
+type TripBank interface {
+	// Drain returns the cached price for the key, if present.
+	Drain(TripKey) (TripPrice, bool)
+	// Deposit stores a batch of priced trips. Implementations may drop
+	// entries (capacity, detached segment); Deposit is advisory.
+	Deposit([]TripDeposit)
+}

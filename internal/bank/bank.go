@@ -1,0 +1,367 @@
+// Package bank implements the cross-query SPQ label bank (ROADMAP item 3):
+// a bounded, concurrency-safe store of priced trips shared across queries,
+// jobs, and tenants. Labeling drains it before spending β budget on
+// shortest-path queries and deposits what it prices, so N similar queries
+// collapse from N full labelings into one warm pool.
+//
+// Entries are journeys, not costs: the labeler re-prices a drained journey
+// through the same code path an SPQ result takes, which is what makes
+// bank-enabled results deep-equal to bank-disabled ones by construction —
+// the bank changes where a price comes from, never what it is.
+//
+// The store is partitioned into segments keyed by {city, epoch}. A journey
+// is only meaningful relative to the exact engine generation that computed
+// it, so segment lifecycle follows the registry's epoch machinery:
+//
+//   - A hot-swap (or scenario revert) installs a new epoch and retires
+//     every older segment of that city wholesale (RetireBelow).
+//   - A scenario apply whose batch touches no transit (POI/weight-only
+//     mutations) derives an engine that shares the baseline's router
+//     outright, so its journeys are bit-identical: CarryForward seeds the
+//     old segment's entries into the new epoch, like
+//     features.Extractor.SeedFrom carries feature vectors.
+//   - A transit-touching batch invalidates the whole city. Blast-radius
+//     zones do not bound journey changes — a journey from any origin can
+//     ride a mutated route in a later leg, and the router's profile search
+//     breaks arrival-time ties by relaxation order, so not even walk-only
+//     journeys are provably stable. See DESIGN.md.
+//
+// Detached (retired) segments keep serving Drain for in-flight runs that
+// still hold the old engine generation — those runs execute on the old
+// timetable, so its journeys remain correct for them — but their Deposit
+// becomes a no-op and their entries no longer count against capacity.
+package bank
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accessquery/internal/access"
+)
+
+// DefaultCapacity bounds total live entries across all attached segments
+// when Config.Capacity is unset. A priced trip is ~100 bytes, so the
+// default costs on the order of 100 MB fully warm.
+const DefaultCapacity = 1 << 20
+
+// Config tunes a Bank.
+type Config struct {
+	// Capacity bounds live entries across all attached segments; 0 means
+	// DefaultCapacity. Over capacity, the oldest attached segment's oldest
+	// entries are evicted first (FIFO — entries have no per-hit bookkeeping,
+	// keeping the drain path cheap).
+	Capacity int
+	// TTL expires entries at drain time; 0 disables expiry. Expired entries
+	// read as misses and are reclaimed by overwrite or eviction.
+	TTL time.Duration
+	// Now overrides the clock in tests.
+	Now func() time.Time
+}
+
+// SegmentKey scopes entries to one engine generation.
+type SegmentKey struct {
+	City  string `json:"city"`
+	Epoch uint64 `json:"epoch"`
+}
+
+type entry struct {
+	price access.TripPrice
+	added time.Time
+}
+
+// Bank is the shared store. The zero value is not usable; call New.
+type Bank struct {
+	capacity int
+	ttl      time.Duration
+	now      func() time.Time
+
+	mu       sync.Mutex
+	segments map[SegmentKey]*Segment
+	order    []*Segment        // attach order; order[0] is the eviction victim
+	floor    map[string]uint64 // per-city retire floor: epochs below it attach detached
+
+	entries atomic.Int64 // live entries across attached segments
+
+	hits, misses, deposits atomic.Int64
+	evicted, expired       atomic.Int64
+	seeded, retired        atomic.Int64
+}
+
+// New builds a bank.
+func New(cfg Config) *Bank {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Bank{
+		capacity: cfg.Capacity,
+		ttl:      cfg.TTL,
+		now:      cfg.Now,
+		segments: make(map[SegmentKey]*Segment),
+		floor:    make(map[string]uint64),
+	}
+}
+
+// Segment returns the store for one engine generation, creating it on
+// first use. Epochs already retired by RetireBelow come back detached —
+// an in-flight run that acquired an old engine right before a swap can
+// still drain and (no-op) deposit without resurrecting the retired epoch.
+func (b *Bank) Segment(city string, epoch uint64) *Segment {
+	key := SegmentKey{City: city, Epoch: epoch}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s, ok := b.segments[key]; ok {
+		return s
+	}
+	s := &Segment{bank: b, key: key, entries: make(map[access.TripKey]entry)}
+	if epoch < b.floor[city] {
+		s.detached = true
+		return s
+	}
+	b.segments[key] = s
+	b.order = append(b.order, s)
+	mSegments.Set(float64(len(b.order)))
+	return s
+}
+
+// RetireBelow detaches every segment of the city with an epoch below the
+// given one and returns the number of entries dropped from capacity.
+// Called by the registry when a new epoch installs.
+func (b *Bank) RetireBelow(city string, epoch uint64) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if epoch > b.floor[city] {
+		b.floor[city] = epoch
+	}
+	dropped := 0
+	kept := b.order[:0]
+	for _, s := range b.order {
+		if s.key.City == city && s.key.Epoch < epoch {
+			dropped += s.detach()
+			delete(b.segments, s.key)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	b.order = kept
+	if dropped > 0 {
+		b.entries.Add(int64(-dropped))
+		b.retired.Add(int64(dropped))
+		mRetired.Add(int64(dropped))
+		mEntries.Set(float64(b.entries.Load()))
+	}
+	mSegments.Set(float64(len(b.order)))
+	return dropped
+}
+
+// CarryForward copies the {city, from} segment's unexpired entries into
+// the {city, to} segment and returns the number seeded. Use only when the
+// new epoch's engine provably prices every trip identically (a scenario
+// apply whose batch touched no transit). The source segment is left
+// intact; the caller typically RetireBelow's it right after.
+func (b *Bank) CarryForward(city string, from, to uint64) int {
+	b.mu.Lock()
+	src, ok := b.segments[SegmentKey{City: city, Epoch: from}]
+	b.mu.Unlock()
+	if !ok || from == to {
+		return 0
+	}
+	dst := b.Segment(city, to)
+	now := b.now()
+	src.mu.RLock()
+	deps := make([]access.TripDeposit, 0, len(src.entries))
+	for k, e := range src.entries {
+		if b.ttl > 0 && now.Sub(e.added) > b.ttl {
+			continue
+		}
+		deps = append(deps, access.TripDeposit{Key: k, Price: e.price})
+	}
+	src.mu.RUnlock()
+	n := dst.deposit(deps, true)
+	b.seeded.Add(int64(n))
+	mSeeded.Add(int64(n))
+	return n
+}
+
+// evictOver brings the bank back under capacity by dropping the oldest
+// attached segment's oldest entries first.
+func (b *Bank) evictOver() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	over := b.entries.Load() - int64(b.capacity)
+	for i := 0; over > 0 && i < len(b.order); i++ {
+		n := b.order[i].evictOldest(over)
+		if n == 0 {
+			continue
+		}
+		b.entries.Add(int64(-n))
+		b.evicted.Add(int64(n))
+		mEvicted.Add(int64(n))
+		over -= int64(n)
+	}
+	mEntries.Set(float64(b.entries.Load()))
+}
+
+// SegmentStats describes one attached segment for /v1/stats.
+type SegmentStats struct {
+	SegmentKey
+	Entries int `json:"entries"`
+}
+
+// Stats is a point-in-time view of the bank, shaped for the /v1/stats
+// bank block.
+type Stats struct {
+	Capacity int            `json:"capacity"`
+	Entries  int64          `json:"entries"`
+	Hits     int64          `json:"hits"`
+	Misses   int64          `json:"misses"`
+	Deposits int64          `json:"deposits"`
+	Evicted  int64          `json:"evicted"`
+	Expired  int64          `json:"expired"`
+	Seeded   int64          `json:"seeded"`
+	Retired  int64          `json:"retired"`
+	Segments []SegmentStats `json:"segments"`
+}
+
+// Stats snapshots the bank's counters and per-segment sizes.
+func (b *Bank) Stats() Stats {
+	st := Stats{
+		Capacity: b.capacity,
+		Entries:  b.entries.Load(),
+		Hits:     b.hits.Load(),
+		Misses:   b.misses.Load(),
+		Deposits: b.deposits.Load(),
+		Evicted:  b.evicted.Load(),
+		Expired:  b.expired.Load(),
+		Seeded:   b.seeded.Load(),
+		Retired:  b.retired.Load(),
+	}
+	b.mu.Lock()
+	for _, s := range b.order {
+		st.Segments = append(st.Segments, SegmentStats{SegmentKey: s.key, Entries: s.len()})
+	}
+	b.mu.Unlock()
+	sort.Slice(st.Segments, func(i, j int) bool {
+		a, c := st.Segments[i], st.Segments[j]
+		if a.City != c.City {
+			return a.City < c.City
+		}
+		return a.Epoch < c.Epoch
+	})
+	return st
+}
+
+// Segment is one {city, epoch} partition. It implements access.TripBank
+// and is handed to queries by the serving layer; a handle stays usable
+// (drains keep working, deposits no-op) after the segment is retired.
+type Segment struct {
+	bank *Bank
+	key  SegmentKey
+
+	mu       sync.RWMutex
+	detached bool
+	entries  map[access.TripKey]entry
+	fifo     []access.TripKey // insertion order; each live key exactly once
+}
+
+// Key returns the segment's {city, epoch} identity.
+func (s *Segment) Key() SegmentKey { return s.key }
+
+// Drain implements access.TripBank.
+func (s *Segment) Drain(k access.TripKey) (access.TripPrice, bool) {
+	b := s.bank
+	s.mu.RLock()
+	e, ok := s.entries[k]
+	s.mu.RUnlock()
+	if ok && b.ttl > 0 && b.now().Sub(e.added) > b.ttl {
+		b.expired.Add(1)
+		mExpired.Add(1)
+		ok = false
+	}
+	if !ok {
+		b.misses.Add(1)
+		mMisses.Add(1)
+		return access.TripPrice{}, false
+	}
+	b.hits.Add(1)
+	mHits.Add(1)
+	return e.price, true
+}
+
+// Deposit implements access.TripBank. Deposits into a detached segment
+// are dropped — the run that produced them executed on a generation that
+// no newer query will ever drain.
+func (s *Segment) Deposit(deps []access.TripDeposit) {
+	s.deposit(deps, false)
+}
+
+func (s *Segment) deposit(deps []access.TripDeposit, seeding bool) int {
+	if len(deps) == 0 {
+		return 0
+	}
+	b := s.bank
+	now := b.now()
+	added := 0
+	s.mu.Lock()
+	if s.detached {
+		s.mu.Unlock()
+		return 0
+	}
+	for _, d := range deps {
+		if _, exists := s.entries[d.Key]; !exists {
+			s.fifo = append(s.fifo, d.Key)
+			added++
+		}
+		s.entries[d.Key] = entry{price: d.Price, added: now}
+	}
+	s.mu.Unlock()
+	if added > 0 {
+		b.entries.Add(int64(added))
+		mEntries.Set(float64(b.entries.Load()))
+	}
+	if !seeding {
+		b.deposits.Add(int64(len(deps)))
+		mDeposits.Add(int64(len(deps)))
+	}
+	if b.entries.Load() > int64(b.capacity) {
+		b.evictOver()
+	}
+	return added
+}
+
+// detach marks the segment retired and returns how many live entries it
+// held. Entries stay readable for in-flight holders; the maps are
+// reclaimed when the last handle drops. Called with the bank's mu held.
+func (s *Segment) detach() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.detached = true
+	return len(s.entries)
+}
+
+// evictOldest drops up to max entries in insertion order and returns how
+// many were dropped.
+func (s *Segment) evictOldest(max int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for int64(n) < max && len(s.fifo) > 0 {
+		k := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		if _, ok := s.entries[k]; ok {
+			delete(s.entries, k)
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Segment) len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"accessquery/internal/bank"
 	"accessquery/internal/gtfs"
 	"accessquery/internal/synth"
 )
@@ -66,6 +67,46 @@ func BenchmarkEngineRun(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := e.Run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRunWarmBank measures the repeat-query path the label bank
+// targets: the same query against a segment warmed by one prior run, so
+// every trip drains instead of pricing. bank=false re-runs the identical
+// shape without a bank as the in-benchmark baseline; the delta is the SPQ
+// savings as wall-clock.
+func BenchmarkEngineRunWarmBank(b *testing.B) {
+	city := benchCity(b)
+	e, err := NewEngine(city, EngineOptions{Interval: benchInterval(), Parallelism: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := Query{
+		POIs:           POIsOf(city, synth.POISchool),
+		Budget:         0.1,
+		Model:          ModelOLS,
+		SamplesPerHour: 6,
+		Workers:        4,
+		Parallelism:    4,
+		Seed:           1,
+	}
+	for _, banked := range []bool{false, true} {
+		b.Run(fmt.Sprintf("bank=%v", banked), func(b *testing.B) {
+			qq := q
+			if banked {
+				qq.Bank = bank.New(bank.Config{}).Segment(city.Name, 1)
+				if _, err := e.Run(qq); err != nil { // warm the segment
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(qq); err != nil {
 					b.Fatal(err)
 				}
 			}

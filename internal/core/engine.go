@@ -276,6 +276,15 @@ type Query struct {
 	Parallelism int
 	// Seed drives sampling and model initialization.
 	Seed int64
+	// Bank, when non-nil, is the cross-query priced-trip store for this
+	// engine generation (see internal/bank): labeling drains it before
+	// spending SPQ budget and deposits what it prices after a clean run.
+	// Results are identical with or without it, so like Workers and
+	// Parallelism it does not participate in serving-layer fingerprints.
+	// The caller must hand a segment scoped to the exact engine the query
+	// runs on ({city, epoch}); a bank from another generation would serve
+	// journeys off a different timetable.
+	Bank access.TripBank
 }
 
 // Serving-layer defaults, shared with callers (e.g. internal/serve) so a
@@ -354,6 +363,9 @@ type Timing struct {
 	// Together they account for every transient SPQ failure the run saw.
 	SPQRetries   int64
 	SPQAbandoned int64
+	// BankDrained counts trips answered from the cross-query label bank
+	// instead of being priced; always zero when no bank is attached.
+	BankDrained int64
 }
 
 // Total returns the end-to-end online time.
@@ -584,8 +596,22 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 	if len(labeledOK) > 0 {
 		sp.SetFloat("walk_only_share", walkShareSum/float64(len(labeledOK)))
 	}
+	if q.Bank != nil {
+		// Deposit only after a full-fidelity stage: a degraded run (failed
+		// or truncated zones) may have been shaped by faults or deadline
+		// pressure, and nothing it priced is allowed to outlive it.
+		var deposited int64
+		if lo.failed == 0 && lo.truncated == 0 {
+			q.Bank.Deposit(lo.deposits)
+			deposited = int64(len(lo.deposits))
+		}
+		sp.SetBool("bank", true)
+		sp.SetInt("bank_drained", lo.drained)
+		sp.SetInt("bank_deposited", deposited)
+	}
 	res.Timing.Labeling = sp.End()
 	res.Timing.SPQs = lo.spqs
+	res.Timing.BankDrained = lo.drained
 
 	if lo.failed > 0 || lo.truncated > 0 {
 		degrade(RungBudget, fmt.Sprintf("labeled %d of %d budgeted zones (%d failed after retries, %d truncated at the deadline)",
@@ -761,6 +787,12 @@ type labelOutcome struct {
 	spqs      int64
 	retries   int64
 	abandoned int64
+	// drained counts trips satisfied from the bank (no SPQ spent);
+	// deposits buffers the cleanly-labeled zones' priced trips. The caller
+	// flushes deposits to the bank only when the whole stage finished at
+	// full fidelity — degraded or partial runs never deposit.
+	drained  int64
+	deposits []access.TripDeposit
 	// failed counts zones given up after transient SPQ failures exhausted
 	// their retries; truncated counts zones never priced because the
 	// deadline budget ran out.
@@ -774,7 +806,7 @@ func (e *Engine) newLabeler(q Query, m *todam.Matrix, poiNodes []graph.NodeID, s
 	return &access.Labeler{
 		Router: e.router, Matrix: m, ZoneNode: e.City.ZoneNode,
 		POINode: poiNodes, Cost: q.Cost, Params: q.CostParams,
-		MaxAttempts: spqMaxAttempts, Deadline: stopBy,
+		MaxAttempts: spqMaxAttempts, Deadline: stopBy, Bank: q.Bank,
 	}
 }
 
@@ -806,6 +838,8 @@ func (e *Engine) labelZonesSerial(ctx context.Context, q Query, m *todam.Matrix,
 		lo.spqs = labeler.SPQs
 		lo.retries = labeler.Retries
 		lo.abandoned = labeler.Abandoned
+		lo.drained = labeler.Drained
+		lo.deposits = labeler.PendingDeposits
 	}
 	for i, zone := range zones {
 		if err := ctx.Err(); err != nil {
@@ -864,6 +898,8 @@ func (e *Engine) labelZonesParallel(ctx context.Context, q Query, m *todam.Matri
 				lo.spqs += labeler.SPQs
 				lo.retries += labeler.Retries
 				lo.abandoned += labeler.Abandoned
+				lo.drained += labeler.Drained
+				lo.deposits = append(lo.deposits, labeler.PendingDeposits...)
 				mu.Unlock()
 			}()
 			for i := range jobs {

@@ -43,6 +43,14 @@ type ExplainReport struct {
 	MatrixFullTrips    int64   `json:"matrix_full_trips,omitempty"`
 	MatrixReductionPct float64 `json:"matrix_reduction_pct,omitempty"`
 
+	// Label-bank accounting: trips drained from the cross-query bank
+	// versus priced by SPQ (== SPQs), and how many priced trips the run
+	// deposited back. BankEnabled distinguishes "no bank attached" from a
+	// bank that happened to see zero traffic.
+	BankEnabled   bool  `json:"bank_enabled,omitempty"`
+	BankDrained   int64 `json:"bank_drained,omitempty"`
+	BankDeposited int64 `json:"bank_deposited,omitempty"`
+
 	FeatureCacheHits   int64 `json:"feature_cache_hits"`
 	FeatureCacheMisses int64 `json:"feature_cache_misses"`
 
@@ -142,6 +150,9 @@ func Explain(sum *obs.TraceSummary) *ExplainReport {
 	r.SPQAbandoned = attrInt(labeling, "spq_abandoned")
 	r.FailedZones = attrInt(labeling, "failed_zones")
 	r.TruncatedZones = attrInt(labeling, "truncated_zones")
+	r.BankEnabled = attrBool(labeling, "bank")
+	r.BankDrained = attrInt(labeling, "bank_drained")
+	r.BankDeposited = attrInt(labeling, "bank_deposited")
 
 	feat := sum.Find("features")
 	r.FeatureCacheHits = attrInt(feat, "cache_hits")
@@ -214,6 +225,10 @@ func (r *ExplainReport) WriteText(w io.Writer) {
 	}
 	if r.Zones > 0 {
 		fmt.Fprintf(w, "  labeling: %d/%d zones labeled, %d SPQs\n", r.LabeledZones, r.Zones, r.SPQs)
+	}
+	if r.BankEnabled {
+		fmt.Fprintf(w, "  bank: %d drained, %d priced, %d deposited\n",
+			r.BankDrained, r.SPQs, r.BankDeposited)
 	}
 	if r.SPQRetries > 0 || r.SPQAbandoned > 0 {
 		fmt.Fprintf(w, "  spq faults: %d retried, %d abandoned (%d zones failed, %d truncated)\n",

@@ -26,6 +26,12 @@ const (
 	// SampleStratified divides the city into a grid and samples
 	// proportionally from each occupied cell.
 	SampleStratified SamplingStrategy = "stratified"
+	// SampleCluster runs k-means over the zone centroids with k = n and
+	// labels the zone nearest each cluster center — the active-learning
+	// selection idiom (pick by distance-to-cluster-center in feature
+	// space): one representative per natural group of zones instead of a
+	// uniform draw.
+	SampleCluster SamplingStrategy = "cluster"
 )
 
 // sampleZones returns n distinct zone indices according to the strategy,
@@ -43,6 +49,8 @@ func sampleZones(strategy SamplingStrategy, zonePts []geo.Point, n int, seed int
 		picked = coverageSample(zonePts, n, rng)
 	case SampleStratified:
 		picked = stratifiedSample(zonePts, n, rng)
+	case SampleCluster:
+		picked = clusterSample(zonePts, n, rng)
 	default:
 		return nil, fmt.Errorf("core: unknown sampling strategy %q", strategy)
 	}
@@ -102,6 +110,82 @@ func contains(s []int, v int) bool {
 		}
 	}
 	return false
+}
+
+// clusterSample picks one zone per k-means cluster over the zone
+// centroids: centers are seeded with a farthest-point sweep (deterministic
+// given rng), refined by Lloyd iterations, and each center then labels its
+// nearest still-unpicked zone. Greedy assignment in center order keeps the
+// representatives distinct; any shortfall is filled from a seeded
+// permutation. Everything iterates in index order, so the draw is
+// deterministic in the seed.
+func clusterSample(zonePts []geo.Point, n int, rng *rand.Rand) []int {
+	centers := make([]geo.Point, n)
+	for i, z := range coverageSample(zonePts, n, rng) {
+		centers[i] = zonePts[z]
+	}
+	assign := make([]int, len(zonePts))
+	for iter := 0; iter < 25; iter++ {
+		changed := false
+		for i, p := range zonePts {
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				if d := geo.DistanceMeters(p, centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		// Recompute centers as member means (lat/lon means are fine at city
+		// scale); an empty cluster keeps its previous center.
+		latSum := make([]float64, n)
+		lonSum := make([]float64, n)
+		cnt := make([]int, n)
+		for i, p := range zonePts {
+			c := assign[i]
+			latSum[c] += p.Lat
+			lonSum[c] += p.Lon
+			cnt[c]++
+		}
+		for c := range centers {
+			if cnt[c] > 0 {
+				centers[c] = geo.Point{Lat: latSum[c] / float64(cnt[c]), Lon: lonSum[c] / float64(cnt[c])}
+			}
+		}
+	}
+	taken := make([]bool, len(zonePts))
+	picked := make([]int, 0, n)
+	for c := range centers {
+		best, bestD := -1, math.Inf(1)
+		for i, p := range zonePts {
+			if taken[i] {
+				continue
+			}
+			if d := geo.DistanceMeters(p, centers[c]); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best >= 0 {
+			taken[best] = true
+			picked = append(picked, best)
+		}
+	}
+	for _, idx := range rng.Perm(len(zonePts)) {
+		if len(picked) == n {
+			break
+		}
+		if !taken[idx] {
+			taken[idx] = true
+			picked = append(picked, idx)
+		}
+	}
+	return picked
 }
 
 // stratifiedSample buckets zones into a sqrt(n) x sqrt(n) grid over the

@@ -33,7 +33,7 @@ func TestSampleZonesValidation(t *testing.T) {
 
 func TestSampleZonesBasicProperties(t *testing.T) {
 	pts := gridZones(100)
-	for _, strategy := range []SamplingStrategy{SampleRandom, SampleCoverage, SampleStratified, ""} {
+	for _, strategy := range []SamplingStrategy{SampleRandom, SampleCoverage, SampleStratified, SampleCluster, ""} {
 		got, err := sampleZones(strategy, pts, 17, 42)
 		if err != nil {
 			t.Fatalf("%s: %v", strategy, err)
@@ -136,9 +136,41 @@ func TestStratifiedSamplingSpreads(t *testing.T) {
 	}
 }
 
+// TestClusterSamplingSpreadsAndRepresents: one representative per k-means
+// cluster should cover the grid at least as well as an average random
+// draw, and edge sizes (n=1, n=len) must not trip the Lloyd loop.
+func TestClusterSamplingSpreads(t *testing.T) {
+	pts := gridZones(400)
+	n := 12
+	cl, err := sampleZones(SampleCluster, pts, n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clGap := maxGapToSample(pts, cl)
+	var randGap float64
+	const trials = 5
+	for seed := int64(0); seed < trials; seed++ {
+		r, err := sampleZones(SampleRandom, pts, n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		randGap += maxGapToSample(pts, r)
+	}
+	randGap /= trials
+	if clGap >= randGap {
+		t.Errorf("cluster max-gap %f should beat average random %f", clGap, randGap)
+	}
+	for _, n := range []int{1, len(pts)} {
+		got, err := sampleZones(SampleCluster, pts, n, 3)
+		if err != nil || len(got) != n {
+			t.Errorf("n=%d: got %d zones, err %v", n, len(got), err)
+		}
+	}
+}
+
 func TestSamplingStrategyInQuery(t *testing.T) {
 	e := engine(t)
-	for _, strategy := range []SamplingStrategy{SampleCoverage, SampleStratified} {
+	for _, strategy := range []SamplingStrategy{SampleCoverage, SampleStratified, SampleCluster} {
 		q := vaxQuery(e, ModelOLS, 0.15)
 		q.Sampling = strategy
 		res, err := e.Run(q)

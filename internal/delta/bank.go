@@ -1,0 +1,34 @@
+package delta
+
+// BankImpact describes what a mutation batch does to the epoch-keyed
+// priced-trip bank (internal/bank) when the derived engine installs.
+type BankImpact struct {
+	// SeedForward is true when every journey priced on the pre-batch
+	// engine is bit-identical on the derived one, so entries may be
+	// carried into the new epoch's segment. That holds exactly when the
+	// batch touches no transit: POI and weight mutations leave the feed,
+	// hop forest, and router shared outright (see Apply), so a profile
+	// search on the derived engine is the same computation on the same
+	// structures. Any transit mutation invalidates the whole city — the
+	// blast radius bounds hop-tree rebuilds, not journey stability,
+	// because a journey from any origin can ride a mutated route in a
+	// later leg, and the profile search breaks arrival-time ties by
+	// relaxation order, so even walk-only journeys are not provably
+	// stable. See the DESIGN.md label-bank note.
+	SeedForward bool `json:"seed_forward"`
+	// TransitMutations counts the batch's route/headway mutations (zero
+	// when SeedForward is true).
+	TransitMutations int `json:"transit_mutations"`
+}
+
+// BankImpactOf classifies a mutation batch for bank invalidation.
+func BankImpactOf(batch []Mutation) BankImpact {
+	imp := BankImpact{SeedForward: true}
+	for _, m := range batch {
+		if m.transit() {
+			imp.SeedForward = false
+			imp.TransitMutations++
+		}
+	}
+	return imp
+}

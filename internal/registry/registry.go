@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accessquery/internal/bank"
 	"accessquery/internal/core"
 	"accessquery/internal/gtfs"
 	"accessquery/internal/obs/olog"
@@ -90,6 +91,11 @@ type Options struct {
 	// swap, moving first-query cache misses into the swap instead of the
 	// serving path.
 	WarmCaches bool
+	// Bank, when non-nil, is the shared cross-query label bank. The
+	// registry owns its segment lifecycle: every install retires the
+	// tenant's older {city, epoch} segments, and a transit-free scenario
+	// apply seeds the old segment's entries into the new epoch first.
+	Bank *bank.Bank
 	// Logger receives swap and retire events; default olog.Default.
 	Logger *olog.Logger
 	// now overrides the clock in tests.
@@ -245,7 +251,13 @@ func (t *Tenant) Info() Info {
 // install makes e the tenant's current engine and returns the retired
 // generation's handle (nil on first install). It must be called with
 // swapMu held.
-func (t *Tenant) install(e *core.Engine, source string) *Retired {
+//
+// Label-bank lifecycle rides the install: seedBank carries the displaced
+// epoch's priced trips into the new segment (legal only when the new
+// engine provably prices every trip identically — see delta.BankImpactOf),
+// and every install retires the tenant's older segments so no query can
+// drain a journey computed on a superseded timetable.
+func (t *Tenant) install(e *core.Engine, source string, seedBank bool) *Retired {
 	opts := t.reg.opts
 	ee := &epochEngine{
 		engine:  e,
@@ -263,6 +275,17 @@ func (t *Tenant) install(e *core.Engine, source string) *Retired {
 	}
 	old := t.cur.Swap(ee)
 	t.metrics.epoch.Set(float64(ee.epoch))
+	if b := opts.Bank; b != nil {
+		if seedBank && old != nil {
+			seeded := b.CarryForward(t.Name, old.epoch, ee.epoch)
+			if seeded > 0 {
+				log.Info("bank segment seeded forward",
+					olog.F("city", t.Name), olog.F("from_epoch", old.epoch),
+					olog.F("epoch", ee.epoch), olog.F("entries", seeded))
+			}
+		}
+		b.RetireBelow(t.Name, ee.epoch)
+	}
 	if old == nil {
 		return nil
 	}
@@ -290,7 +313,7 @@ func (t *Tenant) SwapEngine(e *core.Engine, source string) (Info, *Retired, erro
 	}
 	t.swapMu.Lock()
 	defer t.swapMu.Unlock()
-	retired := t.install(e, source)
+	retired := t.install(e, source, false)
 	t.clearScenario()
 	return t.Info(), retired, nil
 }
@@ -322,7 +345,7 @@ func (t *Tenant) SwapSnapshot(path string) (Info, *Retired, error) {
 	// Adopt the path so subsequent SIGHUP reloads track the new file.
 	t.path = path
 	t.recordFileIdentity(path)
-	retired := t.install(e, "snapshot:"+path)
+	retired := t.install(e, "snapshot:"+path, false)
 	t.clearScenario()
 	return t.Info(), retired, nil
 }
@@ -340,7 +363,7 @@ func (t *Tenant) Rebuild() (Info, *Retired, error) {
 	if err != nil {
 		return Info{}, nil, fmt.Errorf("registry: rebuilding %s (epoch %d keeps serving): %w", t.Name, t.Epoch(), err)
 	}
-	retired := t.install(e, t.cur.Load().source)
+	retired := t.install(e, t.cur.Load().source, false)
 	t.clearScenario()
 	return t.Info(), retired, nil
 }
@@ -419,7 +442,7 @@ func Open(specs []TenantSpec, opts Options) (*Registry, error) {
 			}
 			source = fmt.Sprintf("synth:%s@%g", name, opts.Scale)
 		}
-		t.install(e, source)
+		t.install(e, source, false)
 		opts.Logger.Info("city loaded",
 			olog.F("city", name), olog.F("source", source),
 			olog.F("zones", len(e.City.Zones)), olog.F("prep", e.PrepDuration.String()))

@@ -84,7 +84,8 @@ func (t *Tenant) ApplyScenario(batch []delta.Mutation) (Info, AppliedDelta, *Ret
 	if err != nil {
 		return Info{}, AppliedDelta{}, nil, err
 	}
-	retired := t.install(eng, fmt.Sprintf("scenario:%d-deltas", len(sc.applied)+1))
+	retired := t.install(eng, fmt.Sprintf("scenario:%d-deltas", len(sc.applied)+1),
+		delta.BankImpactOf(batch).SeedForward)
 	applied := AppliedDelta{
 		ID:          len(sc.applied) + 1,
 		Applied:     t.reg.opts.now(),
@@ -134,7 +135,7 @@ func (t *Tenant) RevertScenario() (Info, *Retired, error) {
 		return Info{}, nil, ErrNoScenario
 	}
 	baseline := t.scenario.baseline
-	retired := t.install(baseline, fmt.Sprintf("scenario:revert-to-epoch-%d", t.scenario.baselineEpoch))
+	retired := t.install(baseline, fmt.Sprintf("scenario:revert-to-epoch-%d", t.scenario.baselineEpoch), false)
 	t.scenario = nil
 	dm := deltaMetricsFor(t.Name)
 	dm.reverts.Inc()

@@ -178,10 +178,10 @@ type Job struct {
 	stale      bool          // answered from an expired cache entry (breaker open)
 	staleFor   time.Duration // how far past freshness the stale answer is
 	epochStale bool          // cached answer predates the city's current engine epoch
-	created  time.Time
-	finished time.Time
-	stages   []obs.Stage
-	trace    *obs.TraceSummary
+	created    time.Time
+	finished   time.Time
+	stages     []obs.Stage
+	trace      *obs.TraceSummary
 
 	done chan struct{}
 }

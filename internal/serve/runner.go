@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"time"
 
+	"accessquery/internal/access"
+	"accessquery/internal/bank"
 	"accessquery/internal/core"
 	"accessquery/internal/obs"
 	"accessquery/internal/registry"
@@ -23,6 +25,12 @@ type RunnerConfig struct {
 	// worker pool; 0 defaults to runtime.GOMAXPROCS(0). Use a negative
 	// value to force the serial path.
 	Parallelism int
+	// Bank, when non-nil, shares priced trips across queries. Each run
+	// drains from and deposits into the segment keyed by the exact
+	// {city, epoch} it acquired, so a hot-swap can never serve another
+	// generation's prices. Result-neutral like the knobs above: banked
+	// runs re-derive every cost from the cached journeys.
+	Bank *bank.Bank
 }
 
 func (c RunnerConfig) withDefaults() RunnerConfig {
@@ -39,8 +47,14 @@ func (c RunnerConfig) withDefaults() RunnerConfig {
 // multi-city server uses RegistryRunner.
 func EngineRunner(engine *core.Engine, cfg RunnerConfig) RunFunc {
 	cfg = cfg.withDefaults()
+	// A fixed engine never swaps, so its whole lifetime is one bank
+	// generation: epoch 0.
+	var seg access.TripBank
+	if cfg.Bank != nil {
+		seg = cfg.Bank.Segment(engine.City.Name, 0)
+	}
 	return func(ctx context.Context, req Request) (*core.Result, error) {
-		return runOnEngine(ctx, engine, req, cfg)
+		return runOnEngine(ctx, engine, req, cfg, seg)
 	}
 }
 
@@ -65,8 +79,15 @@ func RegistryRunner(reg *registry.Registry, cfg RunnerConfig) RunFunc {
 		}
 		engine, epoch, release := tn.Acquire()
 		defer release()
+		// The segment is resolved from the acquired {city, epoch} pair —
+		// never from the tenant's current epoch, which a concurrent swap
+		// may already have advanced past the engine under our feet.
+		var seg access.TripBank
+		if cfg.Bank != nil {
+			seg = cfg.Bank.Segment(tn.Name, epoch)
+		}
 		start := time.Now()
-		res, err := runOnEngine(ctx, engine, req, cfg)
+		res, err := runOnEngine(ctx, engine, req, cfg, seg)
 		// A leaf span pinning the run to its tenant and engine generation,
 		// so a trace read after a swap still names the epoch that answered.
 		// Scenario-derived engines add their delta provenance so ?explain=1
@@ -94,7 +115,7 @@ func RegistryRunner(reg *registry.Registry, cfg RunnerConfig) RunFunc {
 }
 
 // runOnEngine is the shared request→engine execution path of both runners.
-func runOnEngine(ctx context.Context, engine *core.Engine, req Request, cfg RunnerConfig) (*core.Result, error) {
+func runOnEngine(ctx context.Context, engine *core.Engine, req Request, cfg RunnerConfig, seg access.TripBank) (*core.Result, error) {
 	pois := core.POIsOf(engine.City, synth.POICategory(req.Category))
 	if len(pois) == 0 {
 		return nil, fmt.Errorf("unknown or empty POI category %q", req.Category)
@@ -108,5 +129,6 @@ func runOnEngine(ctx context.Context, engine *core.Engine, req Request, cfg Runn
 	q.POIWeights = core.POIWeightsOf(engine.City, synth.POICategory(req.Category))
 	q.Workers = cfg.LabelWorkers
 	q.Parallelism = cfg.Parallelism
+	q.Bank = seg
 	return engine.RunContext(ctx, q)
 }
