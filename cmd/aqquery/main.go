@@ -71,6 +71,7 @@ func main() {
 		scenario   = flag.String("scenario", "", "with -server: apply a JSON mutation batch to the city's scenario and exit ('@file' reads it from a file)")
 		scenStatus = flag.Bool("scenario-status", false, "with -server: print the city's applied scenario deltas and exit")
 		scenRevert = flag.Bool("scenario-revert", false, "with -server: revert the city to its pre-scenario baseline and exit")
+		sloStatus  = flag.Bool("slo-status", false, "with -server: print each tenant's SLO burn-rate table and exit")
 
 		metrics = flag.Bool("metrics", false, "dump process metrics (stage latencies, SPQs) to stderr after the run")
 		explain = flag.Bool("explain", false, "print the per-stage execution report (TODAM reduction, SPQs, cache hits, model convergence) to stderr")
@@ -91,6 +92,15 @@ func main() {
 			city = *cityName
 		}
 		if err := runScenario(*server, city, *scenario, *scenStatus, *scenRevert); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *sloStatus {
+		if *server == "" {
+			log.Fatal("-slo-status requires -server")
+		}
+		if err := runSLOStatus(*server); err != nil {
 			log.Fatal(err)
 		}
 		return

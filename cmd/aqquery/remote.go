@@ -33,6 +33,28 @@ var localOnlyFlags = map[string]string{
 	"explain":     "use GET /v1/jobs/{id}/trace against the server instead",
 }
 
+// runSLOStatus prints each tenant's multi-window burn-rate table — the
+// CLI view of GET /v1/slo.
+func runSLOStatus(base string) error {
+	rep, err := apiclient.New(base).SLO(context.Background())
+	if err != nil {
+		return err
+	}
+	if !rep.Enabled {
+		fmt.Println("slo tracking disabled (server runs without -slo)")
+		return nil
+	}
+	fmt.Printf("burn-trip threshold: %.1f\n", rep.BurnTripThreshold)
+	fmt.Println("city,window,total,errors,slow,burn")
+	for _, tn := range rep.Tenants {
+		for _, w := range tn.Windows {
+			fmt.Printf("%s,%s,%d,%d,%d,%.3f\n", tn.City, w.Window, w.Total, w.Errors, w.Slow, w.Burn)
+		}
+		fmt.Fprintf(os.Stderr, "%s: fast burn %.3f, slow burn %.3f\n", tn.City, tn.FastBurn, tn.SlowBurn)
+	}
+	return nil
+}
+
 func runRemote(base string, req serve.Request, deadline time.Duration, metrics bool) error {
 	for name, why := range localOnlyFlags {
 		if f := flagWasSet(name); f {

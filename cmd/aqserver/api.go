@@ -82,6 +82,8 @@ var apiSurface = []apiRoute{
 		func(s *server) http.HandlerFunc { return s.handleMetrics }},
 	{"/v1/stats", []string{http.MethodGet}, []string{"/v1/stats"},
 		func(s *server) http.HandlerFunc { return s.handleStats }},
+	{"/v1/slo", []string{http.MethodGet}, []string{"/v1/slo"},
+		func(s *server) http.HandlerFunc { return s.handleSLO }},
 	{"/v1/cities", []string{http.MethodGet}, []string{"/v1/cities"},
 		func(s *server) http.HandlerFunc { return s.handleCities }},
 	// /v1/cities/{name} details one tenant; {name}/swap hot-swaps its
@@ -98,7 +100,8 @@ var apiSurface = []apiRoute{
 		func(s *server) http.HandlerFunc { return s.handleQuery }},
 	{"/v1/jobs", []string{http.MethodGet}, []string{"/v1/jobs"},
 		func(s *server) http.HandlerFunc { return s.handleJobs }},
-	{"/v1/jobs/", []string{http.MethodGet, http.MethodDelete}, []string{"/v1/jobs/{id}"},
+	{"/v1/jobs/", []string{http.MethodGet, http.MethodDelete},
+		[]string{"/v1/jobs/{id}", "/v1/jobs/{id}/trace", "/v1/jobs/{id}/profile"},
 		func(s *server) http.HandlerFunc { return s.handleJob }},
 }
 

@@ -10,7 +10,8 @@
 //
 //	GET  /healthz                       liveness probe
 //	GET  /v1/metrics                    Prometheus text exposition
-//	GET  /v1/stats                      serving-layer counters
+//	GET  /v1/stats                      serving-layer counters + per-tenant cost
+//	GET  /v1/slo                        per-tenant SLO burn-rate reports
 //	GET  /v1/cities                     tenant list with epochs
 //	GET  /v1/cities/{name}              tenant detail
 //	POST /v1/cities/{name}/swap         hot-swap the tenant's engine (201)
@@ -24,6 +25,8 @@
 //	POST /v1/query?async=1              enqueue; returns {"job_id": ...} (202)
 //	GET  /v1/jobs                       list jobs (?state=, ?limit=, ?cursor=)
 //	GET  /v1/jobs/{id}                  job status; includes the result when done
+//	GET  /v1/jobs/{id}/trace            the run's full span tree
+//	GET  /v1/jobs/{id}/profile          slow-query capture for the job, if one fired
 //	DELETE /v1/jobs/{id}                cancel a queued or running job
 //
 // Robustness: per-request deadlines (deadline_ms in the body or query
@@ -63,7 +66,10 @@ import (
 	"accessquery/internal/fault"
 	"accessquery/internal/gtfs"
 	"accessquery/internal/obs"
+	"accessquery/internal/obs/account"
+	"accessquery/internal/obs/capture"
 	"accessquery/internal/obs/olog"
+	"accessquery/internal/obs/slo"
 	"accessquery/internal/registry"
 	"accessquery/internal/serve"
 	"accessquery/internal/synth"
@@ -74,9 +80,13 @@ import (
 var logger = olog.Default.With(olog.F("component", "aqserver"))
 
 type server struct {
-	reg  *registry.Registry
-	mgr  *serve.Manager
-	bank *bank.Bank // nil when -bank=false
+	reg      *registry.Registry
+	mgr      *serve.Manager
+	bank     *bank.Bank          // nil when -bank=false
+	acct     *account.Accountant // nil when -cost-accounting=false
+	slo      *slo.Engine         // nil when -slo is off
+	sloTrip  float64             // -slo-burn-trip, echoed in /v1/slo
+	captures *capture.Store      // nil when -captures=0
 }
 
 func main() {
@@ -102,6 +112,14 @@ func main() {
 		bankCap      = flag.Int("bank-capacity", bank.DefaultCapacity, "label-bank entry capacity across all tenants (oldest segment evicts first)")
 		bankTTL      = flag.Duration("bank-ttl", 0, "label-bank entry lifetime (0 = no expiry; epoch retirement still invalidates)")
 		slowQuery    = flag.Duration("slow-query", 0, "log queries at or above this duration with their stage breakdown (0 disables)")
+		slowLogRate  = flag.Float64("slow-query-log-rate", 1, "slow-query log lines per second per tenant beyond the burst (suppressed lines are counted, not written; negative disables limiting)")
+		slowLogBurst = flag.Int("slow-query-log-burst", 5, "slow-query log lines a tenant may burst before the rate limit applies")
+		sloSpec      = flag.String("slo", "", "per-tenant SLOs as \"p99=2s,avail=99.9\" with optional city overrides after semicolons, e.g. \"p99=2s,avail=99.9;coventry:p99=500ms\" (empty or \"off\" disables)")
+		sloBurnTrip  = flag.Float64("slo-burn-trip", 14.4, "fast-burn rate that trips the tenant's circuit breaker (SRE page threshold convention; 0 disables burn tripping)")
+		captureMax   = flag.Int("captures", 32, "slow-query captures retained in memory (0 disables capture)")
+		captureDir   = flag.String("capture-dir", "", "mirror captures to this directory as <id>.json files")
+		captureCPU   = flag.Duration("capture-cpu", 0, "record a CPU profile of this duration after each capture trigger, single-flight (0 disables)")
+		costEnable   = flag.Bool("cost-accounting", true, "attribute wall-clock, CPU, and allocation cost per tenant (aq_cost_* metrics and the stats cost block)")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		version      = flag.Bool("version", false, "print version and exit")
 	)
@@ -140,6 +158,30 @@ func main() {
 		logger.Info("label bank enabled",
 			olog.F("capacity", *bankCap), olog.F("ttl", bankTTL.String()))
 	}
+	var acct *account.Accountant
+	if *costEnable {
+		acct = account.New()
+	}
+	sloParsed, err := slo.ParseSpec(*sloSpec)
+	if err != nil {
+		logger.Fatal("bad -slo", olog.Err(err))
+	}
+	sloEng := slo.New(sloParsed)
+	if sloEng != nil {
+		logger.Info("slo engine enabled",
+			olog.F("spec", *sloSpec), olog.F("burn_trip", *sloBurnTrip))
+	}
+	var captures *capture.Store
+	if *captureMax > 0 {
+		captures, err = capture.NewStore(capture.Config{
+			MaxCaptures: *captureMax,
+			Dir:         *captureDir,
+			CPUProfile:  *captureCPU,
+		})
+		if err != nil {
+			logger.Fatal("bad -capture-dir", olog.Err(err))
+		}
+	}
 	logger.Info("loading cities", olog.F("spec", spec), olog.F("scale", *scale))
 	reg, err := registry.Open(specs, registry.Options{
 		Scale:       *scale,
@@ -151,9 +193,15 @@ func main() {
 		WarmCaches: true,
 		Bank:       bk,
 		Logger:     logger,
+		Accountant: acct,
 	})
 	if err != nil {
 		logger.Fatal("loading cities", olog.Err(err))
+	}
+	// Pre-register every tenant with the SLO engine so /v1/slo and the
+	// burn-rate gauges exist from boot, not from first traffic.
+	for _, name := range reg.Names() {
+		sloEng.Ensure(name)
 	}
 	s := newServer(reg, serve.Config{
 		Workers:            *workers,
@@ -165,9 +213,18 @@ func main() {
 		BreakerThreshold:   *breakerN,
 		BreakerCooldown:    *breakerCD,
 		SlowQueryThreshold: *slowQuery,
+		SlowLogPerSec:      *slowLogRate,
+		SlowLogBurst:       *slowLogBurst,
 		Logger:             logger,
+		Accountant:         acct,
+		SLO:                sloEng,
+		BurnTripThreshold:  *sloBurnTrip,
+		Captures:           captures,
 	}, serve.RunnerConfig{LabelWorkers: *labelWorkers, Parallelism: *parallelism, Bank: bk})
 
+	if captures != nil {
+		obs.RegisterDebug("/debug/captures", capture.Handler(captures))
+	}
 	if *debugAddr != "" {
 		dbg, bound, err := obs.StartDebugServer(*debugAddr)
 		if err != nil {
@@ -243,7 +300,15 @@ loop:
 func newServer(reg *registry.Registry, cfg serve.Config, rc serve.RunnerConfig) *server {
 	cfg.Tenants = len(reg.Names())
 	cfg.EpochOf = reg.EpochOf
-	return &server{reg: reg, mgr: serve.NewManager(serve.RegistryRunner(reg, rc), cfg), bank: rc.Bank}
+	return &server{
+		reg:      reg,
+		mgr:      serve.NewManager(serve.RegistryRunner(reg, rc), cfg),
+		bank:     rc.Bank,
+		acct:     cfg.Accountant,
+		slo:      cfg.SLO,
+		sloTrip:  cfg.BurnTripThreshold,
+		captures: cfg.Captures,
+	}
 }
 
 // tenantFor resolves the optional ?city= query parameter (or an explicit
@@ -267,17 +332,48 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// captureStats summarizes the capture store for /v1/stats.
+type captureStats struct {
+	Stored  int   `json:"stored"`
+	Evicted int64 `json:"evicted"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	var bankStats *bank.Stats
 	if s.bank != nil {
 		st := s.bank.Stats()
 		bankStats = &st
 	}
+	var capStats *captureStats
+	if s.captures != nil {
+		capStats = &captureStats{Stored: s.captures.Len(), Evicted: s.captures.Evicted()}
+	}
 	writeJSON(w, http.StatusOK, struct {
 		serve.Stats
-		Tenants []serve.TenantStats `json:"tenants"`
-		Bank    *bank.Stats         `json:"bank,omitempty"`
-	}{s.mgr.Stats(), s.mgr.TenantStats(), bankStats})
+		Tenants  []serve.TenantStats  `json:"tenants"`
+		Bank     *bank.Stats          `json:"bank,omitempty"`
+		Cost     []account.TenantCost `json:"cost,omitempty"`
+		Captures *captureStats        `json:"captures,omitempty"`
+	}{s.mgr.Stats(), s.mgr.TenantStats(), bankStats, s.acct.Snapshot(), capStats})
+}
+
+// handleSLO serves GET /v1/slo: every tenant's objectives and multi-window
+// burn-rate report. With no -slo configured it answers 200 with
+// enabled:false so dashboards can probe the feature without special-casing
+// a 404.
+func (s *server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	tenants := s.slo.Snapshot()
+	if tenants == nil {
+		tenants = []slo.TenantReport{}
+	}
+	body := map[string]interface{}{
+		"enabled": s.slo != nil,
+		"tenants": tenants,
+	}
+	if s.slo != nil {
+		body["burn_trip_threshold"] = s.sloTrip
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // cityBody shapes one tenant for the /v1/cities responses: the registry's
@@ -747,8 +843,32 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	id = strings.TrimPrefix(id, "/jobs/") // deprecated unversioned alias
 	id, wantTrace := strings.CutSuffix(id, "/trace")
+	var wantProfile bool
+	if !wantTrace {
+		id, wantProfile = strings.CutSuffix(id, "/profile")
+	}
 	if id == "" || strings.Contains(id, "/") {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "want /v1/jobs/{id} or /v1/jobs/{id}/trace")
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			"want /v1/jobs/{id}, /v1/jobs/{id}/trace, or /v1/jobs/{id}/profile")
+		return
+	}
+	if wantProfile {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET only")
+			return
+		}
+		// A capture can outlive its job's retention window, so the store is
+		// consulted directly rather than through the job table.
+		if c, ok := s.captures.ByJob(id); ok {
+			writeJSON(w, http.StatusOK, c)
+			return
+		}
+		if s.captures == nil {
+			writeError(w, http.StatusNotFound, codeNotFound, "slow-query capture is disabled (-captures 0)")
+			return
+		}
+		writeError(w, http.StatusNotFound, codeNotFound, "no capture recorded for job "+id)
 		return
 	}
 	if r.Method == http.MethodDelete {

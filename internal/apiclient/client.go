@@ -156,6 +156,51 @@ func (c *Client) Cities(ctx context.Context) (def string, cities []CityInfo, err
 	return out.Default, out.Cities, nil
 }
 
+// SLOWindow is one evaluation window of a tenant's burn-rate report.
+type SLOWindow struct {
+	Window string  `json:"window"`
+	Total  int64   `json:"total"`
+	Errors int64   `json:"errors"`
+	Slow   int64   `json:"slow"`
+	Burn   float64 `json:"burn"`
+}
+
+// SLOTenant is one tenant row of GET /v1/slo.
+type SLOTenant struct {
+	City     string      `json:"city"`
+	Windows  []SLOWindow `json:"windows"`
+	FastBurn float64     `json:"fast_burn"`
+	SlowBurn float64     `json:"slow_burn"`
+}
+
+// SLOReport is the GET /v1/slo answer.
+type SLOReport struct {
+	Enabled           bool        `json:"enabled"`
+	BurnTripThreshold float64     `json:"burn_trip_threshold"`
+	Tenants           []SLOTenant `json:"tenants"`
+}
+
+// SLO fetches the server's per-tenant burn-rate reports. Enabled is false
+// when the server runs without -slo.
+func (c *Client) SLO(ctx context.Context) (*SLOReport, error) {
+	var out SLOReport
+	if err := c.do(ctx, http.MethodGet, "/v1/slo", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobProfile fetches the slow-query capture linked to a job as raw JSON
+// (the capture shape belongs to the server). A job with no capture is a
+// not_found *APIError.
+func (c *Client) JobProfile(ctx context.Context, jobID string) (json.RawMessage, error) {
+	var out json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+jobID+"/profile", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // decodeError maps a non-2xx response onto *APIError, tolerating bodies
 // that are not the JSON envelope.
 func decodeError(resp *http.Response) error {

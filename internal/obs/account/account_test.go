@@ -1,0 +1,128 @@
+package account
+
+import (
+	"testing"
+	"time"
+
+	"accessquery/internal/obs"
+)
+
+// sinkBytes defeats dead-store elimination of the test allocations.
+var sinkBytes []byte
+
+func TestReadUsageMonotone(t *testing.T) {
+	before := ReadUsage()
+	// Burn some CPU and heap so the counters move.
+	sink := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		sink += float64(i % 7)
+	}
+	sinkBytes = make([]byte, 1<<20)
+	after := ReadUsage()
+	if sink == -1 {
+		t.Fatal("unreachable")
+	}
+	if after.CPUSeconds < before.CPUSeconds {
+		t.Errorf("CPU went backwards: %g -> %g", before.CPUSeconds, after.CPUSeconds)
+	}
+	if after.AllocBytes < before.AllocBytes {
+		t.Errorf("allocs went backwards: %d -> %d", before.AllocBytes, after.AllocBytes)
+	}
+	if after.AllocBytes-before.AllocBytes < 1<<20 {
+		t.Errorf("alloc delta %d did not cover the 1MiB allocation", after.AllocBytes-before.AllocBytes)
+	}
+}
+
+func TestBillRollsUpPerTenant(t *testing.T) {
+	a := New()
+	s := a.Begin()
+	sinkBytes = make([]byte, 1<<20)
+	a.Bill("coventry", s, Bill{
+		Wall:      250 * time.Millisecond,
+		QueueWait: 50 * time.Millisecond,
+		Stages: []obs.Stage{
+			{Name: "matrix", Seconds: 0.1},
+			{Name: "labeling", Seconds: 0.15},
+		},
+		SPQs:        42,
+		BankDrained: 7,
+	})
+	s2 := a.Begin()
+	a.Bill("coventry", s2, Bill{Wall: 100 * time.Millisecond, Failed: true})
+	s3 := a.Begin()
+	a.Bill("leeds", s3, Bill{Wall: time.Millisecond})
+	a.RecordCacheHit("coventry")
+	a.RecordBuild("leeds", 2*time.Second)
+
+	snap := a.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot() has %d tenants, want 2", len(snap))
+	}
+	cov, leeds := snap[0], snap[1]
+	if cov.City != "coventry" || leeds.City != "leeds" {
+		t.Fatalf("snapshot order = %q, %q; want coventry, leeds", cov.City, leeds.City)
+	}
+	if cov.Jobs != 2 || cov.Failures != 1 || cov.CacheHits != 1 {
+		t.Errorf("coventry jobs/failures/cacheHits = %d/%d/%d, want 2/1/1", cov.Jobs, cov.Failures, cov.CacheHits)
+	}
+	if cov.SPQs != 42 || cov.BankDrained != 7 {
+		t.Errorf("coventry spqs/bank = %d/%d, want 42/7", cov.SPQs, cov.BankDrained)
+	}
+	if got := cov.WallSeconds; got < 0.349 || got > 0.351 {
+		t.Errorf("coventry wall = %g, want 0.35", got)
+	}
+	if got := cov.StageSeconds["matrix"]; got != 0.1 {
+		t.Errorf("coventry stage matrix = %g, want 0.1", got)
+	}
+	if cov.AllocBytes < 1<<20 {
+		t.Errorf("coventry alloc = %d, want >= 1MiB", cov.AllocBytes)
+	}
+	if leeds.Builds != 1 || leeds.BuildSeconds != 2 {
+		t.Errorf("leeds builds/buildSeconds = %d/%g, want 1/2", leeds.Builds, leeds.BuildSeconds)
+	}
+}
+
+func TestOverlappingSamplesMarkedShared(t *testing.T) {
+	a := New()
+	s1 := a.Begin()
+	s2 := a.Begin()
+	c1 := a.Bill("x", s1, Bill{})
+	c2 := a.Bill("x", s2, Bill{})
+	if !c1.Shared || !c2.Shared {
+		t.Errorf("overlapping samples shared = %v/%v, want true/true", c1.Shared, c2.Shared)
+	}
+	s3 := a.Begin()
+	if c3 := a.Bill("x", s3, Bill{}); c3.Shared {
+		t.Error("solo sample marked shared")
+	}
+	snap := a.Snapshot()
+	if snap[0].SharedSamples != 2 {
+		t.Errorf("SharedSamples = %d, want 2", snap[0].SharedSamples)
+	}
+}
+
+// A nil accountant must be a complete no-op: the disabled serving path
+// leans on this (see the serve-layer zero-alloc test).
+func TestNilAccountant(t *testing.T) {
+	var a *Accountant
+	s := a.Begin()
+	if c := a.Bill("x", s, Bill{Wall: time.Second}); c != (JobCost{}) {
+		t.Errorf("nil Bill = %+v, want zero", c)
+	}
+	a.RecordCacheHit("x")
+	a.RecordBuild("x", time.Second)
+	if snap := a.Snapshot(); snap != nil {
+		t.Errorf("nil Snapshot = %v, want nil", snap)
+	}
+}
+
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var a *Accountant
+	allocs := testing.AllocsPerRun(100, func() {
+		s := a.Begin()
+		a.Bill("coventry", s, Bill{})
+	})
+	if allocs != 0 {
+		t.Errorf("disabled accountant allocates %.1f per run, want 0", allocs)
+	}
+}

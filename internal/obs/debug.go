@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -17,15 +18,41 @@ func MetricsHandler(r *Registry) http.Handler {
 	})
 }
 
-// TracesHandler returns an http.Handler that renders r's retained traces
-// as a JSON array, newest first.
+// TracesHandler returns an http.Handler that renders r's retained traces,
+// newest first, under a header reporting what the page does NOT show:
+// traces aged out of the ring and spans dropped at the per-trace bound.
 func TracesHandler(r *TraceRing) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		snap := r.Snapshot()
+		body := struct {
+			Retained     int             `json:"retained"`
+			Evicted      uint64          `json:"evicted"`
+			DroppedSpans int64           `json:"dropped_spans"`
+			Traces       []*TraceSummary `json:"traces"`
+		}{Retained: len(snap), Evicted: r.Evicted(), DroppedSpans: r.DroppedSpans(), Traces: snap}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(r.Snapshot())
+		_ = enc.Encode(body)
 	})
+}
+
+// debugExtras are handlers subsystems register onto future DebugMux
+// instances. The obs package sits below the subsystems that want debug
+// pages (the capture store, for one), so the dependency is inverted: they
+// call RegisterDebug at wiring time, and every DebugMux built afterwards
+// mounts them.
+var (
+	debugExtrasMu sync.Mutex
+	debugExtras   = make(map[string]http.Handler)
+)
+
+// RegisterDebug mounts handler at path on every DebugMux created after
+// the call. Re-registering a path replaces its handler.
+func RegisterDebug(path string, handler http.Handler) {
+	debugExtrasMu.Lock()
+	debugExtras[path] = handler
+	debugExtrasMu.Unlock()
 }
 
 // DebugMux returns a mux exposing the Default registry at /metrics, the
@@ -42,6 +69,11 @@ func DebugMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	debugExtrasMu.Lock()
+	for path, h := range debugExtras {
+		mux.Handle(path, h)
+	}
+	debugExtrasMu.Unlock()
 	return mux
 }
 

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// The /debug/traces page must lead with truncation accounting: what aged
+// out of the ring and what was never captured (dropped spans), so absent
+// evidence is visible rather than silent.
+func TestTracesHandlerHeader(t *testing.T) {
+	ring := NewTraceRing(2)
+	for i := 0; i < 3; i++ {
+		tr := NewTraceCap(1)
+		tr.Record("job", time.Millisecond)
+		tr.Record("overflow", time.Millisecond) // dropped: capacity 1
+		ring.Add(tr.Summary())
+	}
+
+	rec := httptest.NewRecorder()
+	TracesHandler(ring).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+
+	var body struct {
+		Retained     int               `json:"retained"`
+		Evicted      uint64            `json:"evicted"`
+		DroppedSpans int64             `json:"dropped_spans"`
+		Traces       []json.RawMessage `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("unmarshal /debug/traces: %v", err)
+	}
+	if body.Retained != 2 || len(body.Traces) != 2 {
+		t.Errorf("retained = %d (traces %d), want 2", body.Retained, len(body.Traces))
+	}
+	if body.Evicted != 1 {
+		t.Errorf("evicted = %d, want 1", body.Evicted)
+	}
+	if body.DroppedSpans != 3 {
+		t.Errorf("dropped_spans = %d, want 3 (one per added trace)", body.DroppedSpans)
+	}
+}
+
+// RegisterDebug handlers must appear on muxes built after registration —
+// the inversion that lets higher layers (capture store) mount debug pages
+// without obs importing them.
+func TestRegisterDebug(t *testing.T) {
+	t.Cleanup(func() {
+		debugExtrasMu.Lock()
+		delete(debugExtras, "/debug/testpage")
+		debugExtrasMu.Unlock()
+	})
+	called := false
+	RegisterDebug("/debug/testpage", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		called = true
+	}))
+	mux := DebugMux()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/testpage", nil))
+	if !called {
+		t.Error("registered debug handler was not invoked")
+	}
+}

@@ -1,0 +1,73 @@
+package olog
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Limiter is a token-bucket rate limiter for log lines. The slow-query
+// log is threshold-gated, so a burn event — every query suddenly slow —
+// would turn it into a log storm exactly when the operator needs the log
+// readable; a per-tenant Limiter keeps a few exemplar lines per second
+// and counts the rest as suppressed instead of writing them.
+//
+// A nil *Limiter allows everything, so callers can thread an optional
+// limiter without branching.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens replenished per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+
+	suppressed atomic.Int64
+	now        func() time.Time
+}
+
+// NewLimiter returns a limiter admitting perSec lines per second with
+// bursts up to burst. Non-positive arguments are clamped to 1.
+func NewLimiter(perSec float64, burst int) *Limiter {
+	if perSec <= 0 {
+		perSec = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{rate: perSec, burst: float64(burst), now: time.Now}
+}
+
+// Allow reports whether the caller may emit a line now, consuming a token
+// if so. Denied calls are counted as suppressed.
+func (l *Limiter) Allow() bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	now := l.now()
+	if l.last.IsZero() {
+		l.tokens = l.burst
+	} else {
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = now
+	if l.tokens >= 1 {
+		l.tokens--
+		l.mu.Unlock()
+		return true
+	}
+	l.mu.Unlock()
+	l.suppressed.Add(1)
+	return false
+}
+
+// Suppressed reports how many lines this limiter has denied.
+func (l *Limiter) Suppressed() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.suppressed.Load()
+}

@@ -8,10 +8,11 @@ import "sync"
 // do" — at /debug/traces without any external tracing infrastructure.
 // Old traces are evicted in completion order.
 type TraceRing struct {
-	mu    sync.Mutex
-	buf   []*TraceSummary
-	next  int    // slot the next Add writes
-	total uint64 // lifetime adds, for eviction accounting
+	mu      sync.Mutex
+	buf     []*TraceSummary
+	next    int    // slot the next Add writes
+	total   uint64 // lifetime adds, for eviction accounting
+	dropped int64  // sum of DroppedSpans across every added trace
 }
 
 // DefaultTraceRingSize is the capacity of the package-level Traces ring.
@@ -39,6 +40,7 @@ func (r *TraceRing) Add(s *TraceSummary) {
 	r.buf[r.next] = s
 	r.next = (r.next + 1) % len(r.buf)
 	r.total++
+	r.dropped += s.DroppedSpans
 	r.mu.Unlock()
 }
 
@@ -76,4 +78,27 @@ func (r *TraceRing) Evicted() uint64 {
 		return 0
 	}
 	return r.total - uint64(len(r.buf))
+}
+
+// DroppedSpans reports the total spans lost to trace capacity bounds
+// across every trace ever published to the ring — evidence that was never
+// recorded, as opposed to Evicted's evidence recorded then aged out.
+func (r *TraceRing) DroppedSpans() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// The global ring's truncation counters are exported as scrape-time
+// gauges so silent evidence loss (spans dropped at capture, traces aged
+// out of the ring) shows up in /v1/metrics.
+func init() {
+	Default.GaugeFunc("aq_trace_dropped_spans_total", func() float64 {
+		return float64(Traces.DroppedSpans())
+	})
+	Default.GaugeFunc("aq_trace_ring_evicted_total", func() float64 {
+		return float64(Traces.Evicted())
+	})
+	Default.SetHelp("aq_trace_dropped_spans_total", "Spans dropped at the per-trace capacity bound, summed over published traces.")
+	Default.SetHelp("aq_trace_ring_evicted_total", "Completed traces pushed out of the /debug/traces flight-recorder ring.")
 }

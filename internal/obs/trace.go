@@ -125,6 +125,16 @@ func (t *Trace) Record(name string, d time.Duration) {
 	t.record(name, -1, time.Now().Add(-d), d, nil)
 }
 
+// RecordAttrs is Record with span attributes — used for measured-elsewhere
+// phases that carry data, like the serving layer's per-run cost summary
+// (cpu_seconds, alloc_bytes) recorded after the run finishes.
+func (t *Trace) RecordAttrs(name string, d time.Duration, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.record(name, -1, time.Now().Add(-d), d, attrs)
+}
+
 func clampNanos(d time.Duration) int64 {
 	ns := d.Nanoseconds()
 	if ns <= 0 {

@@ -34,6 +34,7 @@ import (
 	"accessquery/internal/bank"
 	"accessquery/internal/core"
 	"accessquery/internal/gtfs"
+	"accessquery/internal/obs/account"
 	"accessquery/internal/obs/olog"
 	"accessquery/internal/synth"
 )
@@ -98,6 +99,10 @@ type Options struct {
 	Bank *bank.Bank
 	// Logger receives swap and retire events; default olog.Default.
 	Logger *olog.Logger
+	// Accountant, when non-nil, bills each installed engine's preparation
+	// time to its city, so tenant cost reports cover builds and swaps as
+	// well as queries. Nil disables build billing.
+	Accountant *account.Accountant
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -275,6 +280,7 @@ func (t *Tenant) install(e *core.Engine, source string, seedBank bool) *Retired 
 	}
 	old := t.cur.Swap(ee)
 	t.metrics.epoch.Set(float64(ee.epoch))
+	opts.Accountant.RecordBuild(t.Name, e.PrepDuration)
 	if b := opts.Bank; b != nil {
 		if seedBank && old != nil {
 			seeded := b.CarryForward(t.Name, old.epoch, ee.epoch)

@@ -11,6 +11,7 @@ import (
 
 	"accessquery/internal/core"
 	"accessquery/internal/gtfs"
+	"accessquery/internal/obs/account"
 	"accessquery/internal/synth"
 )
 
@@ -343,5 +344,32 @@ func TestAcquireSwapRace(t *testing.T) {
 	}
 	if got := tn.Info().Swaps; got != swaps {
 		t.Errorf("swap count %d, want %d", got, swaps)
+	}
+}
+
+// TestInstallBillsBuilds checks cost attribution for engine lifecycle: an
+// accountant wired into the registry sees one billed build per install,
+// keyed by city.
+func TestInstallBillsBuilds(t *testing.T) {
+	a, b := sharedEngines(t)
+	snapPath := filepath.Join(t.TempDir(), "cov.snap")
+	if err := a.SaveSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	acct := account.New()
+	r, err := Open([]TenantSpec{{Name: "coventry", Path: snapPath}}, Options{Accountant: acct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := r.Get("coventry")
+	if _, _, err := tn.SwapEngine(b, "test"); err != nil {
+		t.Fatal(err)
+	}
+	snap := acct.Snapshot()
+	if len(snap) != 1 || snap[0].City != "coventry" {
+		t.Fatalf("snapshot = %+v, want coventry only", snap)
+	}
+	if snap[0].Builds != 2 {
+		t.Errorf("Builds = %d, want 2 (open + swap)", snap[0].Builds)
 	}
 }

@@ -11,7 +11,10 @@ import (
 
 	"accessquery/internal/core"
 	"accessquery/internal/obs"
+	"accessquery/internal/obs/account"
+	"accessquery/internal/obs/capture"
 	"accessquery/internal/obs/olog"
+	"accessquery/internal/obs/slo"
 )
 
 // RunFunc executes one validated, canonical request against the engine.
@@ -66,9 +69,35 @@ type Config struct {
 	// SlowQueryThreshold gates the structured slow-query log: runs at or
 	// above it are logged with their stage breakdown. Zero disables it.
 	SlowQueryThreshold time.Duration
+	// SlowLogPerSec and SlowLogBurst rate-limit the slow-query log per
+	// tenant (token bucket), so a burn event — every query suddenly slow —
+	// keeps a few exemplar lines per second instead of a log storm.
+	// Suppressed lines are counted in aq_log_suppressed_total. Defaults
+	// 1/s with burst 5; a negative SlowLogPerSec disables limiting.
+	SlowLogPerSec float64
+	SlowLogBurst  int
 	// Logger receives the manager's structured log lines (currently the
 	// slow-query log); default olog.Default.
 	Logger *olog.Logger
+	// Accountant, when non-nil, bills every engine run's wall/CPU/alloc
+	// cost (and cache hits) to the city that incurred it. Nil disables
+	// cost accounting at zero per-query overhead.
+	Accountant *account.Accountant
+	// SLO, when non-nil, folds every run outcome into the per-tenant
+	// multi-window burn-rate engine. Nil disables SLO evaluation at zero
+	// per-query overhead.
+	SLO *slo.Engine
+	// BurnTripThreshold, when positive (and SLO is set), trips a tenant's
+	// circuit breaker whenever its fast burn rate (5m AND 1h windows)
+	// reaches the threshold — the breaker's stale-serving and half-open
+	// probing then pace recovery exactly as for consecutive failures.
+	// The SRE convention for a 30-day budget's page-worthy fast burn is
+	// 14.4. Zero disables burn tripping.
+	BurnTripThreshold float64
+	// Captures, when non-nil, receives an automatic capture (span tree,
+	// resource deltas, goroutine dump) whenever a run crosses
+	// SlowQueryThreshold or exhausts its deadline. Nil disables capture.
+	Captures *capture.Store
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -103,6 +132,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = olog.Default
+	}
+	if c.SlowLogPerSec == 0 {
+		c.SlowLogPerSec = 1
+	}
+	if c.SlowLogBurst <= 0 {
+		c.SlowLogBurst = 5
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -391,6 +426,10 @@ type Manager struct {
 	// breaker; the other tenants keep running.
 	tenants map[string]*tenantState
 
+	// Per-tenant slow-query-log limiters, created on first slow query.
+	slowLogMu sync.Mutex
+	slowLog   map[string]*olog.Limiter
+
 	queue    chan *flight
 	wg       sync.WaitGroup
 	rootCtx  context.Context
@@ -418,6 +457,7 @@ func NewManager(run RunFunc, cfg Config) *Manager {
 		cache:    newResultCache(cfg.CacheSize, cfg.CacheTTL, cfg.now),
 		flights:  make(map[string]*flight),
 		tenants:  make(map[string]*tenantState),
+		slowLog:  make(map[string]*olog.Limiter),
 		jobs:     make(map[string]*Job),
 		queue:    make(chan *flight, cfg.QueueDepth),
 		rootCtx:  ctx,
@@ -474,6 +514,10 @@ func (m *Manager) submit(req Request, async bool) (*Job, error) {
 		if job.epochStale {
 			mEpochStale.Inc()
 		}
+		// A cache hit is a served query: it bills (as free) and counts as a
+		// fast success toward the tenant's SLO.
+		m.cfg.Accountant.RecordCacheHit(req.City)
+		m.cfg.SLO.Record(req.City, 0, false)
 		// The cached entry carries the producing run's trace, so a
 		// cache-hit job still answers trace and explain requests.
 		job.complete(res, nil, now, nil, trace)
@@ -514,6 +558,11 @@ func (m *Manager) submit(req Request, async bool) (*Job, error) {
 			if job.epochStale {
 				mEpochStale.Inc()
 			}
+			// Stale serving keeps the tenant answering, so availability-wise
+			// it is a success — the open breaker is already visible in the
+			// burn rate through the failures that tripped it.
+			m.cfg.Accountant.RecordCacheHit(req.City)
+			m.cfg.SLO.Record(req.City, 0, false)
 			job.complete(res, nil, now, nil, trace)
 			return job, nil
 		}
@@ -926,16 +975,40 @@ func (m *Manager) runFlight(fl *flight) {
 	wait := start.Sub(fl.enqueued)
 	mQueueWait.ObserveDuration(wait)
 	// The trace rides the run context so the engine's stage spans land in
-	// it; every job attached to this flight shares the breakdown.
+	// it; every job attached to this flight shares the breakdown. The
+	// resource sample brackets exactly the engine run, so the CPU/alloc
+	// deltas billed to this city exclude queue wait and bookkeeping.
 	tr := obs.NewTrace()
+	smp := m.cfg.Accountant.Begin()
 	res, err := m.safeRun(ctx, fl.req, tr, wait)
 	elapsed := m.cfg.now().Sub(start)
 	m.observeRun(elapsed)
 	mRunSeconds.ObserveDuration(elapsed)
 	stages := tr.Stages()
+	// Cancellations and shutdown say nothing about engine health or the
+	// tenant's SLO; real failures and successes both count.
+	neutral := err != nil && (errors.Is(err, ErrCancelled) || errors.Is(err, context.Canceled) || errors.Is(err, ErrShutdown))
+	var cost *account.JobCost
+	if m.cfg.Accountant != nil {
+		bill := account.Bill{Wall: elapsed, QueueWait: wait, Stages: stages, Failed: err != nil && !neutral}
+		if res != nil {
+			bill.SPQs = res.Timing.SPQs
+			bill.BankDrained = res.Timing.BankDrained
+		}
+		jc := m.cfg.Accountant.Bill(fl.req.City, smp, bill)
+		cost = &jc
+		// The bill lands in the span tree too, so explain reports and
+		// captures carry the run's resource cost alongside its timings.
+		tr.RecordAttrs("cost", 0,
+			obs.FloatAttr("cpu_seconds", jc.CPUSeconds),
+			obs.IntAttr("alloc_bytes", jc.AllocBytes),
+			obs.BoolAttr("shared", jc.Shared))
+	}
 	sum := tr.Summary()
 	obs.Traces.Add(sum)
-	m.maybeLogSlow(fl.fp, elapsed, sum, stages, err)
+	if !neutral {
+		m.cfg.SLO.Record(fl.req.City, elapsed, err != nil)
+	}
 
 	now := m.cfg.now()
 	m.mu.Lock()
@@ -952,6 +1025,7 @@ func (m *Manager) runFlight(fl *flight) {
 	}
 	ts := m.tenantLocked(fl.req.City)
 	m.recordOutcomeLocked(ts, cm, fl, err, now)
+	m.maybeBurnTripLocked(ts, cm, fl.req.City, now)
 	if err == nil && res.Degraded == nil {
 		// Degraded answers are honest but not canonical: caching one would
 		// keep serving reduced fidelity after the pressure has passed.
@@ -965,6 +1039,11 @@ func (m *Manager) runFlight(fl *flight) {
 		ts.completed += int64(len(jobs))
 	}
 	m.mu.Unlock()
+
+	// Capture before completing the jobs, so a poller that sees a job
+	// finish can immediately fetch its profile.
+	captureID := m.maybeCapture(ctx, fl, jobs, elapsed, sum, cost, err)
+	m.maybeLogSlow(fl.req.City, fl.fp, elapsed, sum, stages, captureID, err)
 
 	for _, j := range jobs {
 		if err != nil {
@@ -993,10 +1072,95 @@ func (m *Manager) effectiveTimeout(req Request) time.Duration {
 	return d
 }
 
+// maybeBurnTripLocked trips a tenant's breaker when its fast burn rate
+// crosses the configured threshold: sustained SLO burn then routes that
+// city through the breaker's existing stale-serving and half-open-probe
+// machinery instead of waiting for consecutive hard failures. Callers
+// hold m.mu.
+func (m *Manager) maybeBurnTripLocked(ts *tenantState, cm *cityMetrics, city string, now time.Time) {
+	if m.cfg.SLO == nil || m.cfg.BurnTripThreshold <= 0 || m.cfg.BreakerThreshold < 0 {
+		return
+	}
+	if !ts.openUntil.IsZero() || ts.probing {
+		return // already open; let the probe cycle decide recovery
+	}
+	if fb := m.cfg.SLO.FastBurn(city); fb >= m.cfg.BurnTripThreshold {
+		ts.openUntil = now.Add(m.cfg.BreakerCooldown)
+		ts.trips++
+		mBreakerTrips.Inc()
+		mBurnTrips.Inc()
+		mBreakerOpen.Set(1)
+		cm.breakerTrips.Inc()
+		cm.burnTrips.Inc()
+		cm.breakerOpen.Set(1)
+		m.cfg.Logger.Warn("slo burn trip",
+			olog.F("city", city),
+			olog.F("fast_burn", fb),
+			olog.F("threshold", m.cfg.BurnTripThreshold),
+			olog.F("cooldown_seconds", m.cfg.BreakerCooldown.Seconds()))
+	}
+}
+
+// maybeCapture triggers the slow-query capture store for a run that
+// exhausted its deadline or crossed the slow-query threshold, linking the
+// capture to every job the run answered. Returns the capture ID, or "".
+func (m *Manager) maybeCapture(ctx context.Context, fl *flight, jobs []*Job, elapsed time.Duration, sum *obs.TraceSummary, cost *account.JobCost, err error) string {
+	if m.cfg.Captures == nil {
+		return ""
+	}
+	var reason capture.Reason
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || (ctx.Err() != nil && errors.Is(ctx.Err(), context.DeadlineExceeded)):
+		reason = capture.ReasonDeadline
+	case m.cfg.SlowQueryThreshold > 0 && elapsed >= m.cfg.SlowQueryThreshold:
+		reason = capture.ReasonSlowQuery
+	default:
+		return ""
+	}
+	ids := make([]string, len(jobs))
+	for i, j := range jobs {
+		ids[i] = j.ID
+	}
+	return m.cfg.Captures.Trigger(capture.Info{
+		JobIDs:      ids,
+		City:        fl.req.City,
+		Fingerprint: fl.fp,
+		Reason:      reason,
+		Threshold:   m.cfg.SlowQueryThreshold,
+		Elapsed:     elapsed,
+		Err:         err,
+		Trace:       sum,
+		Cost:        cost,
+	})
+}
+
+// slowLogLimiter returns city's slow-query-log token bucket, creating it
+// on first use. Negative SlowLogPerSec disables limiting (nil limiter).
+func (m *Manager) slowLogLimiter(city string) *olog.Limiter {
+	if m.cfg.SlowLogPerSec < 0 {
+		return nil
+	}
+	m.slowLogMu.Lock()
+	defer m.slowLogMu.Unlock()
+	l, ok := m.slowLog[city]
+	if !ok {
+		l = olog.NewLimiter(m.cfg.SlowLogPerSec, m.cfg.SlowLogBurst)
+		m.slowLog[city] = l
+	}
+	return l
+}
+
 // maybeLogSlow emits the threshold-gated structured slow-query log line:
-// trace ID, fingerprint, total time, and the per-stage breakdown.
-func (m *Manager) maybeLogSlow(fp string, elapsed time.Duration, sum *obs.TraceSummary, stages []obs.Stage, err error) {
+// trace ID, fingerprint, total time, and the per-stage breakdown. Lines
+// beyond the tenant's rate limit are counted, not written — a burn event
+// keeps exemplars without becoming a log storm.
+func (m *Manager) maybeLogSlow(city, fp string, elapsed time.Duration, sum *obs.TraceSummary, stages []obs.Stage, captureID string, err error) {
 	if m.cfg.SlowQueryThreshold <= 0 || elapsed < m.cfg.SlowQueryThreshold {
+		return
+	}
+	if !m.slowLogLimiter(city).Allow() {
+		mLogSuppressed.Inc()
+		metricsFor(city).logSuppressed.Inc()
 		return
 	}
 	fields := []olog.Field{
@@ -1004,6 +1168,12 @@ func (m *Manager) maybeLogSlow(fp string, elapsed time.Duration, sum *obs.TraceS
 		olog.F("fingerprint", fp),
 		olog.F("seconds", elapsed.Seconds()),
 		olog.F("threshold_seconds", m.cfg.SlowQueryThreshold.Seconds()),
+	}
+	if city != "" {
+		fields = append(fields, olog.F("city", city))
+	}
+	if captureID != "" {
+		fields = append(fields, olog.F("capture_id", captureID))
 	}
 	for _, st := range stages {
 		fields = append(fields, olog.F("stage_"+st.Name+"_seconds", st.Seconds))

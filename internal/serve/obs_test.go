@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"accessquery/internal/obs/account"
+	"accessquery/internal/obs/capture"
+	"accessquery/internal/obs/olog"
+	"accessquery/internal/obs/slo"
+)
+
+func testSLO(t *testing.T, spec string) *slo.Engine {
+	t.Helper()
+	s, err := slo.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return slo.New(s)
+}
+
+// TestBurnTripOpensBreaker checks the SLO integration path: a tenant whose
+// fast burn rate crosses the burn-trip threshold has its breaker opened
+// even though the consecutive-failure threshold is nowhere near tripping.
+func TestBurnTripOpensBreaker(t *testing.T) {
+	clock := newFakeClock()
+	stub := &stubEngine{err: errors.New("engine on fire")}
+	m := newTestManager(t, stub, Config{
+		Workers: 1,
+		// Consecutive-failure threshold far out of reach: any trip below
+		// comes from the burn signal alone.
+		BreakerThreshold: 100, BreakerCooldown: 10 * time.Minute,
+		SLO: testSLO(t, "avail=99"), BurnTripThreshold: 14.4,
+		now: clock.now,
+	})
+	ctx := context.Background()
+
+	// One total request, one error: bad fraction 1.0 against a 1% budget
+	// is a burn rate of 100 — far past the 14.4 page threshold.
+	if _, err := m.Do(ctx, seededReq(1)); err == nil {
+		t.Fatal("failing run succeeded")
+	}
+	if st := m.Stats(); !st.BreakerOpen {
+		t.Fatal("breaker closed despite fast burn over threshold")
+	}
+	if _, err := m.Submit(seededReq(2)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("uncached query err = %v, want ErrBreakerOpen", err)
+	}
+}
+
+// TestBurnBelowThresholdNoTrip is the inverse: failures within the error
+// budget leave the breaker alone.
+func TestBurnBelowThresholdNoTrip(t *testing.T) {
+	stub := &stubEngine{err: errors.New("occasional failure")}
+	m := newTestManager(t, stub, Config{
+		Workers:          1,
+		BreakerThreshold: 100, BreakerCooldown: 10 * time.Minute,
+		// 50% availability target: one failure in one request burns at
+		// 1/0.5 = 2, under the 14.4 trip threshold.
+		SLO: testSLO(t, "avail=50"), BurnTripThreshold: 14.4,
+	})
+	if _, err := m.Do(context.Background(), seededReq(1)); err == nil {
+		t.Fatal("failing run succeeded")
+	}
+	if st := m.Stats(); st.BreakerOpen {
+		t.Fatal("breaker tripped on a burn rate under the threshold")
+	}
+}
+
+// TestSlowQueryLogRateLimited runs a burst of slow queries through a
+// tight per-tenant log budget: the first line lands, the rest are counted
+// as suppressed instead of written.
+func TestSlowQueryLogRateLimited(t *testing.T) {
+	var buf bytes.Buffer
+	stub := &stubEngine{delay: 2 * time.Millisecond}
+	m := newTestManager(t, stub, Config{
+		Workers:            1,
+		SlowQueryThreshold: time.Nanosecond,
+		SlowLogPerSec:      1e-9, SlowLogBurst: 1,
+		Logger: olog.New(&buf, olog.LevelDebug),
+	})
+	ctx := context.Background()
+	for i := int64(1); i <= 4; i++ {
+		if _, err := m.Do(ctx, seededReq(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := strings.Count(buf.String(), "slow query"); got != 1 {
+		t.Errorf("slow-query lines = %d, want 1 (rate-limited)\n%s", got, buf.String())
+	}
+	if got := m.slowLogLimiter("").Suppressed(); got != 3 {
+		t.Errorf("suppressed = %d, want 3", got)
+	}
+}
+
+// TestSlowQueryCapture drives a run over the slow-query threshold and
+// checks the full evidence chain: the capture is linked to the job, tagged
+// with the tenant and trace, and carries the billed resource cost.
+func TestSlowQueryCapture(t *testing.T) {
+	store, err := capture.NewStore(capture.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := account.New()
+	stub := &stubEngine{delay: 5 * time.Millisecond}
+	m := newTestManager(t, stub, Config{
+		Workers:            1,
+		SlowQueryThreshold: time.Millisecond,
+		Captures:           store,
+		Accountant:         acct,
+	})
+	req := schoolReq()
+	req.City = "coventry"
+	job, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := store.ByJob(job.ID)
+	if !ok {
+		t.Fatal("slow run left no capture linked to its job")
+	}
+	if c.Reason != capture.ReasonSlowQuery {
+		t.Errorf("reason = %q, want slow_query", c.Reason)
+	}
+	if c.City != "coventry" || c.TraceID == "" {
+		t.Errorf("capture = city %q trace %q", c.City, c.TraceID)
+	}
+	if c.Cost == nil || c.Cost.WallSeconds <= 0 {
+		t.Errorf("capture cost = %+v, want billed wall time", c.Cost)
+	}
+
+	snap := acct.Snapshot()
+	if len(snap) != 1 || snap[0].City != "coventry" || snap[0].Jobs != 1 {
+		t.Errorf("accountant snapshot = %+v", snap)
+	}
+}
+
+// TestDeadlineCapture checks the second trigger: a run that exhausts its
+// deadline is captured with the deadline reason even with no slow-query
+// threshold configured.
+func TestDeadlineCapture(t *testing.T) {
+	store, err := capture.NewStore(capture.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := &stubEngine{release: make(chan struct{})}
+	m := newTestManager(t, stub, Config{
+		Workers: 1, JobTimeout: 20 * time.Millisecond,
+		Captures: store,
+	})
+	defer close(stub.release)
+	if _, err := m.Do(context.Background(), schoolReq()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("captures = %d, want 1", store.Len())
+	}
+	if c := store.List()[0]; c.Reason != capture.ReasonDeadline {
+		t.Errorf("reason = %q, want deadline", c.Reason)
+	}
+}
+
+// TestAccountantBillsRunsAndCacheHits pins the cost-attribution split: an
+// engine run is billed, an identical follow-up answered from cache is a
+// cache hit, not a second job.
+func TestAccountantBillsRunsAndCacheHits(t *testing.T) {
+	acct := account.New()
+	stub := &stubEngine{}
+	m := newTestManager(t, stub, Config{
+		Workers: 1, CacheTTL: time.Minute, Accountant: acct,
+	})
+	ctx := context.Background()
+	req := schoolReq()
+	req.City = "leeds"
+	if _, err := m.Do(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Do(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	snap := acct.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot = %+v, want one tenant", snap)
+	}
+	tc := snap[0]
+	if tc.City != "leeds" || tc.Jobs != 1 || tc.CacheHits != 1 {
+		t.Errorf("cost = %+v, want 1 job + 1 cache hit", tc)
+	}
+	if tc.WallSeconds <= 0 {
+		t.Errorf("WallSeconds = %v, want > 0", tc.WallSeconds)
+	}
+}
+
+// TestDisabledObservabilityHooksZeroAlloc mirrors exactly the hook calls
+// runFlight makes when cost accounting, SLO tracking, and capture are all
+// disabled, and asserts the disabled path allocates nothing per query.
+func TestDisabledObservabilityHooksZeroAlloc(t *testing.T) {
+	var (
+		acct  *account.Accountant
+		eng   *slo.Engine
+		store *capture.Store
+	)
+	allocs := testing.AllocsPerRun(200, func() {
+		smp := acct.Begin()
+		_ = smp
+		eng.Record("coventry", time.Millisecond, false)
+		_ = eng.FastBurn("coventry")
+		acct.RecordCacheHit("coventry")
+		_ = store.Trigger(capture.Info{})
+	})
+	if allocs != 0 {
+		t.Errorf("disabled observability hooks allocate %.1f per query, want 0", allocs)
+	}
+}

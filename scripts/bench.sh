@@ -7,18 +7,26 @@
 #   BENCH_<date>.json  the same measurements parsed into JSON for dashboards
 #
 # Usage:
-#   scripts/bench.sh [-o outdir] [-t benchtime]
+#   scripts/bench.sh [-o outdir] [-t benchtime] [-c count]
+#
+# -c runs each benchmark N times (go test -count), default 5: benchstat
+# needs repeated samples to report variance, and a single-iteration run
+# is statistically meaningless as a regression baseline.
 #
 # Environment:
-#   BENCH_DATE  override the date stamp (useful for reproducible CI names)
+#   BENCH_DATE   override the date stamp (useful for reproducible CI names)
+#   BENCHTIME    default benchtime (flag -t overrides)
+#   BENCHCOUNT   default count (flag -c overrides)
 set -eu
 
 outdir=.
 benchtime=${BENCHTIME:-1s}
-while getopts o:t: opt; do
+count=${BENCHCOUNT:-5}
+while getopts o:t:c: opt; do
 	case $opt in
 	o) outdir=$OPTARG ;;
 	t) benchtime=$OPTARG ;;
+	c) count=$OPTARG ;;
 	*) exit 2 ;;
 	esac
 done
@@ -29,7 +37,7 @@ json="$outdir/BENCH_${date}.json"
 mkdir -p "$outdir"
 
 go test -run '^$' -bench 'BenchmarkNewEngine|BenchmarkEngineRun' \
-	-benchmem -benchtime "$benchtime" ./internal/core/ | tee "$txt"
+	-benchmem -benchtime "$benchtime" -count "$count" ./internal/core/ | tee "$txt"
 
 # Parse the standard benchmark lines:
 #   BenchmarkName/sub-8   	 iterations	 ns/op	 B/op	 allocs/op

@@ -95,12 +95,19 @@ print(f"trace ok: {len(names)} distinct spans, root {spans[0]['name']!r}")
 EOF
 
 # 3. The debug listener's flight recorder must have retained the traces.
-curl -sf "http://$DEBUG_ADDR/debug/traces" | python3 -c '
+# The body is {retained, evicted, dropped_spans, traces}, so span loss is
+# visible in the header rather than silent.
+curl -sf "http://$DEBUG_ADDR/debug/traces" >"$WORKDIR/debug_traces.json"
+python3 - "$WORKDIR/debug_traces.json" <<'EOF'
 import json, sys
-traces = json.load(sys.stdin)
+body = json.load(open(sys.argv[1]))
+traces = body.get("traces") or []
 assert traces, "/debug/traces is empty after two completed runs"
-print(f"flight recorder ok: {len(traces)} trace(s) retained")
-'
+assert body.get("retained") == len(traces), "header retained count disagrees with the listing"
+assert "dropped_spans" in body and "evicted" in body, "loss counters missing from header"
+print(f"flight recorder ok: {len(traces)} trace(s) retained, "
+      f"{body['evicted']} evicted, {body['dropped_spans']} spans dropped")
+EOF
 
 # 4. The 1ms slow-query threshold must have produced a structured log line.
 grep -q '"msg":"slow query"' "$WORKDIR/server.log" || {
