@@ -72,6 +72,9 @@ func main() {
 		scenStatus = flag.Bool("scenario-status", false, "with -server: print the city's applied scenario deltas and exit")
 		scenRevert = flag.Bool("scenario-revert", false, "with -server: revert the city to its pre-scenario baseline and exit")
 		sloStatus  = flag.Bool("slo-status", false, "with -server: print each tenant's SLO burn-rate table and exit")
+		snapList   = flag.Bool("snapshots", false, "with -server: list the city's snapshot store and exit")
+		snapSave   = flag.String("snapshot-save", "", "with -server: save the city's serving engine into the server's snapshot store under this id ('auto' picks {city}-e{epoch}) and exit")
+		snapAct    = flag.String("snapshot-activate", "", "with -server: hot-swap the city onto this stored snapshot id and exit")
 
 		metrics = flag.Bool("metrics", false, "dump process metrics (stage latencies, SPQs) to stderr after the run")
 		explain = flag.Bool("explain", false, "print the per-stage execution report (TODAM reduction, SPQs, cache hits, model convergence) to stderr")
@@ -101,6 +104,19 @@ func main() {
 			log.Fatal("-slo-status requires -server")
 		}
 		if err := runSLOStatus(*server); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *snapList || *snapSave != "" || *snapAct != "" {
+		if *server == "" {
+			log.Fatal("-snapshots, -snapshot-save, and -snapshot-activate require -server")
+		}
+		city := ""
+		if flagWasSet("city") {
+			city = *cityName
+		}
+		if err := runSnapshots(*server, city, *snapSave, *snapAct); err != nil {
 			log.Fatal(err)
 		}
 		return

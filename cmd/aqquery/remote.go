@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -118,4 +119,61 @@ func runRemote(base string, req serve.Request, deadline time.Duration, metrics b
 		fmt.Fprintln(os.Stderr, "note: -metrics with -server: scrape the server's /v1/metrics instead")
 	}
 	return nil
+}
+
+// runSnapshots drives the /v1/cities/{name}/snapshots resource: list the
+// store, save the serving engine into it, or activate a stored snapshot.
+// An empty city means the server's default tenant.
+func runSnapshots(base, city string, saveID, activateID string) error {
+	cl := apiclient.New(base)
+	ctx := context.Background()
+	if city == "" {
+		def, _, err := cl.Cities(ctx)
+		if err != nil {
+			return err
+		}
+		city = def
+	}
+	switch {
+	case saveID != "":
+		if saveID == "auto" {
+			saveID = "" // server default: {city}-e{epoch}
+		}
+		info, err := cl.SaveSnapshot(ctx, city, saveID)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s: saved snapshot %s (v%d, %d bytes, epoch %d) to %s\n",
+			city, info.ID, info.FormatVersion, info.SizeBytes, info.Epoch, info.Path)
+		return nil
+	case activateID != "":
+		raw, err := cl.ActivateSnapshot(ctx, city, activateID)
+		if err != nil {
+			return err
+		}
+		var out struct {
+			City struct {
+				Epoch uint64 `json:"epoch"`
+			} `json:"city"`
+			RetiredEpoch uint64 `json:"retired_epoch"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s: snapshot %s activated as epoch %d (retired %d)\n",
+			city, activateID, out.City.Epoch, out.RetiredEpoch)
+		return nil
+	default:
+		dir, snaps, err := cl.Snapshots(ctx, city)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d snapshots in %s\n", city, len(snaps), dir)
+		fmt.Println("id,version,size_bytes,epoch,active,mmap_resident_bytes,error")
+		for _, sn := range snaps {
+			fmt.Printf("%s,%d,%d,%d,%t,%d,%s\n",
+				sn.ID, sn.FormatVersion, sn.SizeBytes, sn.Epoch, sn.Active, sn.MmapBytes, sn.Error)
+		}
+		return nil
+	}
 }

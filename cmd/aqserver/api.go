@@ -86,11 +86,15 @@ var apiSurface = []apiRoute{
 		func(s *server) http.HandlerFunc { return s.handleSLO }},
 	{"/v1/cities", []string{http.MethodGet}, []string{"/v1/cities"},
 		func(s *server) http.HandlerFunc { return s.handleCities }},
-	// /v1/cities/{name} details one tenant; {name}/swap hot-swaps its
-	// engine; {name}/scenario applies/lists/reverts network deltas. The
-	// method split per sub-resource is enforced in the handler.
+	// /v1/cities/{name} details one tenant; {name}/snapshots lists/saves
+	// engine snapshots and {id}:activate hot-swaps onto one; {name}/swap
+	// is the deprecated pre-snapshots spelling of activation;
+	// {name}/scenario applies/lists/reverts network deltas. The method
+	// split per sub-resource is enforced in the handler.
 	{"/v1/cities/", []string{http.MethodGet, http.MethodPost, http.MethodDelete},
-		[]string{"/v1/cities/{name}", "/v1/cities/{name}/swap", "/v1/cities/{name}/scenario"},
+		[]string{"/v1/cities/{name}", "/v1/cities/{name}/snapshots",
+			"/v1/cities/{name}/snapshots/{id}", "/v1/cities/{name}/snapshots/{id}:activate",
+			"/v1/cities/{name}/swap", "/v1/cities/{name}/scenario"},
 		func(s *server) http.HandlerFunc { return s.handleCityItem }},
 	{"/v1/zones", []string{http.MethodGet}, []string{"/v1/zones"},
 		func(s *server) http.HandlerFunc { return s.handleZones }},
@@ -188,6 +192,17 @@ func deprecated(v1, old string, h http.Handler) http.Handler {
 		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", v1))
 		h.ServeHTTP(w, r)
 	})
+}
+
+// markDeprecated stamps a response from a deprecated in-handler verb with
+// the shared RFC 9745 Deprecation timestamp, RFC 8594 Sunset date, and a
+// successor Link — the same contract the deprecated() wrapper gives
+// whole-route aliases, for verbs that live inside a dispatching handler.
+func markDeprecated(w http.ResponseWriter, route, successor string) {
+	obs.Counter(fmt.Sprintf("aq_http_deprecated_requests_total{route=%q}", route)).Inc()
+	w.Header().Set("Deprecation", aliasDeprecation)
+	w.Header().Set("Sunset", aliasSunset)
+	w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
 }
 
 // jsonBody reports whether the request body is declared as JSON. An absent

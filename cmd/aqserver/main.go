@@ -87,6 +87,7 @@ type server struct {
 	slo      *slo.Engine         // nil when -slo is off
 	sloTrip  float64             // -slo-burn-trip, echoed in /v1/slo
 	captures *capture.Store      // nil when -captures=0
+	snapDir  string              // -snapshot-dir, the /v1 snapshots store
 }
 
 func main() {
@@ -118,6 +119,7 @@ func main() {
 		sloBurnTrip  = flag.Float64("slo-burn-trip", 14.4, "fast-burn rate that trips the tenant's circuit breaker (SRE page threshold convention; 0 disables burn tripping)")
 		captureMax   = flag.Int("captures", 32, "slow-query captures retained in memory (0 disables capture)")
 		captureDir   = flag.String("capture-dir", "", "mirror captures to this directory as <id>.json files")
+		snapshotDir  = flag.String("snapshot-dir", "snapshots", "directory the /v1/cities/{name}/snapshots resource lists, saves to, and activates from")
 		captureCPU   = flag.Duration("capture-cpu", 0, "record a CPU profile of this duration after each capture trigger, single-flight (0 disables)")
 		costEnable   = flag.Bool("cost-accounting", true, "attribute wall-clock, CPU, and allocation cost per tenant (aq_cost_* metrics and the stats cost block)")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
@@ -221,6 +223,7 @@ func main() {
 		BurnTripThreshold:  *sloBurnTrip,
 		Captures:           captures,
 	}, serve.RunnerConfig{LabelWorkers: *labelWorkers, Parallelism: *parallelism, Bank: bk})
+	s.snapDir = *snapshotDir
 
 	if captures != nil {
 		obs.RegisterDebug("/debug/captures", capture.Handler(captures))
@@ -420,27 +423,39 @@ func (s *server) handleCities(w http.ResponseWriter, _ *http.Request) {
 
 // handleCityItem dispatches the /v1/cities/{name} item and its
 // sub-resources: GET {name} (tenant detail including the POI catalogue),
-// POST {name}/swap (hot-swap the engine; see handleSwap), and
-// POST/GET/DELETE {name}/scenario (network deltas; see handleScenario).
+// GET/POST {name}/snapshots and POST {name}/snapshots/{id}:activate (the
+// snapshot store; see handleSnapshots), POST {name}/swap (deprecated
+// alias of snapshot activation; see handleSwap), and POST/GET/DELETE
+// {name}/scenario (network deltas; see handleScenario).
 func (s *server) handleCityItem(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/cities/")
 	name, sub, _ := strings.Cut(rest, "/")
-	if name == "" || strings.Contains(sub, "/") {
+	if name == "" || (strings.Contains(sub, "/") && !strings.HasPrefix(sub, "snapshots/")) {
 		writeError(w, http.StatusBadRequest, codeBadRequest,
-			"want /v1/cities/{name}, /v1/cities/{name}/swap, or /v1/cities/{name}/scenario")
+			"want /v1/cities/{name}, /v1/cities/{name}/snapshots[/{id}:activate], /v1/cities/{name}/swap, or /v1/cities/{name}/scenario")
 		return
 	}
 	tn, ok := s.tenantFor(w, name)
 	if !ok {
 		return
 	}
+	if rest2, ok := strings.CutPrefix(sub, "snapshots/"); ok {
+		s.handleSnapshotItem(w, r, tn, rest2)
+		return
+	}
 	switch sub {
+	case "snapshots":
+		s.handleSnapshots(w, r, tn)
 	case "swap":
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
 			writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST only")
 			return
 		}
+		// The bare swap verb predates the snapshots resource; it keeps
+		// working through the standard deprecation shim until the shared
+		// sunset.
+		markDeprecated(w, "/v1/cities/{name}/swap", "/v1/cities/"+tn.Name+"/snapshots")
 		s.handleSwap(w, r, tn)
 	case "scenario":
 		s.handleScenario(w, r, tn)
@@ -462,6 +477,9 @@ func (s *server) handleCityItem(w http.ResponseWriter, r *http.Request) {
 		body["trips"] = len(engine.City.Feed.Trips)
 		if sc := engine.Scenario; sc != nil {
 			body["scenario_deltas"] = sc.Deltas
+		}
+		if src := engine.SnapshotInfo(); src != nil {
+			body["snapshot"] = src
 		}
 		writeJSON(w, http.StatusOK, body)
 	default:

@@ -23,7 +23,9 @@ func docPaths(t *testing.T) map[string][]string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pathKey := regexp.MustCompile(`^  (/[^:\s]*):\s*$`)
+	// Paths may themselves contain a colon (the :activate operation), so
+	// the key is everything up to the final colon on the line.
+	pathKey := regexp.MustCompile(`^  (/\S*):\s*$`)
 	paths := make(map[string][]string)
 	inPaths := false
 	current := ""

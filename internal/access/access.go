@@ -310,6 +310,8 @@ func (l *Labeler) LabelZone(zone int) (ZoneMeasure, bool, error) {
 				return ZoneMeasure{}, false, fmt.Errorf("access: zone %d: %w", zone, err)
 			}
 		}
+		// Journeys are copied out below, so the profile's label arena can go
+		// back to the router pool as soon as this start group is priced.
 		for i, tr := range trips {
 			if hit != nil && hit[i] {
 				p := prices[i]
@@ -342,6 +344,9 @@ func (l *Labeler) LabelZone(zone int) (ZoneMeasure, bool, error) {
 			if j.WalkOnly() {
 				walkOnly++
 			}
+		}
+		if prof != nil {
+			prof.Release()
 		}
 	}
 	// The zone completed cleanly; its priced trips (including negative
@@ -419,6 +424,7 @@ func (l *Labeler) LabelZonePairs(zone int) ([]PairMeasure, error) {
 			pm.Mean += l.price(j)
 			pm.Trips++
 		}
+		prof.Release()
 	}
 	out := make([]PairMeasure, 0, len(agg))
 	for _, pm := range agg {

@@ -156,6 +156,60 @@ func (c *Client) Cities(ctx context.Context) (def string, cities []CityInfo, err
 	return out.Default, out.Cities, nil
 }
 
+// SnapshotInfo is one row of the /v1/cities/{name}/snapshots listing (and
+// the body of a snapshot save/inspect response).
+type SnapshotInfo struct {
+	ID            string `json:"id"`
+	Path          string `json:"path"`
+	FormatVersion uint16 `json:"format_version"`
+	SizeBytes     int64  `json:"size_bytes"`
+	Checksum      string `json:"checksum"`
+	MmapBytes     int64  `json:"mmap_resident_bytes"`
+	City          string `json:"city"`
+	Epoch         uint64 `json:"epoch"`
+	CreatedUnix   int64  `json:"created_unix"`
+	Active        bool   `json:"active"`
+	Error         string `json:"error"`
+}
+
+// Snapshots lists the server's snapshot store for a city.
+func (c *Client) Snapshots(ctx context.Context, city string) (dir string, snaps []SnapshotInfo, err error) {
+	var out struct {
+		Dir       string         `json:"dir"`
+		Snapshots []SnapshotInfo `json:"snapshots"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/cities/"+city+"/snapshots", nil, &out); err != nil {
+		return "", nil, err
+	}
+	return out.Dir, out.Snapshots, nil
+}
+
+// SaveSnapshot asks the server to save the city's current engine into its
+// snapshot store; id may be empty for the server's default ({city}-e{epoch}).
+func (c *Client) SaveSnapshot(ctx context.Context, city, id string) (*SnapshotInfo, error) {
+	var out struct {
+		Snapshot SnapshotInfo `json:"snapshot"`
+	}
+	body := map[string]string{}
+	if id != "" {
+		body["id"] = id
+	}
+	if err := c.do(ctx, http.MethodPost, "/v1/cities/"+city+"/snapshots", body, &out); err != nil {
+		return nil, err
+	}
+	return &out.Snapshot, nil
+}
+
+// ActivateSnapshot hot-swaps the city onto a stored snapshot. The answer
+// is the server's city body as raw JSON plus the retired epoch, if any.
+func (c *Client) ActivateSnapshot(ctx context.Context, city, id string) (json.RawMessage, error) {
+	var out json.RawMessage
+	if err := c.do(ctx, http.MethodPost, "/v1/cities/"+city+"/snapshots/"+id+":activate", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // SLOWindow is one evaluation window of a tenant's burn-rate report.
 type SLOWindow struct {
 	Window string  `json:"window"`

@@ -96,6 +96,9 @@ func (e *Engine) Derive(spec DeriveSpec) (*Engine, DeriveStats, error) {
 		roadTree:    e.roadTree,
 		parallelism: e.parallelism,
 		routerOpts:  e.routerOpts,
+		// Derived engines share (or alias) the base forest and isochrones,
+		// which may live inside the base snapshot's file mapping.
+		snapSrc: e.snapSrc,
 	}
 	// The GNN adjacency depends only on zone centroids, which are shared.
 	e.adjMu.Lock()

@@ -102,6 +102,12 @@ type Engine struct {
 	// that leave Query.Parallelism unset.
 	parallelism int
 
+	// snapSrc records the snapshot file this engine was restored from, nil
+	// for engines built from scratch. It also keeps the file mapping alive
+	// when the forest and isochrone sections are served via mmap, so it is
+	// copied to derived engines, which share those structures.
+	snapSrc *SnapshotSource
+
 	// routerOpts are kept so Derive can rebuild the router over a mutated
 	// timetable with the same tuning.
 	routerOpts router.Options
@@ -660,11 +666,13 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 	// regardless of worker scheduling. (labeledSet is sorted, so yRows —
 	// appended in labeledSet order above — stay row-aligned with xRows.)
 	_, sp = obs.Start(ctx, "features", stageFeatures)
-	isLabeled := make([]bool, nz)
+	scratch := getQueryScratch(nz)
+	defer scratch.release()
+	isLabeled := scratch.isLabeled
 	for _, z := range labeledOK {
 		isLabeled[z] = true
 	}
-	vecs := make([][]float64, nz)
+	vecs := scratch.vecs
 	fw := q.Parallelism
 	if fw == 0 {
 		fw = e.parallelism
@@ -676,12 +684,10 @@ func (e *Engine) runContext(ctx context.Context, q Query) (*Result, error) {
 	sp.SetInt("zones", int64(nz))
 	sp.SetInt("parallelism", int64(fw))
 	if err := par.ForContext(ctx, fw, nz, func(zone int) error {
-		v, err := e.extractor.OriginVector(zone, m.Row(zone), q.POIs, poiZones)
-		if err != nil {
-			return err
-		}
-		vecs[zone] = v
-		return nil
+		fs := features.GetScratch()
+		err := e.extractor.OriginVectorInto(vecs[zone], fs, zone, m.Row(zone), q.POIs, poiZones)
+		features.PutScratch(fs)
+		return err
 	}); err != nil {
 		sp.End()
 		if errors.Is(err, context.DeadlineExceeded) {

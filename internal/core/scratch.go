@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sync"
+
+	"accessquery/internal/features"
+)
+
+// queryScratch is the per-query arena for the feature-generation stage:
+// one flat backing array holds every zone's feature vector (one allocation
+// instead of one per zone) and the row-slice headers over it. Pooled so a
+// warm server reuses the arrays across queries. The router and feature
+// extractor keep their own pools (profileArena, features.Scratch) for the
+// structures whose lifetime is a single zone or profile rather than a
+// query.
+type queryScratch struct {
+	flat      []float64
+	vecs      [][]float64
+	isLabeled []bool
+}
+
+var queryScratchPool = sync.Pool{New: func() interface{} { return new(queryScratch) }}
+
+// getQueryScratch returns an arena sized for nz zones with every vector
+// row zeroed and isLabeled cleared.
+func getQueryScratch(nz int) *queryScratch {
+	s := queryScratchPool.Get().(*queryScratch)
+	dim := features.Dim
+	if cap(s.flat) >= nz*dim {
+		s.flat = s.flat[:nz*dim]
+	} else {
+		s.flat = make([]float64, nz*dim)
+	}
+	if cap(s.vecs) >= nz {
+		s.vecs = s.vecs[:nz]
+	} else {
+		s.vecs = make([][]float64, nz)
+	}
+	for z := 0; z < nz; z++ {
+		s.vecs[z] = s.flat[z*dim : (z+1)*dim : (z+1)*dim]
+	}
+	if cap(s.isLabeled) >= nz {
+		s.isLabeled = s.isLabeled[:nz]
+		clear(s.isLabeled)
+	} else {
+		s.isLabeled = make([]bool, nz)
+	}
+	return s
+}
+
+// release returns the arena to the pool. The caller must not retain any
+// row slice: training copies rows into matrices (mat.FromRows), so by the
+// time a query returns nothing references the backing array.
+func (s *queryScratch) release() {
+	queryScratchPool.Put(s)
+}

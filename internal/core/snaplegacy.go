@@ -1,0 +1,253 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"sort"
+
+	"accessquery/internal/geo"
+	"accessquery/internal/graph"
+	"accessquery/internal/gtfs"
+	"accessquery/internal/hoptree"
+	"accessquery/internal/isochrone"
+	"accessquery/internal/synth"
+)
+
+// Format v1 snapshots gob-encoded the hop forest and isochrone set in
+// their original map-based shapes. Gob matches struct fields by name, so
+// these shadow types decode old files exactly even though the live types
+// have since moved to flat slices. Everything here exists only to read
+// (and, for tests, write) v1 files.
+
+type legacyLeaf struct {
+	Zone           int
+	Visits         int
+	Routes         map[gtfs.RouteID]struct{}
+	JourneySeconds []float64
+	BestWalk       float64
+}
+
+type legacyTree struct {
+	Zone      int
+	Direction hoptree.Direction
+	Interval  gtfs.Interval
+	Leaves    map[int]*legacyLeaf
+}
+
+type legacyForest struct {
+	Interval gtfs.Interval
+	Out      []*legacyTree
+	In       []*legacyTree
+}
+
+type legacyIsochrone struct {
+	Origin     geo.Point
+	OriginNode graph.NodeID
+	Tau        float64
+	Nodes      map[graph.NodeID]float64
+	Hull       geo.Polygon
+}
+
+type legacyIsoSet struct {
+	Tau        float64
+	Isochrones []*legacyIsochrone
+}
+
+type legacySnapshot struct {
+	CityConfig synth.Config
+	Interval   gtfs.Interval
+	Tau        float64
+	Hops       int
+	Isochrones *legacyIsoSet
+	Forest     *legacyForest
+}
+
+// fromLegacy converts a decoded v1 payload to the live flat structures.
+// Leaf journey sums accumulate in recorded order, so AvgJourney matches
+// the value the v1 reader would have computed bit-for-bit.
+func (ls *legacySnapshot) fromLegacy() (*Snapshot, error) {
+	if ls.Isochrones == nil || ls.Forest == nil {
+		return nil, fmt.Errorf("missing forest or isochrones")
+	}
+	isos := &isochrone.Set{Tau: ls.Isochrones.Tau, Isochrones: make([]*isochrone.Isochrone, len(ls.Isochrones.Isochrones))}
+	for z, li := range ls.Isochrones.Isochrones {
+		if li == nil {
+			return nil, fmt.Errorf("zone %d has no isochrone", z)
+		}
+		ids := make([]graph.NodeID, 0, len(li.Nodes))
+		for id := range li.Nodes {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		secs := make([]float64, len(ids))
+		for i, id := range ids {
+			secs[i] = li.Nodes[id]
+		}
+		isos.Isochrones[z] = &isochrone.Isochrone{
+			Origin:      li.Origin,
+			OriginNode:  li.OriginNode,
+			Tau:         li.Tau,
+			NodeIDs:     ids,
+			NodeSeconds: secs,
+			Hull:        li.Hull,
+		}
+	}
+	trees := func(src []*legacyTree) ([]*hoptree.Tree, error) {
+		out := make([]*hoptree.Tree, len(src))
+		for z, lt := range src {
+			if lt == nil {
+				return nil, fmt.Errorf("zone %d has no hop tree", z)
+			}
+			zones := make([]int, 0, len(lt.Leaves))
+			for lz := range lt.Leaves {
+				zones = append(zones, lz)
+			}
+			sort.Ints(zones)
+			leaves := make([]hoptree.Leaf, 0, len(zones))
+			for _, lz := range zones {
+				ll := lt.Leaves[lz]
+				var sum float64
+				for _, s := range ll.JourneySeconds {
+					sum += s
+				}
+				leaves = append(leaves, hoptree.Leaf{
+					Zone:         int32(lz),
+					Visits:       int32(ll.Visits),
+					Routes:       int32(len(ll.Routes)),
+					JourneyCount: int32(len(ll.JourneySeconds)),
+					JourneySum:   sum,
+					BestWalk:     ll.BestWalk,
+				})
+			}
+			out[z] = &hoptree.Tree{Zone: lt.Zone, Direction: lt.Direction, Interval: lt.Interval, Leaves: leaves}
+		}
+		return out, nil
+	}
+	outTrees, err := trees(ls.Forest.Out)
+	if err != nil {
+		return nil, err
+	}
+	inTrees, err := trees(ls.Forest.In)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		CityConfig: ls.CityConfig,
+		Interval:   ls.Interval,
+		Tau:        ls.Tau,
+		Hops:       ls.Hops,
+		Isochrones: isos,
+		Forest:     &hoptree.Forest{Interval: ls.Forest.Interval, Out: outTrees, In: inTrees},
+	}, nil
+}
+
+// toLegacy converts live structures back to the v1 wire shape. Lossy
+// detail a v1 reader never consumed is synthesised value-faithfully: each
+// leaf's journey list becomes [sum, 0, 0, ...] with JourneyCount entries
+// (adding zeros is exact in floating point, so the decoded average is
+// unchanged) and route sets get distinct placeholder IDs so RouteCount
+// survives the round trip.
+func toLegacy(snap *Snapshot) *legacySnapshot {
+	lisos := &legacyIsoSet{Tau: snap.Isochrones.Tau, Isochrones: make([]*legacyIsochrone, len(snap.Isochrones.Isochrones))}
+	for z, iso := range snap.Isochrones.Isochrones {
+		nodes := make(map[graph.NodeID]float64, len(iso.NodeIDs))
+		for i, id := range iso.NodeIDs {
+			nodes[id] = iso.NodeSeconds[i]
+		}
+		lisos.Isochrones[z] = &legacyIsochrone{
+			Origin:     iso.Origin,
+			OriginNode: iso.OriginNode,
+			Tau:        iso.Tau,
+			Nodes:      nodes,
+			Hull:       iso.Hull,
+		}
+	}
+	trees := func(src []*hoptree.Tree) []*legacyTree {
+		out := make([]*legacyTree, len(src))
+		for z, t := range src {
+			leaves := make(map[int]*legacyLeaf, len(t.Leaves))
+			for i := range t.Leaves {
+				l := &t.Leaves[i]
+				journeys := make([]float64, l.JourneyCount)
+				if l.JourneyCount > 0 {
+					journeys[0] = l.JourneySum
+				}
+				routes := make(map[gtfs.RouteID]struct{}, l.Routes)
+				for r := int32(0); r < l.Routes; r++ {
+					routes[gtfs.RouteID(fmt.Sprintf("r%d", r))] = struct{}{}
+				}
+				leaves[int(l.Zone)] = &legacyLeaf{
+					Zone:           int(l.Zone),
+					Visits:         int(l.Visits),
+					Routes:         routes,
+					JourneySeconds: journeys,
+					BestWalk:       l.BestWalk,
+				}
+			}
+			out[z] = &legacyTree{Zone: t.Zone, Direction: t.Direction, Interval: t.Interval, Leaves: leaves}
+		}
+		return out
+	}
+	return &legacySnapshot{
+		CityConfig: snap.CityConfig,
+		Interval:   snap.Interval,
+		Tau:        snap.Tau,
+		Hops:       snap.Hops,
+		Isochrones: lisos,
+		Forest:     &legacyForest{Interval: snap.Forest.Interval, Out: trees(snap.Forest.Out), In: trees(snap.Forest.In)},
+	}
+}
+
+// decodeSnapshotV1 decodes a verified v1 gob payload into the live shapes.
+func decodeSnapshotV1(path string, payload []byte) (*Snapshot, error) {
+	var ls legacySnapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ls); err != nil {
+		return nil, &SnapshotError{Path: path, Reason: "decoding payload", Err: err}
+	}
+	snap, err := ls.fromLegacy()
+	if err != nil {
+		return nil, &SnapshotError{Path: path, Reason: err.Error()}
+	}
+	return snap, nil
+}
+
+// saveSnapshotV1 writes the engine's structures in the legacy v1 format —
+// 48-byte header plus one gob payload. Kept (unexported) so read-compat
+// tests can produce genuine v1 files with a current build.
+func (e *Engine) saveSnapshotV1(path string) error {
+	snap := e.buildSnapshot(0)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(toLegacy(snap)); err != nil {
+		return fmt.Errorf("core: encoding v1 snapshot: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	w := bufio.NewWriter(file)
+	header := make([]byte, 0, snapshotV1HeaderLen)
+	header = append(header, snapshotMagic...)
+	header = binary.BigEndian.AppendUint16(header, snapshotV1Version)
+	header = binary.BigEndian.AppendUint64(header, uint64(payload.Len()))
+	header = append(header, sum[:]...)
+	if _, err := w.Write(header); err != nil {
+		file.Close()
+		return fmt.Errorf("core: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		file.Close()
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		file.Close()
+		return fmt.Errorf("core: %w", err)
+	}
+	return file.Close()
+}

@@ -1,0 +1,68 @@
+//go:build unix
+
+package core
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// snapMapping holds a snapshot file's bytes, either mmap'd (PROT_READ,
+// shared) or heap-read when mapping is unavailable. Engines restored from
+// a v2 snapshot keep a reference so the mapping outlives every structure
+// that aliases it; the finalizer unmaps once the last engine is collected.
+type snapMapping struct {
+	data   []byte
+	mapped bool
+}
+
+// mapSnapshot maps path read-only. Zero-length and unmappable files fall
+// back to a heap read so callers see uniform behaviour.
+func mapSnapshot(path string) (*snapMapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || int64(int(size)) != size {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return &snapMapping{data: raw}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, err
+		}
+		return &snapMapping{data: raw}, nil
+	}
+	m := &snapMapping{data: data, mapped: true}
+	runtime.SetFinalizer(m, (*snapMapping).close)
+	return m, nil
+}
+
+func (m *snapMapping) close() {
+	if m.mapped && m.data != nil {
+		_ = syscall.Munmap(m.data)
+	}
+	m.data = nil
+	m.mapped = false
+}
+
+// residentBytes reports how many bytes the mapping pins to the file; 0 for
+// heap-read snapshots, whose memory is ordinary Go heap.
+func (m *snapMapping) residentBytes() int64 {
+	if m == nil || !m.mapped {
+		return 0
+	}
+	return int64(len(m.data))
+}

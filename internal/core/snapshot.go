@@ -6,8 +6,10 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/gob"
+	"encoding/hex"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"accessquery/internal/fault"
@@ -31,31 +33,35 @@ type Snapshot struct {
 	Hops       int
 	Isochrones *isochrone.Set
 	Forest     *hoptree.Forest
+
+	// Provenance recorded by the v2 format: the city name and engine epoch
+	// that produced the snapshot, and the save time. Zero for v1 files,
+	// which predate them.
+	City        string
+	Epoch       uint64
+	CreatedUnix int64
 }
 
-// The on-disk snapshot layout is a fixed header followed by the gob
-// payload:
-//
-//	offset  size  field
-//	0       6     magic "AQSNAP"
-//	6       2     format version, big-endian uint16
-//	8       8     payload length in bytes, big-endian uint64
-//	16      32    SHA-256 of the payload
-//	48      n     gob-encoded Snapshot
-//
-// The header exists so a registry asked to hot-swap a snapshot can refuse
-// a truncated copy, a partial write, or a file that is not a snapshot at
-// all with a precise SnapshotError instead of surfacing whatever confusing
-// state a gob decoder happens to trip over — and keep the old epoch
-// serving.
+// Two on-disk formats share the "AQSNAP" magic and a big-endian uint16
+// version at offset 6, so either reader can identify the other's files and
+// refuse them precisely. Version 1 is a 48-byte header (magic, version,
+// payload length, SHA-256) followed by one gob payload; version 2 — the
+// format SaveSnapshot writes — is the flat, mmap-able section layout
+// documented in snapv2.go. Headers exist so a registry asked to hot-swap a
+// snapshot can refuse a truncated copy, a partial write, or a file that is
+// not a snapshot at all with a precise SnapshotError instead of surfacing
+// whatever confusing state a decoder happens to trip over — and keep the
+// old epoch serving.
 const (
 	snapshotMagic = "AQSNAP"
-	// SnapshotVersion is the current snapshot format version. Bump it when
-	// the Snapshot struct changes incompatibly; LoadEngine refuses other
-	// versions rather than mis-decoding them.
-	SnapshotVersion uint16 = 1
 
-	snapshotHeaderLen = 6 + 2 + 8 + sha256.Size
+	snapshotV1Version   uint16 = 1
+	snapshotV1HeaderLen        = 6 + 2 + 8 + sha256.Size
+
+	// SnapshotVersion is the version SaveSnapshot writes. LoadEngine reads
+	// this and the v1 format; anything else is refused rather than
+	// mis-decoded.
+	SnapshotVersion = snapshotV2Version
 )
 
 // SnapshotError reports why a snapshot file was rejected before (or while)
@@ -77,38 +83,68 @@ func (e *SnapshotError) Error() string {
 
 func (e *SnapshotError) Unwrap() error { return e.Err }
 
-// SaveSnapshot writes the engine's pre-processed structures to path in the
-// versioned, checksummed snapshot format.
-func (e *Engine) SaveSnapshot(path string) error {
-	snap := Snapshot{
-		CityConfig: e.City.Config,
-		Interval:   e.Interval,
-		Tau:        e.isos.Tau,
-		Hops:       e.extractor.Hops,
-		Isochrones: e.isos,
-		Forest:     e.forest,
+// SnapshotSource describes the snapshot file an engine was restored from
+// (or that InspectSnapshot examined). MmapBytes is non-zero only when the
+// numeric sections are being served straight out of a file mapping.
+type SnapshotSource struct {
+	Path        string `json:"path"`
+	Version     uint16 `json:"format_version"`
+	SizeBytes   int64  `json:"size_bytes"`
+	Checksum    string `json:"checksum"`
+	MmapBytes   int64  `json:"mmap_resident_bytes"`
+	City        string `json:"city,omitempty"`
+	Epoch       uint64 `json:"epoch,omitempty"`
+	CreatedUnix int64  `json:"created_unix,omitempty"`
+
+	// mapping keeps the file mapping alive: every slice in the restored
+	// engine's forest and isochrone set aliases it. It must not be
+	// released while any engine (base or derived) still references this
+	// source.
+	mapping *snapMapping
+}
+
+// SnapshotInfo returns the source snapshot this engine (or its base, for
+// derived engines) was restored from, or nil for engines built from
+// scratch.
+func (e *Engine) SnapshotInfo() *SnapshotSource { return e.snapSrc }
+
+// buildSnapshot assembles the in-memory Snapshot for this engine, stamping
+// the provenance fields.
+func (e *Engine) buildSnapshot(epoch uint64) *Snapshot {
+	return &Snapshot{
+		CityConfig:  e.City.Config,
+		Interval:    e.Interval,
+		Tau:         e.isos.Tau,
+		Hops:        e.extractor.Hops,
+		Isochrones:  e.isos,
+		Forest:      e.forest,
+		City:        e.City.Config.Name,
+		Epoch:       epoch,
+		CreatedUnix: time.Now().Unix(),
 	}
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(&snap); err != nil {
+}
+
+// SaveSnapshot writes the engine's pre-processed structures to path in the
+// current (v2) snapshot format.
+func (e *Engine) SaveSnapshot(path string) error { return e.SaveSnapshotEpoch(path, 0) }
+
+// SaveSnapshotEpoch is SaveSnapshot with the producing engine epoch
+// recorded in the snapshot's meta section, for servers that know it.
+func (e *Engine) SaveSnapshotEpoch(path string, epoch uint64) error {
+	sections, err := buildSnapshotSectionsV2(e.buildSnapshot(epoch))
+	if err != nil {
 		return fmt.Errorf("core: encoding snapshot: %w", err)
 	}
-	sum := sha256.Sum256(payload.Bytes())
-
+	image, err := encodeSnapshotV2(sections)
+	if err != nil {
+		return fmt.Errorf("core: encoding snapshot: %w", err)
+	}
 	file, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	w := bufio.NewWriter(file)
-	header := make([]byte, 0, snapshotHeaderLen)
-	header = append(header, snapshotMagic...)
-	header = binary.BigEndian.AppendUint16(header, SnapshotVersion)
-	header = binary.BigEndian.AppendUint64(header, uint64(payload.Len()))
-	header = append(header, sum[:]...)
-	if _, err := w.Write(header); err != nil {
-		file.Close()
-		return fmt.Errorf("core: %w", err)
-	}
-	if _, err := w.Write(payload.Bytes()); err != nil {
+	if _, err := w.Write(image); err != nil {
 		file.Close()
 		return fmt.Errorf("core: %w", err)
 	}
@@ -119,49 +155,175 @@ func (e *Engine) SaveSnapshot(path string) error {
 	return file.Close()
 }
 
-// readSnapshot reads and verifies a snapshot file: magic, version, length,
-// and checksum, then the gob payload. Every rejection is a *SnapshotError
-// naming the precise reason.
-func readSnapshot(path string) (*Snapshot, error) {
-	raw, err := os.ReadFile(path)
+// readSnapshot reads and verifies a snapshot file of either format. Every
+// rejection is a *SnapshotError naming the precise reason. The returned
+// source carries the mapping keep-alive for v2 files.
+func readSnapshot(path string) (*Snapshot, *SnapshotSource, error) {
+	m, err := mapSnapshot(path)
 	if err != nil {
-		return nil, &SnapshotError{Path: path, Reason: "unreadable", Err: err}
+		return nil, nil, &SnapshotError{Path: path, Reason: "unreadable", Err: err}
 	}
-	if len(raw) < snapshotHeaderLen {
-		return nil, &SnapshotError{Path: path, Reason: fmt.Sprintf("truncated: %d bytes is shorter than the %d-byte header", len(raw), snapshotHeaderLen)}
+	raw := m.data
+	if len(raw) < 8 {
+		m.close()
+		return nil, nil, &SnapshotError{Path: path, Reason: fmt.Sprintf("truncated: %d bytes is shorter than the %d-byte header", len(raw), snapV2HeaderLen)}
 	}
 	if string(raw[:6]) != snapshotMagic {
-		return nil, &SnapshotError{Path: path, Reason: "not an accessquery snapshot (bad magic; re-save with a current build)"}
+		m.close()
+		return nil, nil, &SnapshotError{Path: path, Reason: "not an accessquery snapshot (bad magic; re-save with a current build)"}
 	}
 	version := binary.BigEndian.Uint16(raw[6:8])
-	if version != SnapshotVersion {
-		return nil, &SnapshotError{Path: path, Reason: fmt.Sprintf("format version %d, want %d", version, SnapshotVersion)}
+	switch version {
+	case snapshotV1Version:
+		snap, err := readSnapshotV1(path, raw)
+		var checksum string
+		if len(raw) >= snapshotV1HeaderLen {
+			checksum = hex.EncodeToString(raw[16 : 16+sha256.Size])
+		}
+		m.close() // v1 decodes onto the heap; nothing aliases the file
+		if err != nil {
+			return nil, nil, err
+		}
+		src := &SnapshotSource{
+			Path:      path,
+			Version:   snapshotV1Version,
+			SizeBytes: int64(len(raw)),
+			Checksum:  checksum,
+		}
+		return snap, src, nil
+	case snapshotV2Version:
+		sections, err := parseSnapshotV2(path, raw)
+		if err != nil {
+			m.close()
+			return nil, nil, err
+		}
+		snap, err := snapshotFromSections(path, sections)
+		if err != nil {
+			m.close()
+			return nil, nil, err
+		}
+		tableEnd := snapV2HeaderLen + len(sections)*snapV2EntryLen
+		sum := sha256.Sum256(raw[:tableEnd])
+		src := &SnapshotSource{
+			Path:        path,
+			Version:     snapshotV2Version,
+			SizeBytes:   int64(len(raw)),
+			Checksum:    hex.EncodeToString(sum[:]),
+			MmapBytes:   m.residentBytes(),
+			City:        snap.City,
+			Epoch:       snap.Epoch,
+			CreatedUnix: snap.CreatedUnix,
+			mapping:     m,
+		}
+		return snap, src, nil
+	default:
+		m.close()
+		return nil, nil, &SnapshotError{Path: path, Reason: fmt.Sprintf("unsupported format version %d (this build reads %d and %d)", version, snapshotV1Version, snapshotV2Version)}
+	}
+}
+
+// readSnapshotV1 verifies the fixed v1 header — length and checksum — and
+// gob-decodes the payload through the legacy shadow structs.
+func readSnapshotV1(path string, raw []byte) (*Snapshot, error) {
+	if len(raw) < snapshotV1HeaderLen {
+		return nil, &SnapshotError{Path: path, Reason: fmt.Sprintf("truncated: %d bytes is shorter than the %d-byte header", len(raw), snapshotV1HeaderLen)}
 	}
 	declared := binary.BigEndian.Uint64(raw[8:16])
-	payload := raw[snapshotHeaderLen:]
+	payload := raw[snapshotV1HeaderLen:]
 	if uint64(len(payload)) != declared {
 		return nil, &SnapshotError{Path: path, Reason: fmt.Sprintf("truncated: header declares %d payload bytes, file has %d", declared, len(payload))}
 	}
 	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], raw[16:16+sha256.Size]) {
 		return nil, &SnapshotError{Path: path, Reason: "checksum mismatch (corrupt or partially written)"}
 	}
-	var snap Snapshot
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
-		return nil, &SnapshotError{Path: path, Reason: "decoding payload", Err: err}
-	}
-	return &snap, nil
+	return decodeSnapshotV1(path, payload)
 }
 
-// LoadEngine restores an engine from a snapshot: the header is verified
-// (magic, version, checksum — see SnapshotError), the city is regenerated
-// from its recorded configuration (deterministic in the seed), and the
-// pre-computed structures are installed without recomputation.
+// InspectSnapshot reads just enough of a snapshot file to describe it —
+// header, section table, and (for v2) the small meta section — without
+// decoding or mapping the numeric payloads. Listing a directory of
+// snapshots stays cheap regardless of their size.
+func InspectSnapshot(path string) (*SnapshotSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, &SnapshotError{Path: path, Reason: "unreadable", Err: err}
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, &SnapshotError{Path: path, Reason: "unreadable", Err: err}
+	}
+	header := make([]byte, snapV2HeaderLen)
+	if _, err := f.ReadAt(header, 0); err != nil {
+		return nil, &SnapshotError{Path: path, Reason: fmt.Sprintf("truncated: %d bytes is shorter than the %d-byte header", st.Size(), snapV2HeaderLen)}
+	}
+	if string(header[:6]) != snapshotMagic {
+		return nil, &SnapshotError{Path: path, Reason: "not an accessquery snapshot (bad magic; re-save with a current build)"}
+	}
+	version := binary.BigEndian.Uint16(header[6:8])
+	src := &SnapshotSource{Path: path, Version: version, SizeBytes: st.Size()}
+	switch version {
+	case snapshotV1Version:
+		h := make([]byte, snapshotV1HeaderLen)
+		if _, err := f.ReadAt(h, 0); err != nil {
+			return nil, &SnapshotError{Path: path, Reason: fmt.Sprintf("truncated: %d bytes is shorter than the %d-byte header", st.Size(), snapshotV1HeaderLen)}
+		}
+		src.Checksum = hex.EncodeToString(h[16 : 16+sha256.Size])
+		return src, nil
+	case snapshotV2Version:
+		count := int(binary.BigEndian.Uint32(header[8:12]))
+		if count <= 0 || count > 1<<10 {
+			return nil, &SnapshotError{Path: path, Reason: fmt.Sprintf("implausible section count %d", count)}
+		}
+		table := make([]byte, snapV2HeaderLen+count*snapV2EntryLen)
+		if _, err := f.ReadAt(table, 0); err != nil {
+			return nil, &SnapshotError{Path: path, Reason: "truncated: section table is incomplete"}
+		}
+		sum := sha256.Sum256(table)
+		src.Checksum = hex.EncodeToString(sum[:])
+		for i := 0; i < count; i++ {
+			entry := table[snapV2HeaderLen+i*snapV2EntryLen:]
+			if string(bytes.TrimRight(entry[:16], "\x00")) != "meta" {
+				continue
+			}
+			off := binary.BigEndian.Uint64(entry[16:24])
+			length := binary.BigEndian.Uint64(entry[24:32])
+			if length > 1<<24 || int64(off)+int64(length) > st.Size() {
+				return nil, &SnapshotError{Path: path, Reason: "truncated: meta section is out of bounds"}
+			}
+			metaRaw := make([]byte, length)
+			if _, err := f.ReadAt(metaRaw, int64(off)); err != nil {
+				return nil, &SnapshotError{Path: path, Reason: "truncated: meta section is incomplete"}
+			}
+			if s := sha256.Sum256(metaRaw); !bytes.Equal(s[:], entry[32:64]) {
+				return nil, &SnapshotError{Path: path, Reason: `checksum mismatch in section "meta" (corrupt or partially written)`}
+			}
+			var meta snapMetaV2
+			if err := gob.NewDecoder(bytes.NewReader(metaRaw)).Decode(&meta); err != nil {
+				return nil, &SnapshotError{Path: path, Reason: `malformed section "meta"`, Err: err}
+			}
+			src.City = meta.City
+			src.Epoch = meta.Epoch
+			src.CreatedUnix = meta.CreatedUnix
+		}
+		return src, nil
+	default:
+		return nil, &SnapshotError{Path: path, Reason: fmt.Sprintf("unsupported format version %d (this build reads %d and %d)", version, snapshotV1Version, snapshotV2Version)}
+	}
+}
+
+// LoadEngine restores an engine from a snapshot: the header and checksums
+// are verified (see SnapshotError), the city is regenerated from its
+// recorded configuration (deterministic in the seed), and the pre-computed
+// structures are installed without recomputation. For v2 snapshots the
+// numeric sections are mmap'd and served in place — pages fault in lazily
+// — instead of being gob-decoded onto the heap.
 func LoadEngine(path string) (*Engine, error) {
 	// Chaos-test injection site for snapshot load failures.
 	if err := fault.Check(fault.SiteSnapshot); err != nil {
 		return nil, fmt.Errorf("core: loading snapshot: %w", err)
 	}
-	snap, err := readSnapshot(path)
+	snap, src, err := readSnapshot(path)
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +349,7 @@ func LoadEngine(path string) (*Engine, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	zoneTree, roadTree := buildSpatialIndexes(city, pts)
-	return &Engine{
+	eng := &Engine{
 		City:      city,
 		Interval:  snap.Interval,
 		zonePts:   pts,
@@ -197,9 +359,14 @@ func LoadEngine(path string) (*Engine, error) {
 		router:    rt,
 		zoneTree:  zoneTree,
 		roadTree:  roadTree,
+		snapSrc:   src,
 		// A snapshot stores no knob; restored engines run queries serially
 		// unless the query sets its own Parallelism.
 		parallelism:  1,
 		PrepDuration: time.Since(start),
-	}, nil
+	}
+	// The mapping must stay referenced until the engine holds it; the
+	// forest and isochrone slices alias it but are invisible to the GC.
+	runtime.KeepAlive(src)
+	return eng, nil
 }

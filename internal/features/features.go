@@ -6,12 +6,16 @@
 // fixed-width vector describing the pair's potential connectivity. OD
 // vectors are aggregated to the origin level with the attractiveness
 // weights α, mirroring the gravity-based access measures.
+//
+// Every lazy cache is a dense slice addressed by the zone index (the same
+// index the forest and isochrone set use), and the hot path has Into
+// variants writing into caller scratch, so a warm extractor serves feature
+// vectors with zero allocations.
 package features
 
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -51,6 +55,28 @@ func Names() []string {
 	}
 }
 
+// Scratch holds the per-goroutine buffers the Into variants write through:
+// the reach BFS frontier, one pair vector for origin aggregation, and the
+// interchange list. A Scratch must not be shared between concurrent calls;
+// pool or stack one per worker. The zero value is ready to use.
+type Scratch struct {
+	reach hoptree.ReachScratch
+	pair  []float64
+	inter []int32
+}
+
+// scratchPool backs the allocating convenience wrappers (PairVector,
+// OriginVector) so they stay cheap without burdening their callers with a
+// Scratch.
+var scratchPool = sync.Pool{New: func() interface{} { return new(Scratch) }}
+
+// GetScratch returns a pooled Scratch for use with the *Into methods;
+// return it with PutScratch once the call (not the result) is done.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a Scratch obtained from GetScratch to the pool.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }
+
 // Extractor computes pair and origin-level feature vectors from the
 // pre-computed structures.
 type Extractor struct {
@@ -61,17 +87,21 @@ type Extractor struct {
 	Hops int
 
 	// mu guards the lazy caches below: one Extractor is shared by every
-	// concurrent engine run (e.g. a serving layer's worker pool), and
-	// unsynchronized map writes are a fatal runtime error. Cache values are
-	// deterministic and immutable once stored, so misses compute outside the
-	// write lock and the first stored value wins.
+	// concurrent engine run (e.g. a serving layer's worker pool). Cache
+	// values are deterministic and immutable once stored, so misses compute
+	// outside the write lock and the first stored value wins. Each cache is
+	// a dense slice indexed by zone; the nil / negative entry is the
+	// not-yet-computed sentinel.
 	mu sync.RWMutex
 	// ibTrees caches a KD-tree over the inbound leaves per destination zone.
-	ibTrees map[int]*spatial.KDTree
-	// reachFrac caches the h-hop reachable fraction per origin.
-	reachFrac map[int]float64
-	// hopsTo caches per-origin hop counts.
-	hopsTo map[int]map[int]int
+	ibTrees []*spatial.KDTree
+	// reachFrac caches the h-hop reachable fraction per origin (-1 =
+	// uncached).
+	reachFrac []float64
+	// hopsTo caches per-origin hop counts: hopsTo[origin][z] is the minimum
+	// hop count to z, -1 when unreachable within Hops; a nil row is
+	// uncached.
+	hopsTo [][]int32
 
 	// cacheHits/cacheMisses count lazy-cache outcomes for this extractor,
 	// alongside the process-wide metrics. Engine runs snapshot them around a
@@ -113,18 +143,22 @@ func NewExtractor(forest *hoptree.Forest, zones []geo.Point, isos *isochrone.Set
 	if hops <= 0 {
 		hops = 2
 	}
+	reachFrac := make([]float64, len(zones))
+	for i := range reachFrac {
+		reachFrac[i] = -1
+	}
 	return &Extractor{
 		forest:    forest,
 		zones:     zones,
 		isos:      isos,
 		Hops:      hops,
-		ibTrees:   make(map[int]*spatial.KDTree),
-		reachFrac: make(map[int]float64),
-		hopsTo:    make(map[int]map[int]int),
+		ibTrees:   make([]*spatial.KDTree, len(zones)),
+		reachFrac: reachFrac,
+		hopsTo:    make([][]int32, len(zones)),
 	}, nil
 }
 
-// Warm populates every lazy cache — per-origin hop maps and reach
+// Warm populates every lazy cache — per-origin hop rows and reach
 // fractions, per-destination inbound KD-trees — across a worker pool,
 // shifting the first query's cache-miss cost into the offline phase. The
 // cached values are deterministic, so warming never changes any feature
@@ -135,8 +169,10 @@ func (e *Extractor) Warm(workers int) {
 	// warming in parallel contends briefly per entry rather than serializing
 	// the whole pass.
 	_ = par.For(workers, len(e.zones), func(zone int) error {
-		e.reachFraction(zone) // also fills hopsTo[zone]
+		s := scratchPool.Get().(*Scratch)
+		e.reachFraction(zone, s) // also fills hopsTo[zone]
 		e.ibTreeFor(zone)
+		scratchPool.Put(s)
 		return nil
 	})
 }
@@ -151,20 +187,43 @@ func (e *Extractor) walkRadiusMeters() float64 {
 // PairVector computes the feature vector for (origin zone, destination
 // point). destZone is the zone the destination POI is associated with.
 func (e *Extractor) PairVector(origin int, dest geo.Point, destZone int) ([]float64, error) {
+	v := make([]float64, Dim)
+	s := scratchPool.Get().(*Scratch)
+	err := e.PairVectorInto(v, origin, dest, destZone, s)
+	scratchPool.Put(s)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// PairVectorInto computes the feature vector for (origin zone, destination
+// point) into dst, which must have length Dim. With warm caches the call
+// performs no allocations.
+func (e *Extractor) PairVectorInto(dst []float64, origin int, dest geo.Point, destZone int, s *Scratch) error {
+	if len(dst) != Dim {
+		return fmt.Errorf("features: dst length %d, want %d", len(dst), Dim)
+	}
 	if origin < 0 || origin >= len(e.zones) {
-		return nil, fmt.Errorf("features: origin %d out of range", origin)
+		return fmt.Errorf("features: origin %d out of range", origin)
 	}
 	if destZone < 0 || destZone >= len(e.zones) {
-		return nil, fmt.Errorf("features: destination zone %d out of range", destZone)
+		return fmt.Errorf("features: destination zone %d out of range", destZone)
+	}
+	if s == nil {
+		return fmt.Errorf("features: nil scratch")
 	}
 	mPairVectors.Inc()
-	v := make([]float64, Dim)
+	v := dst
+	for i := range v {
+		v[i] = 0
+	}
 	op := e.zones[origin]
 	odDist := geo.DistanceMeters(op, dest)
 	v[0] = odDist
 
-	hopsTo := e.hopsFor(origin)
-	if h, ok := hopsTo[destZone]; ok {
+	hopsTo := e.hopsFor(origin, s)
+	if h := hopsTo[destZone]; h >= 0 {
 		v[1] = 1
 		v[2] = float64(h)
 	} else {
@@ -196,7 +255,7 @@ func (e *Extractor) PairVector(origin int, dest geo.Point, destZone int) ([]floa
 	}
 
 	// Interchanges.
-	inter := e.interchanges(ob, destZone)
+	inter := e.interchanges(ob, destZone, s)
 	v[13] = float64(len(inter))
 	best := math.Inf(1)
 	for _, zi := range inter {
@@ -212,7 +271,7 @@ func (e *Extractor) PairVector(origin int, dest geo.Point, destZone int) ([]floa
 	// High-frequency-route feature: among the top outbound leaves by
 	// visits, how close can we get to the destination?
 	v[15] = e.hiFreqApproach(ob, dest, odDist)
-	v[16] = e.reachFraction(origin)
+	v[16] = e.reachFraction(origin, s)
 	if odDist <= e.walkRadiusMeters() {
 		v[17] = 1
 	}
@@ -222,39 +281,46 @@ func (e *Extractor) PairVector(origin int, dest geo.Point, destZone int) ([]floa
 	// radius. Walk-only pairs have zero cost variance (ACSD 0), and this
 	// continuous signal lets the models separate them from marginal ones.
 	v[18] = (e.walkRadiusMeters() - odDist) / e.walkRadiusMeters()
-	return v, nil
+	return nil
 }
 
-func (e *Extractor) hopsFor(origin int) map[int]int {
+func (e *Extractor) hopsFor(origin int, s *Scratch) []int32 {
 	e.mu.RLock()
-	m, ok := e.hopsTo[origin]
+	row := e.hopsTo[origin]
 	e.mu.RUnlock()
-	if ok {
+	if row != nil {
 		e.cacheHit()
-		return m
+		return row
 	}
 	e.cacheMiss()
-	m = e.forest.ReachableWithin(origin, e.Hops)
+	row = make([]int32, len(e.zones))
+	e.forest.ReachableInto(row, origin, e.Hops, &s.reach)
 	e.mu.Lock()
-	if prev, ok := e.hopsTo[origin]; ok {
-		m = prev // a concurrent miss stored first; share its map
+	if prev := e.hopsTo[origin]; prev != nil {
+		row = prev // a concurrent miss stored first; share its row
 	} else {
-		e.hopsTo[origin] = m
+		e.hopsTo[origin] = row
 	}
 	e.mu.Unlock()
-	return m
+	return row
 }
 
-func (e *Extractor) reachFraction(origin int) float64 {
+func (e *Extractor) reachFraction(origin int, s *Scratch) float64 {
 	e.mu.RLock()
-	f, ok := e.reachFrac[origin]
+	f := e.reachFrac[origin]
 	e.mu.RUnlock()
-	if ok {
+	if f >= 0 {
 		e.cacheHit()
 		return f
 	}
 	e.cacheMiss()
-	f = float64(len(e.hopsFor(origin))) / float64(len(e.zones))
+	reached := 0
+	for _, h := range e.hopsFor(origin, s) {
+		if h >= 0 {
+			reached++
+		}
+	}
+	f = float64(reached) / float64(len(e.zones))
 	e.mu.Lock()
 	e.reachFrac[origin] = f
 	e.mu.Unlock()
@@ -262,12 +328,14 @@ func (e *Extractor) reachFraction(origin int) float64 {
 }
 
 // closestLeaf returns the leaf geographically nearest to p and its
-// distance, or nil for an empty tree.
+// distance, or nil for an empty tree. Leaves are scanned in zone order, so
+// the result is deterministic.
 func (e *Extractor) closestLeaf(t *hoptree.Tree, p geo.Point) (*hoptree.Leaf, float64) {
 	var best *hoptree.Leaf
 	bestD := math.Inf(1)
-	for zone, leaf := range t.Leaves {
-		if d := geo.DistanceMeters(e.zones[zone], p); d < bestD {
+	for i := range t.Leaves {
+		leaf := &t.Leaves[i]
+		if d := geo.DistanceMeters(e.zones[leaf.Zone], p); d < bestD {
 			bestD = d
 			best = leaf
 		}
@@ -281,14 +349,17 @@ func (e *Extractor) closestLeaf(t *hoptree.Tree, p geo.Point) (*hoptree.Leaf, fl
 // interchanges identifies the outbound leaves that connect to the inbound
 // tree of destZone: for each outbound leaf, the nearest inbound leaf is
 // found with a 1-NN query and the pair is tested for walking-isochrone
-// overlap (Section IV-B1).
-func (e *Extractor) interchanges(ob *hoptree.Tree, destZone int) []int {
+// overlap (Section IV-B1). The returned slice aliases s.inter and is valid
+// until the next call on the same scratch.
+func (e *Extractor) interchanges(ob *hoptree.Tree, destZone int, s *Scratch) []int32 {
+	out := s.inter[:0]
+	defer func() { s.inter = out }()
 	ibTree := e.ibTreeFor(destZone)
 	if ibTree == nil || ibTree.Len() == 0 {
 		return nil
 	}
-	var out []int
-	for zone := range ob.Leaves {
+	for i := range ob.Leaves {
+		zone := int(ob.Leaves[i].Zone)
 		nb, ok := ibTree.Nearest(e.zones[zone])
 		if !ok {
 			continue
@@ -299,7 +370,7 @@ func (e *Extractor) interchanges(ob *hoptree.Tree, destZone int) []int {
 			continue
 		}
 		if zone == nb.Item.ID || isoA.Intersects(isoB) {
-			out = append(out, zone)
+			out = append(out, int32(zone))
 		}
 	}
 	return out
@@ -307,21 +378,22 @@ func (e *Extractor) interchanges(ob *hoptree.Tree, destZone int) []int {
 
 func (e *Extractor) ibTreeFor(destZone int) *spatial.KDTree {
 	e.mu.RLock()
-	t, ok := e.ibTrees[destZone]
+	t := e.ibTrees[destZone]
 	e.mu.RUnlock()
-	if ok {
+	if t != nil {
 		e.cacheHit()
 		return t
 	}
 	e.cacheMiss()
 	ib := e.forest.Inbound(destZone)
 	items := make([]spatial.Item, 0, ib.Size())
-	for zone := range ib.Leaves {
+	for i := range ib.Leaves {
+		zone := int(ib.Leaves[i].Zone)
 		items = append(items, spatial.Item{ID: zone, Point: e.zones[zone]})
 	}
 	t = spatial.NewKDTree(items)
 	e.mu.Lock()
-	if prev, ok := e.ibTrees[destZone]; ok {
+	if prev := e.ibTrees[destZone]; prev != nil {
 		t = prev
 	} else {
 		e.ibTrees[destZone] = t
@@ -331,37 +403,43 @@ func (e *Extractor) ibTreeFor(destZone int) *spatial.KDTree {
 }
 
 // hiFreqApproach returns the minimum distance to dest over the top-k
-// outbound leaves ranked by visit frequency, falling back to the direct
-// distance when the tree is empty.
+// outbound leaves ranked by visit frequency (zone index as deterministic
+// tie-break), falling back to the direct distance when the tree is empty.
+// The top-k selection runs over fixed-size arrays: no sort, no allocation.
 func (e *Extractor) hiFreqApproach(ob *hoptree.Tree, dest geo.Point, fallback float64) float64 {
 	const topK = 5
-	// Select top-K by visits with a small selection pass.
-	type lv struct {
-		zone   int
-		visits int
-	}
-	var top []lv
-	for zone, leaf := range ob.Leaves {
-		top = append(top, lv{zone: zone, visits: leaf.Visits})
-	}
-	if len(top) == 0 {
+	if len(ob.Leaves) == 0 {
 		return fallback
 	}
-	// Sort by visits descending with zone id as a deterministic tie-break
-	// (map iteration order must not leak into features).
-	sort.Slice(top, func(i, j int) bool {
-		if top[i].visits != top[j].visits {
-			return top[i].visits > top[j].visits
+	var topZone [topK]int32
+	var topVisits [topK]int32
+	n := 0
+	for i := range ob.Leaves {
+		zone, visits := ob.Leaves[i].Zone, ob.Leaves[i].Visits
+		// Leaves arrive in ascending zone order, so on equal visit counts
+		// the earlier (lower) zone outranks: insert strictly-greater only.
+		pos := n
+		for pos > 0 && visits > topVisits[pos-1] {
+			pos--
 		}
-		return top[i].zone < top[j].zone
-	})
-	k := topK
-	if k > len(top) {
-		k = len(top)
+		if pos >= topK {
+			continue
+		}
+		hi := n
+		if hi >= topK {
+			hi = topK - 1
+		}
+		for j := hi; j > pos; j-- {
+			topZone[j], topVisits[j] = topZone[j-1], topVisits[j-1]
+		}
+		topZone[pos], topVisits[pos] = zone, visits
+		if n < topK {
+			n++
+		}
 	}
 	best := math.Inf(1)
-	for _, t := range top[:k] {
-		if d := geo.DistanceMeters(e.zones[t.zone], dest); d < best {
+	for i := 0; i < n; i++ {
+		if d := geo.DistanceMeters(e.zones[topZone[i]], dest); d < best {
 			best = d
 		}
 	}
@@ -373,32 +451,51 @@ func (e *Extractor) hiFreqApproach(ob *hoptree.Tree, dest geo.Point, fallback fl
 // poiZone maps POI index to its associated zone; poiPts are POI locations.
 func (e *Extractor) OriginVector(origin int, row []todam.PairTrips, poiPts []geo.Point, poiZone []int) ([]float64, error) {
 	agg := make([]float64, Dim)
+	s := scratchPool.Get().(*Scratch)
+	err := e.OriginVectorInto(agg, s, origin, row, poiPts, poiZone)
+	scratchPool.Put(s)
+	if err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// OriginVectorInto is OriginVector writing into dst (length Dim) through
+// caller scratch; with warm caches it performs no allocations.
+func (e *Extractor) OriginVectorInto(dst []float64, s *Scratch, origin int, row []todam.PairTrips, poiPts []geo.Point, poiZone []int) error {
+	if len(dst) != Dim {
+		return fmt.Errorf("features: dst length %d, want %d", len(dst), Dim)
+	}
+	if s == nil {
+		return fmt.Errorf("features: nil scratch")
+	}
+	if s.pair == nil {
+		s.pair = make([]float64, Dim)
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	var wsum float64
 	for _, pt := range row {
 		if pt.POI < 0 || pt.POI >= len(poiPts) || pt.POI >= len(poiZone) {
-			return nil, fmt.Errorf("features: POI %d out of range", pt.POI)
+			return fmt.Errorf("features: POI %d out of range", pt.POI)
 		}
-		v, err := e.PairVector(origin, poiPts[pt.POI], poiZone[pt.POI])
-		if err != nil {
-			return nil, err
+		if err := e.PairVectorInto(s.pair, origin, poiPts[pt.POI], poiZone[pt.POI], s); err != nil {
+			return err
 		}
 		w := pt.Alpha
 		wsum += w
-		for j := range agg {
-			agg[j] += w * v[j]
+		for j := range dst {
+			dst[j] += w * s.pair[j]
 		}
 	}
 	if wsum == 0 {
 		// Zone with no associated POIs: describe it by its own connectivity
 		// so the model still has signal.
-		v, err := e.PairVector(origin, e.zones[origin], origin)
-		if err != nil {
-			return nil, err
-		}
-		return v, nil
+		return e.PairVectorInto(dst, origin, e.zones[origin], origin, s)
 	}
-	for j := range agg {
-		agg[j] /= wsum
+	for j := range dst {
+		dst[j] /= wsum
 	}
-	return agg, nil
+	return nil
 }

@@ -381,3 +381,61 @@ func TestPairVectorConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestVectorIntoAllocFree pins the warm-path contract of the Into
+// extractors: once the per-zone caches are primed, neither PairVectorInto
+// nor OriginVectorInto allocates — the property the engine's pooled
+// feature stage depends on.
+func TestVectorIntoAllocFree(t *testing.T) {
+	w := fixture(t)
+	e := newExtractor(t)
+	pois := w.city.POIs[synth.POIVaxCenter]
+	poiPts := make([]geo.Point, len(pois))
+	for j, p := range pois {
+		poiPts[j] = p.Point
+	}
+	poiZone := assignZones(w.zones, poiPts)
+	m, err := todam.Build(todam.Spec{
+		ZonePts: w.zones, POIPts: poiPts,
+		Interval:       gtfs.Interval{Start: 7 * 3600, End: 9 * 3600, Day: time.Tuesday},
+		SamplesPerHour: 10, Attractiveness: todam.DefaultAttractiveness(), Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, Dim)
+	s := GetScratch()
+	defer PutScratch(s)
+	destZone := len(w.zones) - 1
+	dest := w.zones[destZone]
+	if err := e.PairVectorInto(dst, 0, dest, destZone, s); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := e.PairVectorInto(dst, 0, dest, destZone, s); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("warm PairVectorInto allocates %.1f objects/op, want 0", n)
+	}
+	// Pick a zone whose TODAM row is non-empty so the full POI aggregation
+	// path runs, not the empty-row fallback.
+	zone := 0
+	for z := 0; z < len(w.zones); z++ {
+		if len(m.Row(z)) > 0 {
+			zone = z
+			break
+		}
+	}
+	row := m.Row(zone)
+	if err := e.OriginVectorInto(dst, s, zone, row, poiPts, poiZone); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := e.OriginVectorInto(dst, s, zone, row, poiPts, poiZone); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("warm OriginVectorInto allocates %.1f objects/op, want 0", n)
+	}
+}

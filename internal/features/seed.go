@@ -10,28 +10,33 @@ package features
 //   - ibTrees[z]: derived only from the inbound tree of z — valid unless z
 //     was rebuilt.
 //   - hopsTo[origin] and reachFrac[origin]: derived by chaining outbound
-//     trees from origin. Copied only when no zone anywhere in the cached
-//     hop map was rebuilt; a rebuilt zone inside the chain could alter the
+//     trees from origin. Copied only when no zone reachable in the cached
+//     hop row was rebuilt; a rebuilt zone inside the chain could alter the
 //     frontier, and a rebuilt tree can only surface new zones through some
-//     rebuilt member of the old map, so this conservative gate is sound.
+//     rebuilt member of the old row, so this conservative gate is sound.
 //
 // Cached values are deterministic functions of the forest, so entries that
 // fail the gate are simply recomputed lazily (or by Warm) with no effect on
 // query results. Returns how many entries were copied and how many src
 // entries were dropped as potentially stale.
 func (e *Extractor) SeedFrom(src *Extractor, rebuilt []int) (seeded, dropped int) {
-	if src == nil {
+	if src == nil || len(src.zones) != len(e.zones) {
 		return 0, 0
 	}
-	stale := make(map[int]bool, len(rebuilt))
+	stale := make([]bool, len(e.zones))
 	for _, z := range rebuilt {
-		stale[z] = true
+		if z >= 0 && z < len(stale) {
+			stale[z] = true
+		}
 	}
 	src.mu.RLock()
 	defer src.mu.RUnlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for z, t := range src.ibTrees {
+		if t == nil {
+			continue
+		}
 		if stale[z] {
 			dropped++
 			continue
@@ -40,9 +45,12 @@ func (e *Extractor) SeedFrom(src *Extractor, rebuilt []int) (seeded, dropped int
 		seeded++
 	}
 	for origin, hops := range src.hopsTo {
+		if hops == nil {
+			continue
+		}
 		ok := true
-		for z := range hops {
-			if stale[z] {
+		for z, h := range hops {
+			if h >= 0 && stale[z] {
 				ok = false
 				break
 			}
@@ -53,7 +61,7 @@ func (e *Extractor) SeedFrom(src *Extractor, rebuilt []int) (seeded, dropped int
 		}
 		e.hopsTo[origin] = hops
 		seeded++
-		if f, has := src.reachFrac[origin]; has {
+		if f := src.reachFrac[origin]; f >= 0 {
 			e.reachFrac[origin] = f
 			seeded++
 		}

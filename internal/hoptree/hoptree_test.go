@@ -285,19 +285,23 @@ func TestForestAndChaining(t *testing.T) {
 		t.Error("out-of-range lookups should be nil")
 	}
 	// One hop from zone 0 reaches everything on this line.
-	hops := f.ReachableWithin(0, 1)
-	if len(hops) != 3 {
-		t.Errorf("1-hop reach = %v", hops)
+	hops := make([]int32, f.Zones())
+	var scratch ReachScratch
+	if n := f.ReachableInto(hops, 0, 1, &scratch); n != 3 {
+		t.Errorf("1-hop reach count = %d (%v)", n, hops)
 	}
 	if hops[0] != 0 || hops[1] != 1 || hops[2] != 1 {
 		t.Errorf("hop counts wrong: %v", hops)
 	}
 	// Zero hops: only the start.
-	if got := f.ReachableWithin(1, 0); len(got) != 1 {
-		t.Errorf("0-hop reach = %v", got)
+	if n := f.ReachableInto(hops, 1, 0, &scratch); n != 1 {
+		t.Errorf("0-hop reach count = %d (%v)", n, hops)
 	}
-	if f.ReachableWithin(-1, 2) != nil {
-		t.Error("invalid start should be nil")
+	if hops[0] != -1 || hops[1] != 0 || hops[2] != -1 {
+		t.Errorf("0-hop counts wrong: %v", hops)
+	}
+	if f.ReachableInto(hops, -1, 2, &scratch) != 0 {
+		t.Error("invalid start should report zero reachable zones")
 	}
 }
 
@@ -324,10 +328,11 @@ func TestForestSaveLoad(t *testing.T) {
 		if a.Size() != bTree.Size() {
 			t.Errorf("zone %d outbound size %d vs %d", z, a.Size(), bTree.Size())
 		}
-		for leafZone, leaf := range a.Leaves {
-			gl := bTree.Leaf(leafZone)
+		for i := range a.Leaves {
+			leaf := &a.Leaves[i]
+			gl := bTree.Leaf(int(leaf.Zone))
 			if gl == nil || gl.Visits != leaf.Visits || gl.RouteCount() != leaf.RouteCount() {
-				t.Errorf("zone %d leaf %d corrupted in round trip", z, leafZone)
+				t.Errorf("zone %d leaf %d corrupted in round trip", z, leaf.Zone)
 			}
 		}
 	}
@@ -374,8 +379,9 @@ func TestSyntheticCityForest(t *testing.T) {
 		t.Errorf("only %d of %d zones have outbound connectivity", withLeaves, f.Zones())
 	}
 	// Chaining two hops reaches at least as many zones as one hop.
-	one := len(f.ReachableWithin(0, 1))
-	two := len(f.ReachableWithin(0, 2))
+	hops := make([]int32, f.Zones())
+	one := f.ReachableInto(hops, 0, 1, nil)
+	two := f.ReachableInto(hops, 0, 2, nil)
 	if two < one {
 		t.Errorf("2-hop reach %d < 1-hop reach %d", two, one)
 	}
@@ -450,5 +456,25 @@ func TestBuildForestParallelMatchesSerial(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serial, plain) {
 		t.Error("BuildForest differs from BuildForestParallel(b, 1)")
+	}
+}
+
+// TestReachableIntoAllocFree pins the warm-path contract: with a grown
+// scratch and a caller-owned dst, repeated reach expansions allocate
+// nothing.
+func TestReachableIntoAllocFree(t *testing.T) {
+	w := buildWorld(t)
+	b := newBuilder(t, w)
+	f, err := BuildForest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int32, f.Zones())
+	var s ReachScratch
+	f.ReachableInto(dst, 0, 2, &s) // grow the scratch once
+	if n := testing.AllocsPerRun(100, func() {
+		f.ReachableInto(dst, 0, 2, &s)
+	}); n != 0 {
+		t.Errorf("warm ReachableInto allocates %.1f objects/op, want 0", n)
 	}
 }

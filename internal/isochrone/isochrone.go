@@ -8,6 +8,7 @@ package isochrone
 
 import (
 	"fmt"
+	"sort"
 
 	"accessquery/internal/geo"
 	"accessquery/internal/graph"
@@ -26,8 +27,12 @@ type Isochrone struct {
 	OriginNode graph.NodeID
 	// Tau is the walking-time bound in seconds.
 	Tau float64
-	// Nodes maps every road node reachable within Tau to its walking time.
-	Nodes map[graph.NodeID]float64
+	// NodeIDs lists every road node reachable within Tau, sorted ascending;
+	// NodeSeconds holds the walking time to the node at the same index. The
+	// parallel flat arrays replace the old node map so a snapshot can store
+	// (and mmap) them as contiguous numeric sections.
+	NodeIDs     []graph.NodeID
+	NodeSeconds []float64
 	// Hull is the convex hull of the reached nodes, the polygon form used
 	// for point-in-walkshed and walkshed-overlap tests.
 	Hull geo.Polygon
@@ -46,14 +51,24 @@ func Compute(g *graph.Graph, origin geo.Point, originNode graph.NodeID, tau floa
 	if err != nil {
 		return nil, fmt.Errorf("isochrone: %w", err)
 	}
-	iso := &Isochrone{
-		Origin:     origin,
-		OriginNode: originNode,
-		Tau:        tau,
-		Nodes:      nodes,
-	}
-	pts := make([]geo.Point, 0, len(nodes)+1)
+	ids := make([]graph.NodeID, 0, len(nodes))
 	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	secs := make([]float64, len(ids))
+	for i, id := range ids {
+		secs[i] = nodes[id]
+	}
+	iso := &Isochrone{
+		Origin:      origin,
+		OriginNode:  originNode,
+		Tau:         tau,
+		NodeIDs:     ids,
+		NodeSeconds: secs,
+	}
+	pts := make([]geo.Point, 0, len(ids)+1)
+	for _, id := range ids {
 		pts = append(pts, g.Point(id))
 	}
 	pts = append(pts, origin)
@@ -84,11 +99,18 @@ func (iso *Isochrone) Intersects(other *Isochrone) bool {
 }
 
 // WalkSeconds returns the walking time to a road node inside the walkshed;
-// ok is false when the node is beyond τ.
+// ok is false when the node is beyond τ. Lookup is a binary search over the
+// sorted node array.
 func (iso *Isochrone) WalkSeconds(node graph.NodeID) (float64, bool) {
-	s, ok := iso.Nodes[node]
-	return s, ok
+	i := sort.Search(len(iso.NodeIDs), func(i int) bool { return iso.NodeIDs[i] >= node })
+	if i < len(iso.NodeIDs) && iso.NodeIDs[i] == node {
+		return iso.NodeSeconds[i], true
+	}
+	return 0, false
 }
+
+// NumNodes returns how many road nodes the walkshed reaches.
+func (iso *Isochrone) NumNodes() int { return len(iso.NodeIDs) }
 
 // Set holds one isochrone per zone, the W structure from the paper.
 type Set struct {

@@ -46,13 +46,13 @@ func TestComputeBasic(t *testing.T) {
 	}
 	// 600s at 80s/edge: Manhattan radius 7 edges, clipped to grid size 5.
 	// Node (3,3) costs 480s; (5,3) costs 640s > 600.
-	if len(iso.Nodes) == 0 {
+	if iso.NumNodes() == 0 {
 		t.Fatal("empty walkshed")
 	}
 	if s, ok := iso.WalkSeconds(center); !ok || s != 0 {
 		t.Errorf("origin walk time = %v ok=%v", s, ok)
 	}
-	for _, sec := range iso.Nodes {
+	for _, sec := range iso.NodeSeconds {
 		if sec > 600 {
 			t.Errorf("node beyond tau: %f", sec)
 		}
@@ -73,8 +73,8 @@ func TestComputeManhattanCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Manhattan ball of radius 3: 1 + 4 + 8 + 12 = 25 nodes.
-	if len(iso.Nodes) != 25 {
-		t.Errorf("walkshed has %d nodes, want 25", len(iso.Nodes))
+	if iso.NumNodes() != 25 {
+		t.Errorf("walkshed has %d nodes, want 25", iso.NumNodes())
 	}
 }
 

@@ -2,7 +2,9 @@ package router
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 
 	"accessquery/internal/geo"
 	"accessquery/internal/gtfs"
@@ -23,17 +25,24 @@ import (
 // search over the road network, and match it whenever walking legs stay
 // within the footpath radius. The router tests exploit exactly that
 // relationship for cross-validation.
+//
+// All per-stop adjacency is CSR-shaped (offset array plus one flat entry
+// slice, addressed by stop index) and the round state lives in a pooled
+// scratch, so steady-state queries run without maps or allocations.
 type Raptor struct {
 	index *gtfs.Index
 	// patterns groups trips by identical stop sequences.
 	patterns []pattern
-	// patternsAtStop lists (pattern, position) pairs per stop.
-	patternsAtStop map[gtfs.StopID][]patternStop
-	// footpaths lists nearby stops reachable on foot per stop.
-	footpaths map[gtfs.StopID][]footpath
-	stops     []gtfs.Stop
-	stopIdx   map[gtfs.StopID]int
-	stopTree  *spatial.KDTree
+	// patStops[patStopOff[si]:patStopOff[si+1]] lists the (pattern,
+	// position) pairs of stop index si.
+	patStopOff []int32
+	patStops   []patternStop
+	// fps[fpOff[si]:fpOff[si+1]] lists the footpaths leaving stop index si.
+	fpOff    []int32
+	fps      []footpath
+	stops    []gtfs.Stop
+	stopTree *spatial.KDTree
+	scratch  sync.Pool
 
 	// MaxRounds bounds boardings; default 4.
 	MaxRounds int
@@ -45,18 +54,19 @@ type Raptor struct {
 }
 
 type pattern struct {
-	stops []gtfs.StopID
+	// stops are stop indices into Raptor.stops.
+	stops []int32
 	// trips are ordered by departure time at the first stop.
 	trips []*gtfs.Trip
 }
 
 type patternStop struct {
-	pattern int
-	pos     int
+	pattern int32
+	pos     int32
 }
 
 type footpath struct {
-	to      gtfs.StopID
+	to      int32 // stop index
 	seconds float64
 }
 
@@ -77,31 +87,32 @@ func NewRaptor(index *gtfs.Index) (*Raptor, error) {
 	}
 	r := &Raptor{
 		index:          index,
-		patternsAtStop: make(map[gtfs.StopID][]patternStop),
-		footpaths:      make(map[gtfs.StopID][]footpath),
-		stopIdx:        make(map[gtfs.StopID]int),
 		MaxRounds:      4,
 		FootpathRadius: 500,
 		BoardSlack:     30,
 	}
 	feed := index.Feed()
 	r.stops = feed.Stops
+	stopIdx := make(map[gtfs.StopID]int32, len(feed.Stops))
 	items := make([]spatial.Item, len(feed.Stops))
 	for i, s := range feed.Stops {
-		r.stopIdx[s.ID] = i
+		stopIdx[s.ID] = int32(i)
 		items[i] = spatial.Item{ID: i, Point: s.Point}
 	}
 	r.stopTree = spatial.NewKDTree(items)
-	r.buildPatterns()
+	r.buildPatterns(stopIdx)
 	r.buildFootpaths()
+	r.scratch.New = func() interface{} { return new(raptorScratch) }
 	return r, nil
 }
 
 // buildPatterns groups the day's operating trips (frequency runs included)
-// by stop-sequence signature.
-func (r *Raptor) buildPatterns() {
+// by stop-sequence signature and flattens the per-stop pattern lists into
+// CSR form.
+func (r *Raptor) buildPatterns(stopIdx map[gtfs.StopID]int32) {
 	bySig := make(map[string]int)
 	trips := r.index.Trips()
+	perStop := make([][]patternStop, len(r.stops))
 	for ti := range trips {
 		trip := &trips[ti]
 		sig := signatureOf(trip)
@@ -109,13 +120,13 @@ func (r *Raptor) buildPatterns() {
 		if !ok {
 			pi = len(r.patterns)
 			bySig[sig] = pi
-			stops := make([]gtfs.StopID, len(trip.StopTimes))
+			stops := make([]int32, len(trip.StopTimes))
 			for i, st := range trip.StopTimes {
-				stops[i] = st.StopID
+				stops[i] = stopIdx[st.StopID]
 			}
 			r.patterns = append(r.patterns, pattern{stops: stops})
-			for pos, sid := range stops {
-				r.patternsAtStop[sid] = append(r.patternsAtStop[sid], patternStop{pattern: pi, pos: pos})
+			for pos, si := range stops {
+				perStop[si] = append(perStop[si], patternStop{pattern: int32(pi), pos: int32(pos)})
 			}
 		}
 		r.patterns[pi].trips = append(r.patterns[pi].trips, trip)
@@ -125,6 +136,17 @@ func (r *Raptor) buildPatterns() {
 		sort.Slice(trips, func(i, j int) bool {
 			return trips[i].StopTimes[0].Departure < trips[j].StopTimes[0].Departure
 		})
+	}
+	r.patStopOff = make([]int32, len(r.stops)+1)
+	total := 0
+	for si, l := range perStop {
+		r.patStopOff[si] = int32(total)
+		total += len(l)
+	}
+	r.patStopOff[len(r.stops)] = int32(total)
+	r.patStops = make([]patternStop, 0, total)
+	for _, l := range perStop {
+		r.patStops = append(r.patStops, l...)
 	}
 }
 
@@ -141,19 +163,69 @@ func signatureOf(t *gtfs.Trip) string {
 	return string(b)
 }
 
-// buildFootpaths precomputes stop-to-stop transfer walks within the radius.
+// buildFootpaths precomputes stop-to-stop transfer walks within the radius
+// as a CSR adjacency over stop indices.
 func (r *Raptor) buildFootpaths() {
+	perStop := make([][]footpath, len(r.stops))
+	total := 0
 	for i, s := range r.stops {
 		for _, nb := range r.stopTree.WithinRadius(s.Point, r.FootpathRadius) {
 			if nb.Item.ID == i {
 				continue
 			}
-			r.footpaths[s.ID] = append(r.footpaths[s.ID], footpath{
-				to:      r.stops[nb.Item.ID].ID,
+			perStop[i] = append(perStop[i], footpath{
+				to:      int32(nb.Item.ID),
 				seconds: nb.Meters / walkMetersPerSecond,
 			})
+			total++
 		}
 	}
+	r.fpOff = make([]int32, len(r.stops)+1)
+	r.fps = make([]footpath, 0, total)
+	for i, l := range perStop {
+		r.fpOff[i] = int32(len(r.fps))
+		r.fps = append(r.fps, l...)
+	}
+	r.fpOff[len(r.stops)] = int32(len(r.fps))
+}
+
+// raptorScratch is the reusable round state of one Route call: per-stop
+// arrival arrays, the marked sets as bitset+list pairs, and the per-pattern
+// touch table reset through its own list. A scratch is owned by exactly one
+// Route call at a time; the pool hands it back for the next query so the
+// steady state allocates nothing.
+type raptorScratch struct {
+	best, prev, cur []gtfs.Seconds
+	markedBits      []bool
+	markedList      []int32
+	newBits         []bool
+	newList         []int32
+	queue           []int32
+	touched         []int32 // pattern -> earliest marked position, -1 idle
+	touchedList     []int32
+	pats            []int32
+	access          []spatial.Neighbor
+}
+
+func (s *raptorScratch) ensure(nStops, nPatterns int) {
+	if len(s.best) < nStops {
+		s.best = make([]gtfs.Seconds, nStops)
+		s.prev = make([]gtfs.Seconds, nStops)
+		s.cur = make([]gtfs.Seconds, nStops)
+		s.markedBits = make([]bool, nStops)
+		s.newBits = make([]bool, nStops)
+	}
+	if len(s.touched) < nPatterns {
+		s.touched = make([]int32, nPatterns)
+		for i := range s.touched {
+			s.touched[i] = -1
+		}
+	}
+	s.markedList = s.markedList[:0]
+	s.newList = s.newList[:0]
+	s.queue = s.queue[:0]
+	s.touchedList = s.touchedList[:0]
+	s.pats = s.pats[:0]
 }
 
 // RaptorJourney is the arrival answer of a RAPTOR query.
@@ -173,10 +245,12 @@ func (r *Raptor) Route(origin, dest geo.Point, depart gtfs.Seconds) (RaptorJourn
 	if n == 0 {
 		return r.walkOnly(origin, dest, depart)
 	}
+	s := r.scratch.Get().(*raptorScratch)
+	defer r.scratch.Put(s)
+	s.ensure(n, len(r.patterns))
 	// best[stop] = earliest arrival over any number of rounds;
 	// cur/prev are per-round arrays.
-	best := make([]gtfs.Seconds, n)
-	prev := make([]gtfs.Seconds, n)
+	best, prev, cur := s.best[:n], s.prev[:n], s.cur[:n]
 	for i := range best {
 		best[i] = inf
 		prev[i] = inf
@@ -184,51 +258,56 @@ func (r *Raptor) Route(origin, dest geo.Point, depart gtfs.Seconds) (RaptorJourn
 	// Access: walk from origin to stops within reach. RAPTOR classically
 	// bounds access walking; use 2x the footpath radius.
 	accessRadius := 2 * r.FootpathRadius
-	marked := make(map[int]bool)
-	for _, nb := range r.stopTree.WithinRadius(origin, accessRadius) {
+	s.access = r.stopTree.AppendWithinRadius(s.access[:0], origin, accessRadius)
+	for _, nb := range s.access {
+		si := int32(nb.Item.ID)
 		t := depart + walkSeconds(nb.Meters)
-		if t < best[nb.Item.ID] {
-			best[nb.Item.ID] = t
-			prev[nb.Item.ID] = t
-			marked[nb.Item.ID] = true
+		if t < best[si] {
+			best[si] = t
+			prev[si] = t
+			if !s.markedBits[si] {
+				s.markedBits[si] = true
+				s.markedList = append(s.markedList, si)
+			}
 		}
 	}
 	bestDest, destBoardings := r.walkOnlyArrival(origin, dest, depart)
 
 	for round := 1; round <= r.MaxRounds; round++ {
-		// Collect patterns touched by marked stops.
-		touched := make(map[int]int) // pattern -> earliest position marked
-		for si := range marked {
-			for _, ps := range r.patternsAtStop[r.stops[si].ID] {
-				if cur, ok := touched[ps.pattern]; !ok || ps.pos < cur {
-					touched[ps.pattern] = ps.pos
+		// Collect patterns touched by marked stops into the dense touch
+		// table (pattern -> earliest marked position).
+		for _, si := range s.markedList {
+			for _, ps := range r.patStops[r.patStopOff[si]:r.patStopOff[si+1]] {
+				if s.touched[ps.pattern] < 0 {
+					s.touched[ps.pattern] = ps.pos
+					s.touchedList = append(s.touchedList, ps.pattern)
+				} else if ps.pos < s.touched[ps.pattern] {
+					s.touched[ps.pattern] = ps.pos
 				}
 			}
 		}
-		if len(touched) == 0 {
+		if len(s.touchedList) == 0 {
 			break
 		}
-		cur := make([]gtfs.Seconds, n)
 		copy(cur, best)
-		newMarked := make(map[int]bool)
 		// Deterministic pattern order.
-		pats := make([]int, 0, len(touched))
-		for pi := range touched {
-			pats = append(pats, pi)
-		}
-		sort.Ints(pats)
-		for _, pi := range pats {
+		s.pats = append(s.pats[:0], s.touchedList...)
+		slices.Sort(s.pats)
+		s.newList = s.newList[:0]
+		for _, pi := range s.pats {
 			p := &r.patterns[pi]
-			startPos := touched[pi]
+			startPos := int(s.touched[pi])
 			var onTrip *gtfs.Trip
 			for pos := startPos; pos < len(p.stops); pos++ {
-				sid := p.stops[pos]
-				si := r.stopIdx[sid]
+				si := p.stops[pos]
 				if onTrip != nil {
 					arr := onTrip.StopTimes[pos].Arrival
 					if arr < cur[si] {
 						cur[si] = arr
-						newMarked[si] = true
+						if !s.newBits[si] {
+							s.newBits[si] = true
+							s.newList = append(s.newList, si)
+						}
 					}
 				}
 				// Board (or upgrade to) the earliest catchable trip here.
@@ -242,19 +321,27 @@ func (r *Raptor) Route(origin, dest geo.Point, depart gtfs.Seconds) (RaptorJourn
 				}
 			}
 		}
-		// Footpath relaxation from newly improved stops.
-		for si := range newMarked {
-			for _, fp := range r.footpaths[r.stops[si].ID] {
-				ti := r.stopIdx[fp.to]
+		// Footpath relaxation from newly improved stops, run to a fixed
+		// point over an explicit worklist (deterministic, unlike ranging a
+		// map while inserting into it): an improved transfer target is
+		// re-queued so chains of short footpaths settle within the round.
+		s.queue = append(s.queue[:0], s.newList...)
+		for qi := 0; qi < len(s.queue); qi++ {
+			si := s.queue[qi]
+			for _, fp := range r.fps[r.fpOff[si]:r.fpOff[si+1]] {
 				t := cur[si] + gtfs.Seconds(fp.seconds+0.5)
-				if t < cur[ti] {
-					cur[ti] = t
-					newMarked[ti] = true
+				if t < cur[fp.to] {
+					cur[fp.to] = t
+					if !s.newBits[fp.to] {
+						s.newBits[fp.to] = true
+						s.newList = append(s.newList, fp.to)
+					}
+					s.queue = append(s.queue, fp.to)
 				}
 			}
 		}
 		// Egress check and bookkeeping.
-		for si := range newMarked {
+		for _, si := range s.newList {
 			egress := geo.DistanceMeters(r.stops[si].Point, dest)
 			t := cur[si] + walkSeconds(egress)
 			if t < bestDest {
@@ -264,11 +351,25 @@ func (r *Raptor) Route(origin, dest geo.Point, depart gtfs.Seconds) (RaptorJourn
 		}
 		copy(best, cur)
 		copy(prev, cur)
-		marked = newMarked
-		if len(marked) == 0 {
+		// Swap marked <- new, clearing the outgoing round's state.
+		for _, si := range s.markedList {
+			s.markedBits[si] = false
+		}
+		s.markedBits, s.newBits = s.newBits, s.markedBits
+		s.markedList, s.newList = s.newList, s.markedList[:0]
+		for _, pi := range s.touchedList {
+			s.touched[pi] = -1
+		}
+		s.touchedList = s.touchedList[:0]
+		if len(s.markedList) == 0 {
 			break
 		}
 	}
+	// Leave the scratch clean for the next query.
+	for _, si := range s.markedList {
+		s.markedBits[si] = false
+	}
+	s.markedList = s.markedList[:0]
 	if bestDest >= inf {
 		return RaptorJourney{}, false
 	}

@@ -191,3 +191,26 @@ func BenchmarkRaptorRoute(b *testing.B) {
 		rap.Route(c.Zones[o].Centroid, c.Zones[d].Centroid, depart)
 	}
 }
+
+// TestRouteAllocFree pins the warm-path contract: with the pooled scratch
+// grown, repeated RAPTOR queries — transit and walk-only alike — allocate
+// nothing.
+func TestRouteAllocFree(t *testing.T) {
+	s := buildScenario(t)
+	r := newRaptor(t, s)
+	origin := s.road.Point(s.nodes[0])
+	dest := s.road.Point(s.nodes[3])
+	depart := gtfs.Seconds(7*3600 + 5*60)
+	r.Route(origin, dest, depart) // grow the pooled scratch once
+	if n := testing.AllocsPerRun(200, func() {
+		r.Route(origin, dest, depart)
+	}); n != 0 {
+		t.Errorf("warm Route allocates %.1f objects/op, want 0", n)
+	}
+	walkDest := geo.Offset(origin, 100, 0)
+	if n := testing.AllocsPerRun(200, func() {
+		r.Route(origin, walkDest, depart)
+	}); n != 0 {
+		t.Errorf("warm walk-only Route allocates %.1f objects/op, want 0", n)
+	}
+}

@@ -16,6 +16,7 @@ package router
 import (
 	"container/heap"
 	"fmt"
+	"sync"
 
 	"accessquery/internal/fault"
 	"accessquery/internal/graph"
@@ -71,6 +72,18 @@ type Router struct {
 	stopNode    map[gtfs.StopID]graph.NodeID
 	stopsAtNode map[graph.NodeID][]gtfs.StopID
 	opts        Options
+	// arenaPool recycles per-search label arrays and frontier heaps between
+	// ProfileFrom calls; see Profile.Release.
+	arenaPool sync.Pool
+}
+
+// profileArena is the per-search allocation unit: the full label array
+// (one label per road node) plus the frontier heap. Pooling it makes a
+// steady-state profile search allocation-free apart from the Profile
+// handle itself.
+type profileArena struct {
+	labels []label
+	q      pq
 }
 
 // New builds a router over a road graph, a schedule index for the service
@@ -89,6 +102,7 @@ func New(road *graph.Graph, index *gtfs.Index, stopNode map[gtfs.StopID]graph.No
 	for sid, nid := range stopNode {
 		r.stopsAtNode[nid] = append(r.stopsAtNode[nid], sid)
 	}
+	r.arenaPool.New = func() interface{} { return new(profileArena) }
 	return r, nil
 }
 
@@ -158,6 +172,25 @@ func journeyFrom(depart gtfs.Seconds, l label) Journey {
 type Profile struct {
 	depart gtfs.Seconds
 	labels []label
+	// arena/router back the labels; Release returns them to the router's
+	// pool.
+	arena  *profileArena
+	router *Router
+}
+
+// Release hands the profile's label storage back to the router's arena
+// pool. After Release the profile reports every node as unreached; calling
+// it twice is a no-op. Callers that drop a profile without releasing it
+// merely fall back to garbage collection.
+func (p *Profile) Release() {
+	if p.router == nil || p.arena == nil {
+		p.labels, p.arena, p.router = nil, nil, nil
+		return
+	}
+	r := p.router
+	ar := p.arena
+	p.labels, p.arena, p.router = nil, nil, nil
+	r.arenaPool.Put(ar)
 }
 
 // Reached reports whether node was reached.
@@ -214,9 +247,17 @@ func (r *Router) ProfileFrom(origin graph.NodeID, depart gtfs.Seconds) (*Profile
 		mImprovements.Add(improved)
 	}()
 	n := r.road.NumNodes()
-	labels := make([]label, n)
+	ar := r.arenaPool.Get().(*profileArena)
+	if cap(ar.labels) >= n {
+		ar.labels = ar.labels[:n]
+		clear(ar.labels)
+	} else {
+		ar.labels = make([]label, n)
+	}
+	labels := ar.labels
 	labels[origin] = label{arrive: depart, reached: true}
-	q := pq{{node: origin, arrive: depart}}
+	ar.q = append(ar.q[:0], pqItem{node: origin, arrive: depart})
+	q := ar.q
 	deadline := depart + r.opts.MaxJourney
 	for q.Len() > 0 {
 		cur := heap.Pop(&q).(pqItem)
@@ -256,7 +297,8 @@ func (r *Router) ProfileFrom(origin graph.NodeID, depart gtfs.Seconds) (*Profile
 			r.relaxBoardings(labels, &q, sid, curLabel, deadline, &relaxed, &improved)
 		}
 	}
-	return &Profile{depart: depart, labels: labels}, nil
+	ar.q = q[:0]
+	return &Profile{depart: depart, labels: labels, arena: ar, router: r}, nil
 }
 
 // relaxBoardings boards the next departures from stop and rides them
@@ -331,6 +373,7 @@ func (r *Router) Route(origin, dest graph.NodeID, depart gtfs.Seconds) (Journey,
 		return Journey{}, false, err
 	}
 	j, ok := p.Journey(dest)
+	p.Release()
 	return j, ok, nil
 }
 

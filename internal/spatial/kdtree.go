@@ -10,6 +10,7 @@ package spatial
 import (
 	"container/heap"
 	"math"
+	"slices"
 	"sort"
 
 	"accessquery/internal/geo"
@@ -110,13 +111,34 @@ func (h *nnHeap) Pop() interface{} {
 }
 
 // Nearest returns the single nearest item to q, or ok=false when the tree is
-// empty.
+// empty. Unlike KNearest it carries the best candidate on the stack, so hot
+// loops (one 1-NN probe per hop-tree leaf) never allocate.
 func (t *KDTree) Nearest(q geo.Point) (Neighbor, bool) {
-	res := t.KNearest(q, 1)
-	if len(res) == 0 {
+	if t.root < 0 {
 		return Neighbor{}, false
 	}
-	return res[0], true
+	best := Neighbor{Meters: math.Inf(1)}
+	t.search1(t.root, q, &best)
+	return best, true
+}
+
+func (t *KDTree) search1(idx int, q geo.Point, best *Neighbor) {
+	if idx < 0 {
+		return
+	}
+	n := &t.nodes[idx]
+	if d := geo.DistanceMeters(q, n.item.Point); d < best.Meters {
+		*best = Neighbor{Item: n.item, Meters: d}
+	}
+	diff := coord(q, n.axis) - coord(n.item.Point, n.axis)
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	t.search1(near, q, best)
+	if math.Abs(diff)*t.minMetersPerDegree(n.axis, q) < best.Meters {
+		t.search1(far, q, best)
+	}
 }
 
 // KNearest returns up to k nearest items to q ordered by ascending distance.
@@ -183,31 +205,48 @@ func (t *KDTree) minMetersPerDegree(axis uint8, q geo.Point) float64 {
 // WithinRadius returns all items within radiusMeters of q, ordered by
 // ascending distance.
 func (t *KDTree) WithinRadius(q geo.Point, radiusMeters float64) []Neighbor {
+	return t.AppendWithinRadius(nil, q, radiusMeters)
+}
+
+// AppendWithinRadius appends the items within radiusMeters of q to dst and
+// returns the extended slice, with the appended region ordered by ascending
+// distance. Callers that reuse dst across queries (pass dst[:0]) amortize
+// the result allocation to zero.
+func (t *KDTree) AppendWithinRadius(dst []Neighbor, q geo.Point, radiusMeters float64) []Neighbor {
 	if t.root < 0 || radiusMeters < 0 {
-		return nil
+		return dst
 	}
-	var out []Neighbor
-	var walk func(idx int)
-	walk = func(idx int) {
-		if idx < 0 {
-			return
+	start := len(dst)
+	dst = t.collectWithin(t.root, dst, q, radiusMeters)
+	slices.SortFunc(dst[start:], func(a, b Neighbor) int {
+		switch {
+		case a.Meters < b.Meters:
+			return -1
+		case a.Meters > b.Meters:
+			return 1
+		default:
+			return 0
 		}
-		n := &t.nodes[idx]
-		d := geo.DistanceMeters(q, n.item.Point)
-		if d <= radiusMeters {
-			out = append(out, Neighbor{Item: n.item, Meters: d})
-		}
-		diff := coord(q, n.axis) - coord(n.item.Point, n.axis)
-		near, far := n.left, n.right
-		if diff > 0 {
-			near, far = far, near
-		}
-		walk(near)
-		if math.Abs(diff)*t.minMetersPerDegree(n.axis, q) <= radiusMeters {
-			walk(far)
-		}
+	})
+	return dst
+}
+
+func (t *KDTree) collectWithin(idx int, dst []Neighbor, q geo.Point, radiusMeters float64) []Neighbor {
+	if idx < 0 {
+		return dst
 	}
-	walk(t.root)
-	sort.Slice(out, func(i, j int) bool { return out[i].Meters < out[j].Meters })
-	return out
+	n := &t.nodes[idx]
+	if d := geo.DistanceMeters(q, n.item.Point); d <= radiusMeters {
+		dst = append(dst, Neighbor{Item: n.item, Meters: d})
+	}
+	diff := coord(q, n.axis) - coord(n.item.Point, n.axis)
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	dst = t.collectWithin(near, dst, q, radiusMeters)
+	if math.Abs(diff)*t.minMetersPerDegree(n.axis, q) <= radiusMeters {
+		dst = t.collectWithin(far, dst, q, radiusMeters)
+	}
+	return dst
 }

@@ -36,7 +36,7 @@ txt="$outdir/BENCH_${date}.txt"
 json="$outdir/BENCH_${date}.json"
 mkdir -p "$outdir"
 
-go test -run '^$' -bench 'BenchmarkNewEngine|BenchmarkEngineRun' \
+go test -run '^$' -bench 'BenchmarkNewEngine|BenchmarkEngineRun|BenchmarkLoadEngine' \
 	-benchmem -benchtime "$benchtime" -count "$count" ./internal/core/ | tee "$txt"
 
 # Parse the standard benchmark lines:

@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# bench_gate.sh — fail CI when the engine benchmarks regress against the
+# committed baseline.
+#
+# Compares two BENCH_<date>.json files (from scripts/bench.sh) on the
+# NewEngine and EngineRun families: for every shared benchmark name the
+# fastest sample on each side is taken (minimum ns/op — the most
+# noise-robust statistic for a gate), the per-name ratios are combined
+# into a geometric mean, and a geomean above the limit fails the run.
+# BenchmarkLoadEngine stays out of the gate: it is a format comparison,
+# not a regression surface, and its own >=10x assertion lives in
+# TestSnapshotV2ColdStartSpeedup.
+#
+# Usage:
+#   scripts/bench_gate.sh baseline.json current.json [max_ratio]
+#
+# max_ratio defaults to 1.10: a >10% geomean slowdown fails.
+set -eu
+
+if [ $# -lt 2 ]; then
+	echo "usage: $0 baseline.json current.json [max_ratio]" >&2
+	exit 2
+fi
+baseline=$1
+current=$2
+max=${3:-1.10}
+
+awk -v max="$max" -v baseline="$baseline" -v current="$current" '
+FNR == 1 { fileno++ }
+/"name": "(BenchmarkNewEngine|BenchmarkEngineRun)/ {
+	if (!match($0, /"name": "[^"]*"/)) next
+	name = substr($0, RSTART + 9, RLENGTH - 10)
+	if (!match($0, /"ns_per_op": [0-9.e+]+/)) next
+	ns = substr($0, RSTART + 13, RLENGTH - 13) + 0
+	if (fileno == 1) {
+		if (!(name in base) || ns < base[name]) base[name] = ns
+	} else {
+		if (!(name in cur) || ns < cur[name]) cur[name] = ns
+	}
+}
+END {
+	n = 0
+	logsum = 0
+	for (name in cur) {
+		if (!(name in base)) {
+			printf "%-45s (new benchmark, not gated)\n", name
+			continue
+		}
+		r = cur[name] / base[name]
+		printf "%-45s base %11.0f ns/op  cur %11.0f ns/op  ratio %.3f\n", name, base[name], cur[name], r
+		logsum += log(r)
+		n++
+	}
+	if (n == 0) {
+		printf "bench_gate: no comparable benchmarks between %s and %s (renamed?)\n", baseline, current
+		exit 1
+	}
+	g = exp(logsum / n)
+	printf "geomean ratio over %d benchmarks: %.3f (limit %.2f)\n", n, g, max
+	if (g > max + 0) {
+		printf "bench_gate: FAIL — current run is %.1f%% slower than the committed baseline\n", (g - 1) * 100
+		exit 1
+	}
+	print "bench_gate: OK"
+}
+' "$baseline" "$current"
